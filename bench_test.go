@@ -1,0 +1,378 @@
+package webiq_test
+
+// Benchmarks regenerating the paper's evaluation (one per table/figure)
+// plus ablations for the design choices called out in DESIGN.md. Run
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute timings measure this reproduction, not the paper's testbed;
+// per-component simulated overhead (Figure 8) is reported via custom
+// metrics (simulated-minutes, queries).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"webiq/internal/dataset"
+	"webiq/internal/deepweb"
+	"webiq/internal/experiments"
+	"webiq/internal/kb"
+	"webiq/internal/matcher"
+	"webiq/internal/nlp"
+	"webiq/internal/schema"
+	"webiq/internal/surfaceweb"
+	iq "webiq/internal/webiq"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() { benchEnv = experiments.NewEnv() })
+	return benchEnv
+}
+
+// acquireDomain runs a full acquisition over a fresh dataset of the
+// domain with the given components, returning the report.
+func acquireDomain(env *experiments.Env, key string, comps iq.Components, cfg iq.Config) (*iq.Report, *schema.Dataset) {
+	dom := kb.DomainByKey(key)
+	ds := dataset.Generate(dom, env.DataCfg)
+	pool := deepweb.BuildPool(ds, dom, env.DeepCfg)
+	v := iq.NewValidator(env.Engine, cfg)
+	acq := iq.NewAcquirer(
+		iq.NewSurface(env.Engine, v, cfg),
+		iq.NewAttrDeep(pool, cfg),
+		iq.NewAttrSurface(v, cfg),
+		comps, cfg)
+	acq.SetAccounting(
+		func() (time.Duration, int) { return env.Engine.VirtualTime(), env.Engine.QueryCount() },
+		func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
+	)
+	return acq.AcquireAll(ds), ds
+}
+
+// BenchmarkTable1Acquisition regenerates Table 1's acquisition columns:
+// per-domain instance acquisition with Surface and Surface+Deep.
+func BenchmarkTable1Acquisition(b *testing.B) {
+	env := benchEnvironment(b)
+	for _, key := range []string{"airfare", "auto", "book", "job", "realestate"} {
+		b.Run(key, func(b *testing.B) {
+			var success float64
+			for i := 0; i < b.N; i++ {
+				rep, _ := acquireDomain(env, key, iq.Components{Surface: true, AttrDeep: true}, env.WebIQCfg)
+				success = rep.SuccessRate()
+			}
+			b.ReportMetric(success, "success%")
+		})
+	}
+}
+
+// BenchmarkFig6Matching regenerates Figure 6: baseline vs WebIQ-enriched
+// matching accuracy.
+func BenchmarkFig6Matching(b *testing.B) {
+	env := benchEnvironment(b)
+	for _, key := range []string{"airfare", "auto", "book", "job", "realestate"} {
+		b.Run(key, func(b *testing.B) {
+			_, ds := acquireDomain(env, key, iq.AllComponents(), env.WebIQCfg)
+			b.ResetTimer()
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				res := matcher.New(matcher.Config{Alpha: .6, Beta: .4, Threshold: .1}).Match(ds)
+				f1 = matcher.Evaluate(res.Pairs, ds.GoldPairs()).F1
+			}
+			b.ReportMetric(100*f1, "F1%")
+		})
+	}
+}
+
+// BenchmarkFig7Components regenerates Figure 7: acquisition+matching at
+// each component configuration (averaged over the five domains inside
+// one iteration for the "all" case; per-config sub-benchmarks).
+func BenchmarkFig7Components(b *testing.B) {
+	env := benchEnvironment(b)
+	configs := map[string]iq.Components{
+		"baseline":     {},
+		"surface":      {Surface: true},
+		"surface+deep": {Surface: true, AttrDeep: true},
+		"all":          iq.AllComponents(),
+	}
+	for name, comps := range configs {
+		b.Run(name, func(b *testing.B) {
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				_, ds := acquireDomain(env, "job", comps, env.WebIQCfg)
+				res := matcher.New(matcher.DefaultConfig()).Match(ds)
+				f1 = matcher.Evaluate(res.Pairs, ds.GoldPairs()).F1
+			}
+			b.ReportMetric(100*f1, "F1%")
+		})
+	}
+}
+
+// BenchmarkFig8Overhead regenerates Figure 8: the per-component
+// simulated overhead of a full acquisition run, reported as custom
+// metrics alongside the real wall time.
+func BenchmarkFig8Overhead(b *testing.B) {
+	env := benchEnvironment(b)
+	for _, key := range []string{"airfare", "auto", "book", "job", "realestate"} {
+		b.Run(key, func(b *testing.B) {
+			var rep *iq.Report
+			for i := 0; i < b.N; i++ {
+				rep, _ = acquireDomain(env, key, iq.AllComponents(), env.WebIQCfg)
+			}
+			b.ReportMetric(rep.SurfaceTime.Minutes(), "surf-simmin")
+			b.ReportMetric(rep.AttrSurfaceTime.Minutes(), "attrsurf-simmin")
+			b.ReportMetric(rep.AttrDeepTime.Minutes(), "attrdeep-simmin")
+			b.ReportMetric(float64(rep.SurfaceQueries+rep.AttrSurfaceQueries), "queries")
+			b.ReportMetric(float64(rep.AttrDeepQueries), "probes")
+		})
+	}
+}
+
+// BenchmarkAblationOutlierPruning measures the ablation of the two-phase
+// verification: without outlier removal, Web validation must score every
+// raw candidate, inflating validation queries.
+func BenchmarkAblationOutlierPruning(b *testing.B) {
+	env := benchEnvironment(b)
+	run := func(b *testing.B, skip bool) {
+		cfg := env.WebIQCfg
+		cfg.SkipOutlierRemoval = skip
+		var queries int
+		for i := 0; i < b.N; i++ {
+			q0 := env.Engine.QueryCount()
+			acquireDomain(env, "book", iq.Components{Surface: true}, cfg)
+			queries = env.Engine.QueryCount() - q0
+		}
+		b.ReportMetric(float64(queries), "queries")
+	}
+	b.Run("with-outlier-removal", func(b *testing.B) { run(b, false) })
+	b.Run("without-outlier-removal", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationPMIvsHits compares PMI scoring against raw hit counts
+// for validation (the popularity-bias ablation).
+func BenchmarkAblationPMIvsHits(b *testing.B) {
+	env := benchEnvironment(b)
+	run := func(b *testing.B, raw bool) {
+		cfg := env.WebIQCfg
+		cfg.UseRawHitCounts = raw
+		var success float64
+		for i := 0; i < b.N; i++ {
+			rep, _ := acquireDomain(env, "airfare", iq.Components{Surface: true}, cfg)
+			success = rep.SuccessRate()
+		}
+		b.ReportMetric(success, "success%")
+	}
+	b.Run("pmi", func(b *testing.B) { run(b, false) })
+	b.Run("raw-hits", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationProbeBudget measures the one-third rule's probe
+// savings: probing every donor value versus the capped sample.
+func BenchmarkAblationProbeBudget(b *testing.B) {
+	env := benchEnvironment(b)
+	run := func(b *testing.B, maxProbes int) {
+		cfg := env.WebIQCfg
+		cfg.MaxBorrowProbes = maxProbes
+		var probes float64
+		for i := 0; i < b.N; i++ {
+			rep, _ := acquireDomain(env, "airfare", iq.Components{Surface: true, AttrDeep: true}, cfg)
+			probes = float64(rep.AttrDeepQueries)
+		}
+		b.ReportMetric(probes, "probes")
+	}
+	b.Run("one-third-rule", func(b *testing.B) { run(b, 6) })
+	b.Run("probe-everything", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkAblationDomainKeywords measures query narrowing: extraction
+// queries with and without domain keywords.
+func BenchmarkAblationDomainKeywords(b *testing.B) {
+	env := benchEnvironment(b)
+	run := func(b *testing.B, use bool) {
+		cfg := env.WebIQCfg
+		cfg.UseDomainKeywords = use
+		var success float64
+		for i := 0; i < b.N; i++ {
+			rep, _ := acquireDomain(env, "book", iq.Components{Surface: true}, cfg)
+			success = rep.SuccessRate()
+		}
+		b.ReportMetric(success, "success%")
+	}
+	b.Run("narrowed", func(b *testing.B) { run(b, true) })
+	b.Run("bare-cues", func(b *testing.B) { run(b, false) })
+}
+
+// --- Micro-benchmarks of the substrates ---
+
+// BenchmarkPOSTagging measures the Brill-style tagger on interface
+// labels.
+func BenchmarkPOSTagging(b *testing.B) {
+	labels := []string{
+		"Departure city", "From", "Class of service", "First name or last name",
+		"Depart from", "Number of passengers",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nlp.AnalyzeLabel(labels[i%len(labels)])
+	}
+}
+
+// BenchmarkSearchEngine measures phrase search over the full corpus.
+func BenchmarkSearchEngine(b *testing.B) {
+	env := benchEnvironment(b)
+	queries := []string{
+		`"airlines such as"`, `"authors such as" +book`, `"make honda"`,
+		`"departure cities such as" +airfare`,
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.Engine.NumHits(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkMatcher measures a full clustering run on the airfare domain
+// (the paper's largest).
+func BenchmarkMatcher(b *testing.B) {
+	env := benchEnvironment(b)
+	ds := dataset.Generate(kb.DomainByKey("airfare"), env.DataCfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matcher.New(matcher.DefaultConfig()).Match(ds)
+	}
+}
+
+// BenchmarkDeepProbe measures one source probe round trip.
+func BenchmarkDeepProbe(b *testing.B) {
+	env := benchEnvironment(b)
+	dom := kb.DomainByKey("airfare")
+	ds := dataset.Generate(dom, env.DataCfg)
+	pool := deepweb.BuildPool(ds, dom, env.DeepCfg)
+	attr := ds.AllAttributes()[0]
+	src := pool.Source(attr.InterfaceID)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Probe(attr.ID, "Boston")
+	}
+}
+
+// BenchmarkCorpusBuild measures constructing and indexing the synthetic
+// Surface Web from scratch.
+func BenchmarkCorpusBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := surfaceweb.NewEngine()
+		surfaceweb.BuildCorpus(e, kb.Domains(), surfaceweb.DefaultCorpusConfig())
+	}
+}
+
+// BenchmarkAblationLinkage compares clustering linkages on the enriched
+// airfare dataset (the design choice behind the matcher).
+func BenchmarkAblationLinkage(b *testing.B) {
+	env := benchEnvironment(b)
+	_, ds := acquireDomain(env, "airfare", iq.AllComponents(), env.WebIQCfg)
+	gold := ds.GoldPairs()
+	for _, l := range []matcher.Linkage{matcher.SingleLink, matcher.AverageLink, matcher.CompleteLink} {
+		b.Run(l.String(), func(b *testing.B) {
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				res := matcher.New(matcher.Config{Alpha: .6, Beta: .4, Linkage: l}).Match(ds)
+				f1 = matcher.Evaluate(res.Pairs, gold).F1
+			}
+			b.ReportMetric(100*f1, "F1%")
+		})
+	}
+}
+
+// BenchmarkAblationLabelOnly reruns matching with instances ignored
+// (α=1, β=0) — IceQ's own comparative finding that instances greatly
+// improve accuracy.
+func BenchmarkAblationLabelOnly(b *testing.B) {
+	env := benchEnvironment(b)
+	_, ds := acquireDomain(env, "airfare", iq.AllComponents(), env.WebIQCfg)
+	gold := ds.GoldPairs()
+	configs := map[string]matcher.Config{
+		"label-only":      {Alpha: 1, Beta: 0},
+		"label+instances": {Alpha: .6, Beta: .4},
+	}
+	for name, cfg := range configs {
+		b.Run(name, func(b *testing.B) {
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				res := matcher.New(cfg).Match(ds)
+				f1 = matcher.Evaluate(res.Pairs, gold).F1
+			}
+			b.ReportMetric(100*f1, "F1%")
+		})
+	}
+}
+
+// BenchmarkParallelAcquisition measures the wall-clock effect of the
+// concurrent Surface phase (results are identical to sequential).
+func BenchmarkParallelAcquisition(b *testing.B) {
+	env := benchEnvironment(b)
+	for _, par := range []int{1, 4, 8} {
+		cfg := env.WebIQCfg
+		cfg.Parallelism = par
+		b.Run(fmt.Sprintf("workers-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acquireDomain(env, "book", iq.Components{Surface: true}, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSurfaceForPredef quantifies the possibility the paper
+// declines "to minimize overhead": running Surface discovery for
+// predefined-value attributes too. The metrics show the extra queries
+// against the accuracy effect.
+func BenchmarkAblationSurfaceForPredef(b *testing.B) {
+	env := benchEnvironment(b)
+	run := func(b *testing.B, on bool) {
+		cfg := env.WebIQCfg
+		cfg.SurfaceForPredef = on
+		var f1 float64
+		var queries int
+		for i := 0; i < b.N; i++ {
+			q0 := env.Engine.QueryCount()
+			_, ds := acquireDomain(env, "airfare", iq.AllComponents(), cfg)
+			queries = env.Engine.QueryCount() - q0
+			res := matcher.New(matcher.DefaultConfig()).Match(ds)
+			f1 = matcher.Evaluate(res.Pairs, ds.GoldPairs()).F1
+		}
+		b.ReportMetric(100*f1, "F1%")
+		b.ReportMetric(float64(queries), "queries")
+	}
+	b.Run("paper-scheme", func(b *testing.B) { run(b, false) })
+	b.Run("surface-for-predef", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationAggregation compares global clustering against
+// Wise-Integrator-style greedy per-pair matching on the enriched
+// airfare dataset — isolating the aggregation strategy.
+func BenchmarkAblationAggregation(b *testing.B) {
+	env := benchEnvironment(b)
+	_, ds := acquireDomain(env, "airfare", iq.AllComponents(), env.WebIQCfg)
+	gold := ds.GoldPairs()
+	b.Run("clustering", func(b *testing.B) {
+		var f1 float64
+		for i := 0; i < b.N; i++ {
+			f1 = matcher.Evaluate(matcher.New(matcher.DefaultConfig()).Match(ds).Pairs, gold).F1
+		}
+		b.ReportMetric(100*f1, "F1%")
+	})
+	b.Run("greedy-pairwise", func(b *testing.B) {
+		var f1 float64
+		for i := 0; i < b.N; i++ {
+			f1 = matcher.Evaluate(matcher.NewGreedyPairwise(matcher.DefaultConfig()).Match(ds).Pairs, gold).F1
+		}
+		b.ReportMetric(100*f1, "F1%")
+	})
+}

@@ -1,0 +1,86 @@
+// Command webgen generates and inspects the synthetic substrates: the
+// ICQ-style dataset and the Surface-Web corpus.
+//
+//	webgen -what dataset -domain book            # dataset stats
+//	webgen -what dataset -domain book -json d.json
+//	webgen -what corpus                          # corpus stats
+//	webgen -what corpus -query '"authors such as" +book'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"webiq/internal/dataset"
+	"webiq/internal/htmlform"
+	"webiq/internal/kb"
+	"webiq/internal/surfaceweb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("webgen: ")
+
+	what := flag.String("what", "dataset", "what to generate: dataset, corpus, or form")
+	domainFlag := flag.String("domain", "", "restrict to one domain (default: all)")
+	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.String("json", "", "write generated dataset(s) as JSON to this file")
+	query := flag.String("query", "", "with -what corpus: run this search query and show hits/snippets")
+	flag.Parse()
+
+	domains := kb.Domains()
+	if *domainFlag != "" {
+		d := kb.DomainByKey(*domainFlag)
+		if d == nil {
+			log.Fatalf("unknown domain %q", *domainFlag)
+		}
+		domains = []*kb.Domain{d}
+	}
+
+	switch *what {
+	case "dataset":
+		cfg := dataset.DefaultConfig()
+		cfg.Seed = *seed
+		fmt.Printf("%-11s %5s %6s %9s %12s %12s\n",
+			"Domain", "Ifcs", "Attrs", "Avg/Ifc", "IfcNoInst%", "AttrNoInst%")
+		for _, d := range domains {
+			ds := dataset.Generate(d, cfg)
+			st := ds.ComputeStats()
+			fmt.Printf("%-11s %5d %6d %9.1f %12.0f %12.1f\n",
+				d.Key, st.Interfaces, st.Attributes, st.AvgAttrs,
+				st.PctInterfacesNoInst, st.PctAttrsNoInst)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := ds.WriteJSON(f); err != nil {
+					log.Fatal(err)
+				}
+				f.Close()
+				fmt.Printf("  -> %s\n", *jsonOut)
+			}
+		}
+	case "corpus":
+		engine := surfaceweb.NewEngine()
+		cfg := surfaceweb.DefaultCorpusConfig()
+		cfg.Seed = *seed
+		surfaceweb.BuildCorpus(engine, domains, cfg)
+		fmt.Printf("Corpus: %d pages\n", engine.NumDocs())
+		if *query != "" {
+			fmt.Printf("NumHits(%s) = %d\n", *query, engine.NumHits(*query))
+			for i, s := range engine.Search(*query, 5) {
+				fmt.Printf("snippet %d (doc %d): %s\n", i+1, s.DocID, s.Text)
+			}
+		}
+	case "form":
+		cfg := dataset.DefaultConfig()
+		cfg.Seed = *seed
+		ds := dataset.Generate(domains[0], cfg)
+		fmt.Print(htmlform.Render(ds.Interfaces[0]))
+	default:
+		log.Fatalf("unknown -what %q (want dataset, corpus, or form)", *what)
+	}
+}

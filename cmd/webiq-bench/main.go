@@ -1,0 +1,68 @@
+// Command webiq-bench regenerates every table and figure of the paper's
+// evaluation section over the synthetic substrates:
+//
+//	webiq-bench -exp table1   # Table 1: dataset + acquisition success
+//	webiq-bench -exp fig6     # Figure 6: matching accuracy
+//	webiq-bench -exp fig7     # Figure 7: component contributions
+//	webiq-bench -exp fig8     # Figure 8: overhead analysis
+//	webiq-bench -exp all      # everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"webiq/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("webiq-bench: ")
+
+	exp := flag.String("exp", "all", "experiment to run: table1, fig6, fig7, fig8, tausweep, seeds, or all")
+	seed := flag.Int64("seed", 1, "random seed for all generators")
+	seeds := flag.Int("seeds", 3, "number of seeds for -exp seeds")
+	flag.Parse()
+
+	start := time.Now()
+	env := experiments.NewEnvWithSeed(*seed)
+	fmt.Printf("Environment ready (%d corpus pages) in %v\n\n",
+		env.Engine.NumDocs(), time.Since(start).Round(time.Millisecond))
+
+	run := func(name string) {
+		t0 := time.Now()
+		switch name {
+		case "table1":
+			fmt.Println("== Table 1: dataset characteristics and instance-acquisition success ==")
+			fmt.Println(experiments.RenderTable1(env.Table1()))
+		case "fig6":
+			fmt.Println("== Figure 6: matching accuracy (F-1 %) ==")
+			fmt.Println(experiments.RenderFigure6(env.Figure6()))
+		case "fig7":
+			fmt.Println("== Figure 7: component contributions (F-1 %) ==")
+			fmt.Println(experiments.RenderFigure7(env.Figure7()))
+		case "fig8":
+			fmt.Println("== Figure 8: overhead analysis (simulated minutes) ==")
+			fmt.Println(experiments.RenderFigure8(env.Figure8()))
+		case "tausweep":
+			fmt.Println("== Threshold sensitivity (avg F-1 % across domains) ==")
+			fmt.Println(experiments.RenderTauSweep(env.TauSweep(nil)))
+		case "seeds":
+			fmt.Printf("== Seed robustness (%d seeds) ==\n", *seeds)
+			fmt.Println(experiments.RenderSeedSweep(experiments.SeedSweep(*seeds)))
+		default:
+			log.Fatalf("unknown experiment %q (want table1, fig6, fig7, fig8, tausweep, seeds, all)", name)
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig6", "fig7", "fig8"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

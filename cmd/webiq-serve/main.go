@@ -1,0 +1,40 @@
+// Command webiq-serve serves the simulated Deep Web over HTTP: browse
+// the generated sources' query interfaces, submit probe searches against
+// their backing tables, and view the unified interface WebIQ + matching
+// produce per domain.
+//
+//	webiq-serve -addr :8080
+//
+// Then visit http://localhost:8080/ for the source index.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"webiq/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("webiq-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "random seed for all generators")
+	flag.Parse()
+
+	start := time.Now()
+	srv := server.New(*seed)
+	log.Printf("substrates ready in %v; listening on %s", time.Since(start).Round(time.Millisecond), *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := httpSrv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

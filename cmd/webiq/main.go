@@ -1,0 +1,170 @@
+// Command webiq runs the full WebIQ pipeline on one domain: generate the
+// domain's query interfaces, build the synthetic Surface Web and
+// Deep-Web sources, acquire instances for every attribute, match the
+// interfaces with the IceQ-style matcher, and report accuracy.
+//
+// Usage:
+//
+//	webiq -domain airfare [-seed 1] [-tau 0.1] [-components surface,deep,attr] [-json out.json] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"webiq/internal/dataset"
+	"webiq/internal/deepweb"
+	"webiq/internal/kb"
+	"webiq/internal/matcher"
+	"webiq/internal/schema"
+	"webiq/internal/surfaceweb"
+	"webiq/internal/webiq"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("webiq: ")
+
+	domainFlag := flag.String("domain", "airfare", "domain to run (airfare, auto, book, job, realestate)")
+	seed := flag.Int64("seed", 1, "random seed for dataset and corpus generation")
+	tau := flag.Float64("tau", 0.1, "clustering threshold for the matcher")
+	components := flag.String("components", "surface,deep,attr", "comma-separated WebIQ components: surface, deep, attr (empty disables all)")
+	jsonIn := flag.String("dataset", "", "load the dataset from this JSON file instead of generating it")
+	jsonOut := flag.String("json", "", "write the acquired dataset as JSON to this file")
+	verbose := flag.Bool("v", false, "print per-attribute acquisition outcomes")
+	trace := flag.Bool("trace", false, "stream acquisition events as they happen")
+	learn := flag.Int("learn-tau", 0, "learn the threshold interactively with this question budget (0 = use -tau)")
+	flag.Parse()
+
+	dom := kb.DomainByKey(*domainFlag)
+	if dom == nil {
+		log.Fatalf("unknown domain %q (try airfare, auto, book, job, realestate)", *domainFlag)
+	}
+
+	comps, err := parseComponents(*components)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Building Surface-Web corpus and %s dataset (seed %d)...\n", dom.Key, *seed)
+	engine := surfaceweb.NewEngine()
+	corpusCfg := surfaceweb.DefaultCorpusConfig()
+	corpusCfg.Seed = *seed
+	surfaceweb.BuildCorpus(engine, kb.Domains(), corpusCfg)
+
+	var ds *schema.Dataset
+	if *jsonIn != "" {
+		f, err := os.Open(*jsonIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err = schema.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ds.Domain != dom.Key {
+			log.Fatalf("dataset file is for domain %q, -domain is %q", ds.Domain, dom.Key)
+		}
+	} else {
+		dataCfg := dataset.DefaultConfig()
+		dataCfg.Seed = *seed
+		ds = dataset.Generate(dom, dataCfg)
+	}
+
+	deepCfg := deepweb.DefaultConfig()
+	deepCfg.Seed = *seed
+	pool := deepweb.BuildPool(ds, dom, deepCfg)
+
+	st := ds.ComputeStats()
+	fmt.Printf("Dataset: %d interfaces, %d attributes (%.1f per interface), %.1f%% attributes without instances\n",
+		st.Interfaces, st.Attributes, st.AvgAttrs, st.PctAttrsNoInst)
+	fmt.Printf("Corpus: %d pages indexed\n\n", engine.NumDocs())
+
+	cfg := webiq.DefaultConfig()
+	v := webiq.NewValidator(engine, cfg)
+	acq := webiq.NewAcquirer(
+		webiq.NewSurface(engine, v, cfg),
+		webiq.NewAttrDeep(pool, cfg),
+		webiq.NewAttrSurface(v, cfg),
+		comps, cfg)
+	acq.SetAccounting(
+		func() (time.Duration, int) { return engine.VirtualTime(), engine.QueryCount() },
+		func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
+	)
+	if *trace {
+		acq.SetTracer(webiq.NewLogTracer(os.Stderr))
+	}
+
+	fmt.Println("Acquiring instances...")
+	start := time.Now()
+	rep := acq.AcquireAll(ds)
+	fmt.Printf("Acquisition done in %v (wall); %d search queries (%.1f simulated minutes), %d deep probes (%.1f simulated minutes)\n",
+		time.Since(start).Round(time.Millisecond),
+		engine.QueryCount(), engine.VirtualTime().Minutes(),
+		pool.QueryCount(), pool.VirtualTime().Minutes())
+	fmt.Printf("Acquisition success rate on instance-less attributes: %.1f%%\n\n", rep.SuccessRate())
+
+	if *verbose {
+		for _, o := range rep.Outcomes {
+			if o.HadInstances && o.Acquired == 0 {
+				continue
+			}
+			fmt.Printf("  %-24s %-22q acquired=%-3d via=%v\n", o.AttrID, o.Label, o.Acquired, o.Methods)
+		}
+		fmt.Println()
+	}
+
+	if *learn > 0 {
+		m := matcher.New(matcher.Config{Alpha: 0.6, Beta: 0.4})
+		learned, asked := m.LearnThreshold(ds, matcher.GoldOracle(ds), *learn)
+		fmt.Printf("Learned threshold tau=%.3f after %d oracle questions\n", learned, asked)
+		*tau = learned
+	}
+
+	for _, th := range []float64{0, *tau} {
+		res := matcher.New(matcher.Config{Alpha: 0.6, Beta: 0.4, Threshold: th}).Match(ds)
+		m := matcher.Evaluate(res.Pairs, ds.GoldPairs())
+		fmt.Printf("Matching (tau=%.2f): P=%.3f R=%.3f F1=%.3f (%d clusters, %d pairs)\n",
+			th, m.Precision, m.Recall, m.F1, len(res.Clusters), m.Predicted)
+		if th == *tau && th == 0 {
+			break
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := ds.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nAcquired dataset written to %s\n", *jsonOut)
+	}
+}
+
+func parseComponents(s string) (webiq.Components, error) {
+	var c webiq.Components
+	if strings.TrimSpace(s) == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "surface":
+			c.Surface = true
+		case "deep":
+			c.AttrDeep = true
+		case "attr":
+			c.AttrSurface = true
+		default:
+			return c, fmt.Errorf("unknown component %q (want surface, deep, attr)", part)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,21 @@
+package webiq_test
+
+import (
+	"fmt"
+
+	"webiq"
+)
+
+// Example shows the minimal end-to-end session: build the system,
+// generate a domain, acquire instances, match, and unify.
+func Example() {
+	sys := webiq.NewSystem(webiq.Options{Interfaces: 4})
+	ds := sys.GenerateDataset("book")
+	sys.Acquire(ds)
+	res, m := sys.Match(ds, 0.1)
+	u := webiq.BuildUnified(ds, res)
+	fmt.Printf("matched %d interfaces into %d unified attributes (F1 %.2f)\n",
+		len(ds.Interfaces), len(u.Attributes), m.F1)
+	// Output:
+	// matched 4 interfaces into 8 unified attributes (F1 1.00)
+}

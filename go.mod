@@ -1,0 +1,3 @@
+module webiq
+
+go 1.22

@@ -1,0 +1,256 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"webiq/internal/kb"
+	"webiq/internal/schema"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	ds := Generate(kb.DomainByKey("airfare"), cfg)
+	if len(ds.Interfaces) != 20 {
+		t.Fatalf("interfaces = %d, want 20", len(ds.Interfaces))
+	}
+	if ds.EntityName != "flight" || ds.DomainKeyword != "airfare" {
+		t.Errorf("metadata = %q/%q", ds.EntityName, ds.DomainKeyword)
+	}
+	for _, ifc := range ds.Interfaces {
+		if len(ifc.Attributes) < cfg.MinAttrs {
+			t.Errorf("interface %s has %d attrs", ifc.ID, len(ifc.Attributes))
+		}
+		for _, a := range ifc.Attributes {
+			if a.Label == "" || a.ConceptID == "" || a.InterfaceID != ifc.ID {
+				t.Errorf("bad attribute %+v", a)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(kb.DomainByKey("book"), cfg)
+	b := Generate(kb.DomainByKey("book"), cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed should give identical datasets")
+	}
+	cfg.Seed = 99
+	c := Generate(kb.DomainByKey("book"), cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should give different datasets")
+	}
+}
+
+func TestGenerateUniqueIDs(t *testing.T) {
+	for _, ds := range GenerateAll(DefaultConfig()) {
+		seen := map[string]bool{}
+		for _, a := range ds.AllAttributes() {
+			if seen[a.ID] {
+				t.Errorf("duplicate attribute ID %q", a.ID)
+			}
+			seen[a.ID] = true
+		}
+	}
+}
+
+func TestGenerateNoDuplicateConceptsPerInterface(t *testing.T) {
+	for _, ds := range GenerateAll(DefaultConfig()) {
+		for _, ifc := range ds.Interfaces {
+			seen := map[string]bool{}
+			for _, a := range ifc.Attributes {
+				if seen[a.ConceptID] {
+					t.Errorf("interface %s repeats concept %s", ifc.ID, a.ConceptID)
+				}
+				seen[a.ConceptID] = true
+			}
+		}
+	}
+}
+
+func TestAttrCountsNearTable1(t *testing.T) {
+	want := map[string]float64{
+		"airfare": 10.7, "auto": 5.1, "book": 5.4, "job": 4.6, "realestate": 6.5,
+	}
+	for _, ds := range GenerateAll(DefaultConfig()) {
+		st := ds.ComputeStats()
+		w := want[ds.Domain]
+		if st.AvgAttrs < w-1.5 || st.AvgAttrs > w+1.5 {
+			t.Errorf("domain %s avg attrs = %.2f, want near %.1f", ds.Domain, st.AvgAttrs, w)
+		}
+	}
+}
+
+func TestInstanceLessAttributesPervasive(t *testing.T) {
+	// The core premise: a large share of interfaces contain attributes
+	// without instances.
+	for _, ds := range GenerateAll(DefaultConfig()) {
+		st := ds.ComputeStats()
+		if st.PctInterfacesNoInst < 60 {
+			t.Errorf("domain %s: only %.0f%% interfaces have instance-less attrs",
+				ds.Domain, st.PctInterfacesNoInst)
+		}
+		if st.PctAttrsNoInst < 15 || st.PctAttrsNoInst > 90 {
+			t.Errorf("domain %s: %.1f%% attrs without instances out of plausible range",
+				ds.Domain, st.PctAttrsNoInst)
+		}
+	}
+}
+
+func TestJobDomainMostInstanceLess(t *testing.T) {
+	// Table 1: the job domain has by far the highest share of attributes
+	// without instances (74.6%).
+	stats := map[string]schema.Stats{}
+	for _, ds := range GenerateAll(DefaultConfig()) {
+		stats[ds.Domain] = ds.ComputeStats()
+	}
+	job := stats["job"].PctAttrsNoInst
+	for dom, st := range stats {
+		if dom == "job" {
+			continue
+		}
+		if st.PctAttrsNoInst >= job {
+			t.Errorf("domain %s (%.1f%%) >= job (%.1f%%) instance-less attrs",
+				dom, st.PctAttrsNoInst, job)
+		}
+	}
+}
+
+func TestPredefinedListsRegionalSkew(t *testing.T) {
+	ds := Generate(kb.DomainByKey("airfare"), DefaultConfig())
+	naSet := map[string]bool{}
+	for _, a := range kb.AirlinesNA {
+		naSet[a] = true
+	}
+	// For interfaces with predefined airline lists, the majority of
+	// values must come from a single regional group.
+	for _, ifc := range ds.Interfaces {
+		for _, a := range ifc.Attributes {
+			if a.ConceptID != "airfare.airline" || !a.HasInstances() {
+				continue
+			}
+			na := 0
+			for _, v := range a.Instances {
+				if naSet[v] {
+					na++
+				}
+			}
+			frac := float64(na) / float64(len(a.Instances))
+			if frac > 0.34 && frac < 0.66 {
+				t.Errorf("interface %s airline list not regionally skewed: %v", ifc.ID, a.Instances)
+			}
+		}
+	}
+}
+
+func TestGoldPairsConsistent(t *testing.T) {
+	ds := Generate(kb.DomainByKey("auto"), DefaultConfig())
+	pairs := ds.GoldPairs()
+	if len(pairs) == 0 {
+		t.Fatal("no gold pairs")
+	}
+	byID := map[string]*schema.Attribute{}
+	for _, a := range ds.AllAttributes() {
+		byID[a.ID] = a
+	}
+	for p := range pairs {
+		if byID[p.A].ConceptID != byID[p.B].ConceptID {
+			t.Errorf("gold pair %v crosses concepts", p)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := Generate(kb.DomainByKey("job"), DefaultConfig())
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := schema.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, got) {
+		t.Error("JSON round trip mismatch")
+	}
+}
+
+func TestPredefInstancesUnique(t *testing.T) {
+	for _, ds := range GenerateAll(DefaultConfig()) {
+		for _, a := range ds.AllAttributes() {
+			seen := map[string]bool{}
+			for _, v := range a.Instances {
+				if seen[v] {
+					t.Errorf("attribute %s lists duplicate instance %q", a.ID, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestGenerateCustomInterfaceCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Interfaces = 7
+	ds := Generate(kb.DomainByKey("auto"), cfg)
+	if len(ds.Interfaces) != 7 {
+		t.Errorf("interfaces = %d, want 7", len(ds.Interfaces))
+	}
+}
+
+func TestGenerateCrossRegionRate(t *testing.T) {
+	// With a positive cross-region rate, some predefined airline lists
+	// mix regions; with zero they never do.
+	naSet := map[string]bool{}
+	for _, a := range kb.AirlinesNA {
+		naSet[a] = true
+	}
+	mixed := func(cfg Config) int {
+		ds := Generate(kb.DomainByKey("airfare"), cfg)
+		n := 0
+		for _, a := range ds.AllAttributes() {
+			if a.ConceptID != "airfare.airline" || !a.HasInstances() {
+				continue
+			}
+			na, eu := 0, 0
+			for _, v := range a.Instances {
+				if naSet[v] {
+					na++
+				} else {
+					eu++
+				}
+			}
+			if na > 0 && eu > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	strict := DefaultConfig()
+	if got := mixed(strict); got != 0 {
+		t.Errorf("zero cross-region rate produced %d mixed lists", got)
+	}
+	loose := DefaultConfig()
+	loose.CrossRegionRate = 0.5
+	if got := mixed(loose); got == 0 {
+		t.Error("high cross-region rate produced no mixed lists")
+	}
+}
+
+func TestGenerateMovieExtension(t *testing.T) {
+	for _, d := range kb.ExtendedDomains() {
+		if d.Key != "movie" {
+			continue
+		}
+		ds := Generate(d, DefaultConfig())
+		st := ds.ComputeStats()
+		if st.Interfaces != 20 || st.AvgAttrs < 3 {
+			t.Errorf("movie dataset stats = %+v", st)
+		}
+		if len(ds.GoldPairs()) == 0 {
+			t.Error("movie dataset has no gold pairs")
+		}
+	}
+}

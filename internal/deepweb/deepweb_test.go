@@ -1,0 +1,245 @@
+package deepweb
+
+import (
+	"strings"
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+	"webiq/internal/schema"
+)
+
+func buildTestPool(t *testing.T, domain string) (*Pool, *schema.Dataset) {
+	t.Helper()
+	dom := kb.DomainByKey(domain)
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.PartialQueryProb = 1.0 // deterministic acceptance for unit tests
+	return BuildPool(ds, dom, cfg), ds
+}
+
+// findAttr returns an attribute of the given concept, preferring ones
+// without predefined instances.
+func findAttr(ds *schema.Dataset, conceptID string, wantPredef bool) *schema.Attribute {
+	for _, a := range ds.AllAttributes() {
+		if a.ConceptID == conceptID && a.HasInstances() == wantPredef {
+			return a
+		}
+	}
+	return nil
+}
+
+func TestProbeTrueInstanceSucceeds(t *testing.T) {
+	pool, ds := buildTestPool(t, "airfare")
+	a := findAttr(ds, "airfare.origin_city", false)
+	if a == nil {
+		t.Skip("no free-text origin city attribute in this dataset draw")
+	}
+	src := pool.Source(a.InterfaceID)
+	// Probe several true cities; at least one must be in the table.
+	ok := false
+	for _, city := range []string{"Boston", "Chicago", "New York", "London", "Paris"} {
+		if AnalyzeResponse(src.Probe(a.ID, city)) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Error("no true city probe succeeded")
+	}
+}
+
+func TestProbeFalseInstanceFails(t *testing.T) {
+	pool, ds := buildTestPool(t, "airfare")
+	a := findAttr(ds, "airfare.origin_city", false)
+	if a == nil {
+		t.Skip("no free-text origin city attribute")
+	}
+	src := pool.Source(a.InterfaceID)
+	// The paper's motivating example: from=January must fail where
+	// from=Chicago succeeds.
+	if AnalyzeResponse(src.Probe(a.ID, "January")) {
+		t.Error("probe with month on a city field should fail")
+	}
+	if AnalyzeResponse(src.Probe(a.ID, "Economy")) {
+		t.Error("probe with cabin class on a city field should fail")
+	}
+}
+
+func TestProbePredefinedRejectsOutside(t *testing.T) {
+	pool, ds := buildTestPool(t, "airfare")
+	a := findAttr(ds, "airfare.cabin_class", true)
+	if a == nil {
+		t.Skip("no predefined cabin class attribute")
+	}
+	src := pool.Source(a.InterfaceID)
+	if AnalyzeResponse(src.Probe(a.ID, "NotAClass")) {
+		t.Error("predefined attribute accepted a value outside its list")
+	}
+	if !AnalyzeResponse(src.Probe(a.ID, a.Instances[0])) {
+		t.Error("predefined attribute rejected its own listed value")
+	}
+}
+
+func TestProbeNumericRange(t *testing.T) {
+	pool, ds := buildTestPool(t, "auto")
+	a := findAttr(ds, "auto.price", false)
+	if a == nil {
+		a = findAttr(ds, "auto.price", true)
+	}
+	if a == nil {
+		t.Skip("no price attribute")
+	}
+	src := pool.Source(a.InterfaceID)
+	if a.HasInstances() {
+		if !AnalyzeResponse(src.Probe(a.ID, a.Instances[0])) {
+			t.Error("listed price rejected")
+		}
+		return
+	}
+	if !AnalyzeResponse(src.Probe(a.ID, "$30,000")) {
+		t.Error("in-range price probe failed")
+	}
+	if AnalyzeResponse(src.Probe(a.ID, "$9,000,000")) {
+		t.Error("absurd price probe succeeded")
+	}
+	if AnalyzeResponse(src.Probe(a.ID, "Honda")) {
+		t.Error("non-numeric probe on numeric field succeeded")
+	}
+}
+
+func TestPartialQueryRejection(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.PartialQueryProb = 0 // every source rejects partial queries
+	pool := BuildPool(ds, dom, cfg)
+	a := ds.AllAttributes()[0]
+	src := pool.Source(a.InterfaceID)
+	if AnalyzeResponse(src.Probe(a.ID, "anything")) {
+		t.Error("source rejecting partial queries reported success")
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	pool, ds := buildTestPool(t, "job")
+	pool.ResetAccounting()
+	a := ds.AllAttributes()[0]
+	src := pool.Source(a.InterfaceID)
+	src.Probe(a.ID, "x")
+	src.Probe(a.ID, "y")
+	if got := pool.QueryCount(); got != 2 {
+		t.Errorf("QueryCount = %d, want 2", got)
+	}
+	if pool.VirtualTime() <= 0 {
+		t.Error("virtual time not charged")
+	}
+	pool.ResetAccounting()
+	if pool.QueryCount() != 0 || pool.VirtualTime() != 0 {
+		t.Error("ResetAccounting failed")
+	}
+}
+
+func TestProbeUnknownAttr(t *testing.T) {
+	pool, ds := buildTestPool(t, "job")
+	src := pool.Source(ds.Interfaces[0].ID)
+	if AnalyzeResponse(src.Probe("bogus/attr", "x")) {
+		t.Error("unknown attribute probe succeeded")
+	}
+}
+
+func TestAnalyzeResponse(t *testing.T) {
+	cases := []struct {
+		page string
+		want bool
+	}{
+		{"<html><p>Found 7 results matching your search.</p><li>x</li></html>", true},
+		{"<html><p>Found 0 results.</p></html>", false},
+		{"<html><p>Sorry, no results were found.</p></html>", false},
+		{"<html><p>Error: invalid selection.</p></html>", false},
+		{"<html><li>record one</li><li>record two</li></html>", true},
+		{"<html><p>Welcome to our site.</p></html>", false},
+		{"<html><p>Showing matches below</p></html>", true},
+	}
+	for _, c := range cases {
+		if got := AnalyzeResponse(c.page); got != c.want {
+			t.Errorf("AnalyzeResponse(%q) = %v, want %v", c.page, got, c.want)
+		}
+	}
+}
+
+func TestResultPageListsLabels(t *testing.T) {
+	pool, ds := buildTestPool(t, "book")
+	a := findAttr(ds, "book.author", false)
+	if a == nil {
+		t.Skip("no free-text author attr")
+	}
+	src := pool.Source(a.InterfaceID)
+	var page string
+	for _, author := range kb.BookAuthors {
+		page = src.Probe(a.ID, author)
+		if AnalyzeResponse(page) {
+			break
+		}
+	}
+	if !AnalyzeResponse(page) {
+		t.Fatal("no author probe succeeded")
+	}
+	if !strings.Contains(page, a.Label) {
+		t.Errorf("result page does not echo attribute label %q", a.Label)
+	}
+}
+
+func TestPoolDeterministic(t *testing.T) {
+	p1, ds := buildTestPool(t, "auto")
+	p2, _ := buildTestPool(t, "auto")
+	a := ds.AllAttributes()[0]
+	r1 := p1.Source(a.InterfaceID).Probe(a.ID, "Honda")
+	r2 := p2.Source(a.InterfaceID).Probe(a.ID, "Honda")
+	if r1 != r2 {
+		t.Error("probes not deterministic across identically-seeded pools")
+	}
+}
+
+func TestResultCountParsing(t *testing.T) {
+	cases := []struct {
+		page string
+		want bool
+	}{
+		{"found 12 results", true},
+		{"Found 1 result for you", true},
+		{"found 0 results", false},
+		{"we found nothing for you", false}, // no digits after "found "
+		{"found n results", false},          // no digits
+		{"found 5 cars", false},             // digits but not "result"
+	}
+	for _, c := range cases {
+		if got := AnalyzeResponse(c.page); got != c.want {
+			t.Errorf("AnalyzeResponse(%q) = %v, want %v", c.page, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeResponseEmpty(t *testing.T) {
+	if AnalyzeResponse("") {
+		t.Error("empty page classified as success")
+	}
+}
+
+func TestProbeEmptyValue(t *testing.T) {
+	pool, ds := buildTestPool(t, "book")
+	a := ds.AllAttributes()[0]
+	src := pool.Source(a.InterfaceID)
+	if AnalyzeResponse(src.Probe(a.ID, "   ")) {
+		t.Error("blank probe value reported success")
+	}
+}
+
+func TestFormPageRoundTrips(t *testing.T) {
+	pool, ds := buildTestPool(t, "auto")
+	src := pool.Source(ds.Interfaces[0].ID)
+	page := src.FormPage()
+	if !strings.Contains(page, "<form") {
+		t.Fatalf("form page malformed: %.120s", page)
+	}
+}

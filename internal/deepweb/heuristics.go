@@ -1,0 +1,69 @@
+package deepweb
+
+import "strings"
+
+// Response-analysis heuristics, a variant of those used by the
+// hidden-Web crawler of Raghavan & Garcia-Molina that the paper cites:
+// classify a response page as a successful submission or a failure.
+
+// failurePhrases are indicator phrases of failed submissions.
+var failurePhrases = []string{
+	"no results", "no matches", "not found", "nothing found",
+	"invalid", "error", "sorry", "try again", "please complete",
+	"required field", "unknown field", "0 results",
+}
+
+// successPhrases are indicator phrases of successful submissions. Bare
+// "found" is deliberately absent: "we found nothing" would match it.
+var successPhrases = []string{
+	"results matching", "showing", "displaying",
+}
+
+// AnalyzeResponse classifies a response page. The heuristics are, in
+// order: (1) an explicit positive result count wins; (2) failure
+// indicator phrases lose; (3) a page listing record structure (several
+// list items) wins; (4) otherwise failure.
+func AnalyzeResponse(page string) bool {
+	p := strings.ToLower(page)
+
+	// Heuristic 1: explicit result count.
+	if n, ok := resultCount(p); ok {
+		return n > 0
+	}
+	// Heuristic 2: failure phrases.
+	for _, f := range failurePhrases {
+		if strings.Contains(p, f) {
+			return false
+		}
+	}
+	// Heuristic 3: structural evidence of listed records.
+	if strings.Count(p, "<li>") >= 1 {
+		return true
+	}
+	// Heuristic 4: weak positive phrases.
+	for _, s := range successPhrases {
+		if strings.Contains(p, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// resultCount extracts N from "found N results", if present.
+func resultCount(p string) (int, bool) {
+	idx := strings.Index(p, "found ")
+	if idx < 0 {
+		return 0, false
+	}
+	rest := p[idx+len("found "):]
+	n := 0
+	digits := 0
+	for digits < len(rest) && rest[digits] >= '0' && rest[digits] <= '9' {
+		n = n*10 + int(rest[digits]-'0')
+		digits++
+	}
+	if digits == 0 || !strings.HasPrefix(strings.TrimSpace(rest[digits:]), "result") {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,310 @@
+// Package deepweb simulates Deep-Web data sources: each query interface
+// of the dataset is backed by a relational table generated from the
+// domain knowledge base. A probe sets one attribute to a candidate value
+// (other attributes keep their defaults) and yields a response page that
+// must be classified as success or failure by the response-analysis
+// heuristics — exactly the observable Attr-Deep consumes.
+package deepweb
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"webiq/internal/htmlform"
+	"webiq/internal/kb"
+	"webiq/internal/schema"
+)
+
+// Config controls source construction.
+type Config struct {
+	// Seed drives table generation.
+	Seed int64
+	// Records is the backing-table size per source.
+	Records int
+	// PartialQueryProb is the probability a source accepts partial
+	// queries (values left unspecified). The paper notes many — not all —
+	// interfaces permit them; sources that do not reject every probe.
+	PartialQueryProb float64
+	// MinLatency/MaxLatency bound the simulated per-probe round trip.
+	MinLatency, MaxLatency time.Duration
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Records:          300,
+		PartialQueryProb: 0.9,
+		MinLatency:       300 * time.Millisecond,
+		MaxLatency:       1500 * time.Millisecond,
+	}
+}
+
+// Source is one Deep-Web data source.
+type Source struct {
+	ifc *schema.Interface
+	// concepts maps attribute ID to its generating concept.
+	concepts map[string]*kb.Concept
+	// table holds the backing records: attribute ID -> value.
+	table []map[string]string
+	// partialOK reports whether the source accepts partial queries.
+	partialOK bool
+	pool      *Pool
+}
+
+// Pool is the set of sources for a dataset, with shared probe
+// accounting for the overhead experiment.
+type Pool struct {
+	mu          sync.Mutex
+	sources     map[string]*Source
+	cfg         Config
+	queries     int
+	virtualTime time.Duration
+}
+
+// BuildPool constructs sources for every interface in the dataset.
+func BuildPool(ds *schema.Dataset, dom *kb.Domain, cfg Config) *Pool {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hash32(ds.Domain))))
+	conceptByID := map[string]*kb.Concept{}
+	for _, c := range dom.Concepts {
+		conceptByID[c.ID] = c
+	}
+	p := &Pool{sources: map[string]*Source{}, cfg: cfg}
+	for _, ifc := range ds.Interfaces {
+		s := &Source{
+			ifc:       ifc,
+			concepts:  map[string]*kb.Concept{},
+			partialOK: rng.Float64() < cfg.PartialQueryProb,
+			pool:      p,
+		}
+		for _, a := range ifc.Attributes {
+			s.concepts[a.ID] = conceptByID[a.ConceptID]
+		}
+		s.table = generateTable(ifc, s.concepts, cfg.Records, rng)
+		p.sources[ifc.ID] = s
+	}
+	return p
+}
+
+// Source returns the source backing the given interface ID, or nil.
+func (p *Pool) Source(interfaceID string) *Source {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sources[interfaceID]
+}
+
+// QueryCount returns the number of probes served across the pool.
+func (p *Pool) QueryCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queries
+}
+
+// VirtualTime returns the accumulated simulated probe time.
+func (p *Pool) VirtualTime() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.virtualTime
+}
+
+// ResetAccounting zeroes the probe counter and virtual clock.
+func (p *Pool) ResetAccounting() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queries = 0
+	p.virtualTime = 0
+}
+
+func (p *Pool) charge(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queries++
+	span := p.cfg.MaxLatency - p.cfg.MinLatency
+	if span <= 0 {
+		p.virtualTime += p.cfg.MinLatency
+		return
+	}
+	p.virtualTime += p.cfg.MinLatency + time.Duration(int64(hash32(key))%int64(span))
+}
+
+// generateTable samples Records rows; each row assigns every attribute a
+// value from its concept's full vocabulary (sources hold data well
+// beyond what their interfaces show as predefined options).
+func generateTable(ifc *schema.Interface, concepts map[string]*kb.Concept, n int, rng *rand.Rand) []map[string]string {
+	rows := make([]map[string]string, n)
+	// Pre-render numeric pools once per attribute.
+	pools := map[string][]string{}
+	for _, a := range ifc.Attributes {
+		c := concepts[a.ID]
+		if c == nil {
+			continue
+		}
+		if c.Numeric != nil {
+			pools[a.ID] = c.Numeric.Sample(rng, 50)
+		} else {
+			pools[a.ID] = c.AllInstances()
+		}
+	}
+	for i := range rows {
+		row := map[string]string{}
+		for _, a := range ifc.Attributes {
+			pool := pools[a.ID]
+			if len(pool) == 0 {
+				continue
+			}
+			row[a.ID] = pool[rng.Intn(len(pool))]
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Probe submits a query with the given attribute set to value and all
+// other attributes left at their defaults (empty), returning the
+// response page. It implements the "Formulate and Submit a Query" step
+// of Section 4.
+func (s *Source) Probe(attrID, value string) string {
+	s.pool.charge(s.ifc.ID + "|" + attrID + "|" + value)
+
+	attr := s.ifc.AttributeByID(attrID)
+	if attr == nil {
+		return renderError("unknown field")
+	}
+	if !s.partialOK {
+		return renderError("please complete all required fields before submitting")
+	}
+	// Predefined-value attributes reject values outside their list —
+	// the reason Step 2 of Section 5 cannot use Attr-Deep for them.
+	if attr.HasInstances() && !containsFold(attr.Instances, value) {
+		return renderError("invalid selection for " + attr.Label)
+	}
+	matches := s.match(attrID, value)
+	if len(matches) == 0 {
+		return renderError("sorry, no results were found matching your search")
+	}
+	return s.renderResults(matches)
+}
+
+// match selects backing rows whose value for attrID matches the probe
+// value. String attributes match case-insensitively; numeric attributes
+// act as range filters accepting any parseable value within the
+// concept's range.
+func (s *Source) match(attrID, value string) []map[string]string {
+	c := s.concepts[attrID]
+	if c != nil && c.Numeric != nil {
+		v, ok := parseNumber(value)
+		if !ok {
+			return nil
+		}
+		lo, hi := float64(c.Numeric.Min), float64(c.Numeric.Max)
+		if c.Numeric.Decimals > 0 {
+			scale := 1.0
+			for i := 0; i < c.Numeric.Decimals; i++ {
+				scale *= 10
+			}
+			lo, hi = lo/scale, hi/scale
+		}
+		if v < lo || v > hi {
+			return nil
+		}
+		// A numeric filter inside the range selects roughly the rows at
+		// or below the value (max-style filters dominate interfaces).
+		var out []map[string]string
+		for _, row := range s.table {
+			rv, ok := parseNumber(row[attrID])
+			if ok && rv <= v {
+				out = append(out, row)
+				if len(out) >= 10 {
+					break
+				}
+			}
+		}
+		return out
+	}
+	want := strings.ToLower(strings.TrimSpace(value))
+	if want == "" {
+		return nil
+	}
+	var out []map[string]string
+	for _, row := range s.table {
+		if strings.ToLower(row[attrID]) == want {
+			out = append(out, row)
+			if len(out) >= 10 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// renderResults renders a result page listing matched records.
+func (s *Source) renderResults(rows []map[string]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><title>%s results</title><body>", s.ifc.Source)
+	fmt.Fprintf(&b, "<p>Found %d results matching your search.</p><ul>", len(rows))
+	for i, row := range rows {
+		if i >= 5 {
+			break
+		}
+		b.WriteString("<li>")
+		for _, a := range s.ifc.Attributes {
+			if v := row[a.ID]; v != "" {
+				fmt.Fprintf(&b, "%s: %s; ", a.Label, v)
+			}
+		}
+		b.WriteString("</li>")
+	}
+	b.WriteString("</ul></body></html>")
+	return b.String()
+}
+
+var errorTemplates = []string{
+	"<html><body><p>Error: %s.</p></body></html>",
+	"<html><body><p>We are sorry: %s. Please try again.</p></body></html>",
+	"<html><body><p>No results found. %s.</p></body></html>",
+}
+
+func renderError(msg string) string {
+	return fmt.Sprintf(errorTemplates[int(hash32(msg))%len(errorTemplates)], msg)
+}
+
+// Interface returns the interface this source serves.
+func (s *Source) Interface() *schema.Interface { return s.ifc }
+
+// FormPage renders the source's query interface as the HTML form page a
+// crawler would fetch; htmlform.Extract recovers the interface from it.
+func (s *Source) FormPage() string { return htmlform.Render(s.ifc) }
+
+// AcceptsPartialQueries reports whether the source tolerates unfilled
+// attributes.
+func (s *Source) AcceptsPartialQueries() bool { return s.partialOK }
+
+func containsFold(list []string, v string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func parseNumber(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	s = strings.ReplaceAll(s, ",", "")
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+func hash32(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

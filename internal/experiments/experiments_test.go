@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The environment is expensive (corpus build + several acquisition
+// runs), so all experiment tests share one.
+var (
+	envOnce sync.Once
+	env     *Env
+	t1Rows  []Table1Row
+	f6Rows  []Fig6Row
+	f7Rows  []Fig7Row
+	f8Rows  []Fig8Row
+)
+
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	envOnce.Do(func() {
+		env = NewEnv()
+		t1Rows = env.Table1()
+		f6Rows = env.Figure6()
+		f7Rows = env.Figure7()
+		f8Rows = env.Figure8()
+	})
+	return env
+}
+
+func table1ByDomain(t *testing.T) map[string]Table1Row {
+	sharedEnv(t)
+	out := map[string]Table1Row{}
+	for _, r := range t1Rows {
+		out[r.Domain] = r
+	}
+	return out
+}
+
+// --- Table 1 shape assertions (success criteria from DESIGN.md) ---
+
+func TestTable1RowsComplete(t *testing.T) {
+	rows := table1ByDomain(t)
+	for _, d := range []string{"Airfare", "Auto", "Book", "Job", "RealEst"} {
+		r, ok := rows[d]
+		if !ok {
+			t.Fatalf("missing domain %s", d)
+		}
+		if r.AvgAttrs <= 0 || r.PctIntNoInst <= 0 {
+			t.Errorf("%s: degenerate stats %+v", d, r)
+		}
+	}
+}
+
+func TestTable1InstanceLessnessPervasive(t *testing.T) {
+	// The paper: 92% of interfaces contain attributes without instances,
+	// 28.1%–74.6% of their attributes lack instances.
+	for d, r := range table1ByDomain(t) {
+		if r.PctIntNoInst < 80 {
+			t.Errorf("%s: only %.0f%% interfaces with instance-less attrs", d, r.PctIntNoInst)
+		}
+		if r.PctAttrNoInst < 25 || r.PctAttrNoInst > 80 {
+			t.Errorf("%s: %.1f%% attrs without instances outside paper's band", d, r.PctAttrNoInst)
+		}
+	}
+}
+
+func TestTable1SurfaceShape(t *testing.T) {
+	rows := table1ByDomain(t)
+	// Airfare has the lowest Surface success (prepositional labels); book
+	// the highest (clean noun labels).
+	for d, r := range rows {
+		if d == "Airfare" {
+			continue
+		}
+		if rows["Airfare"].Surface >= r.Surface {
+			t.Errorf("Airfare Surface (%.1f) should be lowest; %s has %.1f",
+				rows["Airfare"].Surface, d, r.Surface)
+		}
+		if d != "Book" && r.Surface >= rows["Book"].Surface {
+			t.Errorf("Book Surface (%.1f) should be highest; %s has %.1f",
+				rows["Book"].Surface, d, r.Surface)
+		}
+	}
+}
+
+func TestTable1DeepValidationGains(t *testing.T) {
+	rows := table1ByDomain(t)
+	// Deep validation lifts the difficult domains (airfare most),
+	// and never lowers any domain.
+	for d, r := range rows {
+		if r.SurfaceDeep < r.Surface {
+			t.Errorf("%s: Surface+Deep (%.1f) below Surface (%.1f)", d, r.SurfaceDeep, r.Surface)
+		}
+	}
+	airGain := rows["Airfare"].SurfaceDeep - rows["Airfare"].Surface
+	if airGain < 10 {
+		t.Errorf("Airfare deep gain = %.1f, want the largest (>=10)", airGain)
+	}
+	for d, r := range rows {
+		if gain := r.SurfaceDeep - r.Surface; gain > airGain+1e-9 {
+			t.Errorf("%s deep gain %.1f exceeds airfare's %.1f", d, gain, airGain)
+		}
+	}
+	// Book and job see (nearly) no deep gain, per the paper.
+	for _, d := range []string{"Book", "Job"} {
+		if gain := rows[d].SurfaceDeep - rows[d].Surface; gain > 5 {
+			t.Errorf("%s deep gain = %.1f, want near zero", d, gain)
+		}
+	}
+}
+
+func TestTable1ExpInstShape(t *testing.T) {
+	rows := table1ByDomain(t)
+	// Airfare and auto: all attributes findable; job and realestate
+	// substantially below 100 (generic keywords, measurement units).
+	for _, d := range []string{"Airfare", "Auto"} {
+		if rows[d].ExpInst < 99.9 {
+			t.Errorf("%s ExpInst = %.1f, want 100", d, rows[d].ExpInst)
+		}
+	}
+	for _, d := range []string{"Job", "RealEst"} {
+		if rows[d].ExpInst > 90 {
+			t.Errorf("%s ExpInst = %.1f, want well below 100", d, rows[d].ExpInst)
+		}
+	}
+}
+
+// --- Figure 6 shape assertions ---
+
+func TestFigure6WebIQImproves(t *testing.T) {
+	sharedEnv(t)
+	var base, webiq, thresh float64
+	for _, r := range f6Rows {
+		if r.WithWebIQ < r.Baseline-1e-9 {
+			t.Errorf("%s: WebIQ (%.1f) below baseline (%.1f)", r.Domain, r.WithWebIQ, r.Baseline)
+		}
+		if r.WithThreshold < r.WithWebIQ-2.0 {
+			t.Errorf("%s: thresholding (%.1f) far below WebIQ (%.1f)", r.Domain, r.WithThreshold, r.WithWebIQ)
+		}
+		base += r.Baseline
+		webiq += r.WithWebIQ
+		thresh += r.WithThreshold
+	}
+	n := float64(len(f6Rows))
+	if webiq/n < base/n+3 {
+		t.Errorf("average WebIQ gain = %.1f points, want >= 3 (paper: +6.3)", webiq/n-base/n)
+	}
+	if base/n < 85 || base/n > 97 {
+		t.Errorf("average baseline F1 = %.1f, out of plausible band (paper: 89.5)", base/n)
+	}
+}
+
+func TestFigure6BaselineImperfectEverywhere(t *testing.T) {
+	sharedEnv(t)
+	for _, r := range f6Rows {
+		if r.Baseline >= 99.9 {
+			t.Errorf("%s baseline = %.1f: no headroom for WebIQ", r.Domain, r.Baseline)
+		}
+	}
+}
+
+// --- Figure 7 shape assertions ---
+
+func TestFigure7Monotonic(t *testing.T) {
+	sharedEnv(t)
+	for _, r := range f7Rows {
+		seq := []float64{r.Baseline, r.PlusSurface, r.PlusAttrDeep, r.PlusAll}
+		for i := 1; i < len(seq); i++ {
+			if seq[i] < seq[i-1]-1.5 {
+				t.Errorf("%s: component step %d drops accuracy (%.1f -> %.1f)",
+					r.Domain, i, seq[i-1], seq[i])
+			}
+		}
+		if r.PlusAll < r.Baseline {
+			t.Errorf("%s: full system below baseline", r.Domain)
+		}
+	}
+}
+
+func TestFigure7SurfaceContributes(t *testing.T) {
+	sharedEnv(t)
+	var gain float64
+	for _, r := range f7Rows {
+		gain += r.PlusSurface - r.Baseline
+	}
+	if gain/float64(len(f7Rows)) < 2 {
+		t.Errorf("average Surface contribution = %.1f points, want >= 2", gain/float64(len(f7Rows)))
+	}
+}
+
+func TestFigure7AttrDeepHelpsAirfare(t *testing.T) {
+	sharedEnv(t)
+	for _, r := range f7Rows {
+		if r.Domain != "Airfare" {
+			continue
+		}
+		if r.PlusAttrDeep < r.PlusSurface {
+			t.Errorf("Airfare: Attr-Deep reduced accuracy (%.1f -> %.1f)", r.PlusSurface, r.PlusAttrDeep)
+		}
+	}
+}
+
+// --- Figure 8 shape assertions ---
+
+func TestFigure8OverheadModest(t *testing.T) {
+	sharedEnv(t)
+	for _, r := range f8Rows {
+		if r.SurfaceQueries == 0 {
+			t.Errorf("%s: no surface queries recorded", r.Domain)
+		}
+		if r.SurfaceTime <= 0 {
+			t.Errorf("%s: no surface time recorded", r.Domain)
+		}
+		// The paper's totals are 5.7–11 minutes: same order as matching.
+		if r.Total() > 10*r.MatchTime+30*time.Minute {
+			t.Errorf("%s: overhead %.1fm disproportionate to matching %.1fm",
+				r.Domain, r.Total().Minutes(), r.MatchTime.Minutes())
+		}
+	}
+}
+
+func TestFigure8AttrDeepProbesWhereExpected(t *testing.T) {
+	sharedEnv(t)
+	probes := map[string]int{}
+	for _, r := range f8Rows {
+		probes[r.Domain] = r.AttrDeepProbes
+	}
+	if probes["Airfare"] == 0 {
+		t.Error("airfare should issue deep probes")
+	}
+}
+
+// --- Renderers ---
+
+func TestRenderers(t *testing.T) {
+	sharedEnv(t)
+	for name, s := range map[string]string{
+		"table1": RenderTable1(t1Rows),
+		"fig6":   RenderFigure6(f6Rows),
+		"fig7":   RenderFigure7(f7Rows),
+		"fig8":   RenderFigure8(f8Rows),
+	} {
+		if !strings.Contains(s, "Airfare") || len(strings.Split(s, "\n")) < 6 {
+			t.Errorf("%s render looks wrong:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(RenderTable1(t1Rows), "Average") {
+		t.Error("table1 missing average row")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if RenderTable1(nil) == "" || RenderFigure6(nil) == "" {
+		t.Error("renderers should emit headers even with no rows")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTauSweepShape(t *testing.T) {
+	env := sharedEnv(t)
+	points := env.TauSweep([]float64{0, 0.1, 0.5})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The enriched system dominates the baseline at every threshold.
+	for _, p := range points {
+		if p.WithIQ < p.Baseline-1e-9 {
+			t.Errorf("tau %.2f: WebIQ (%.1f) below baseline (%.1f)", p.Tau, p.WithIQ, p.Baseline)
+		}
+	}
+	// A very aggressive threshold destroys recall for both.
+	if points[2].Baseline >= points[0].Baseline {
+		t.Errorf("tau=0.5 baseline (%.1f) not below tau=0 (%.1f)",
+			points[2].Baseline, points[0].Baseline)
+	}
+}
+
+func TestTauSweepDefaults(t *testing.T) {
+	env := sharedEnv(t)
+	points := env.TauSweep(nil)
+	if len(points) < 5 {
+		t.Errorf("default grid too small: %d points", len(points))
+	}
+}
+
+func TestSeedSweepSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	st := SeedSweep(1)
+	if st.Seeds != 1 {
+		t.Errorf("seeds = %d", st.Seeds)
+	}
+	if st.WithIQMean <= st.BaselineMean {
+		t.Errorf("WebIQ mean (%.1f) not above baseline mean (%.1f)",
+			st.WithIQMean, st.BaselineMean)
+	}
+	if st.BaselineStd != 0 || st.WithIQStd != 0 {
+		t.Error("single-seed std must be zero")
+	}
+	if st.SuccessMean <= 0 {
+		t.Error("no acquisition success recorded")
+	}
+}
+
+func TestRenderSweeps(t *testing.T) {
+	env := sharedEnv(t)
+	s := RenderTauSweep(env.TauSweep([]float64{0, 0.1}))
+	if !strings.Contains(s, "tau") || len(strings.Split(s, "\n")) < 3 {
+		t.Errorf("tau sweep render:\n%s", s)
+	}
+	r := RenderSeedSweep(SeedStats{Seeds: 2, BaselineMean: 90, WithIQMean: 99})
+	if !strings.Contains(r, "2 seeds") || !strings.Contains(r, "99.0") {
+		t.Errorf("seed sweep render:\n%s", r)
+	}
+}

@@ -1,0 +1,35 @@
+package htmlform_test
+
+import (
+	"fmt"
+
+	"webiq/internal/htmlform"
+)
+
+func ExampleExtract() {
+	page := `<html><head><title>Acme Books</title></head><body>
+	<form action="/q">
+	  Title: <input type="text" name="t">
+	  Format:
+	  <select name="f">
+	    <option value="">-- Select --</option>
+	    <option>Hardcover</option>
+	    <option>Paperback</option>
+	  </select>
+	  <input type="submit">
+	</form></body></html>`
+
+	ifc, err := htmlform.Extract(page, "acme")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(ifc.Source)
+	for _, a := range ifc.Attributes {
+		fmt.Printf("%s %v\n", a.Label, a.Instances)
+	}
+	// Output:
+	// Acme Books
+	// Title []
+	// Format [Hardcover Paperback]
+}

@@ -1,0 +1,216 @@
+package htmlform
+
+import (
+	"fmt"
+	"strings"
+
+	"webiq/internal/schema"
+)
+
+// Render renders a query interface as an HTML page with a search form:
+// free-text attributes become labeled <input type="text"> fields,
+// predefined-value attributes become <select> boxes listing their
+// instances. Output is deterministic and round-trips through Extract.
+func Render(ifc *schema.Interface) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", escape(ifc.Source))
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", escape(ifc.Source))
+	fmt.Fprintf(&b, "<form action=\"/search\" method=\"get\">\n")
+	for i, a := range ifc.Attributes {
+		name := fmt.Sprintf("f%d", i)
+		fmt.Fprintf(&b, "  <label for=%q>%s:</label>\n", name, escape(a.Label))
+		if a.HasInstances() {
+			fmt.Fprintf(&b, "  <select name=%q id=%q>\n", name, name)
+			b.WriteString("    <option value=\"\">-- Select --</option>\n")
+			for _, v := range a.Instances {
+				fmt.Fprintf(&b, "    <option>%s</option>\n", escape(v))
+			}
+			b.WriteString("  </select><br>\n")
+		} else {
+			fmt.Fprintf(&b, "  <input type=\"text\" name=%q id=%q><br>\n", name, name)
+		}
+	}
+	b.WriteString("  <input type=\"submit\" value=\"Search\">\n")
+	b.WriteString("</form>\n</body></html>\n")
+	return b.String()
+}
+
+// placeholderOptions are select entries that are prompts, not instances.
+var placeholderOptions = map[string]bool{
+	"": true, "--": true, "---": true, "select": true, "-- select --": true,
+	"select one": true, "any": true, "all": true, "choose": true,
+	"please select": true, "choose one": true, "no preference": true,
+}
+
+func isPlaceholder(option string) bool {
+	return placeholderOptions[strings.ToLower(strings.TrimSpace(strings.Trim(option, "-– ")))] ||
+		placeholderOptions[strings.ToLower(strings.TrimSpace(option))]
+}
+
+// Extract parses an HTML page and recovers the query interface embedded
+// in its first form: one attribute per text input or select box, with
+// the associated label text. Association heuristics, in priority order:
+//
+//  1. a <label for="..."> matching the field's id;
+//  2. the nearest preceding <label> without a for attribute;
+//  3. the nearest preceding text node (common in table layouts).
+//
+// Fields with type submit/hidden/button/checkbox/radio are skipped, as
+// are selects whose only options are placeholders.
+func Extract(html, interfaceID string) (*schema.Interface, error) {
+	toks := tokenize(html)
+
+	// First pass: collect label-for associations and the page title.
+	labelFor := map[string]string{}
+	title := ""
+	{
+		var inLabel bool
+		var labelTarget string
+		var labelText strings.Builder
+		var inTitle bool
+		for _, t := range toks {
+			switch t.kind {
+			case startTag:
+				switch t.name {
+				case "label":
+					inLabel = true
+					labelTarget = t.attrs["for"]
+					labelText.Reset()
+				case "title":
+					inTitle = true
+				}
+			case endTag:
+				switch t.name {
+				case "label":
+					if inLabel && labelTarget != "" {
+						labelFor[labelTarget] = cleanLabel(labelText.String())
+					}
+					inLabel = false
+				case "title":
+					inTitle = false
+				}
+			case textNode:
+				if inLabel {
+					labelText.WriteString(t.text + " ")
+				}
+				if inTitle && title == "" {
+					title = t.text
+				}
+			}
+		}
+	}
+
+	// Second pass: walk the form and build attributes.
+	ifc := &schema.Interface{ID: interfaceID, Source: title}
+	inForm := false
+	sawForm := false
+	var pendingLabel string    // nearest preceding label/text
+	var selectName string      // inside a <select>
+	var selectOptions []string //
+	var inOption bool          //
+	var optionText strings.Builder
+	attrIdx := 0
+
+	addAttr := func(fieldID, label string, instances []string) {
+		if byID, ok := labelFor[fieldID]; ok && byID != "" {
+			label = byID
+		}
+		label = cleanLabel(label)
+		if label == "" {
+			label = fieldID
+		}
+		a := &schema.Attribute{
+			ID:          fmt.Sprintf("%s/a%d", interfaceID, attrIdx),
+			InterfaceID: interfaceID,
+			Label:       label,
+			Instances:   instances,
+		}
+		ifc.Attributes = append(ifc.Attributes, a)
+		attrIdx++
+		pendingLabel = ""
+	}
+
+	flushOption := func() {
+		if !inOption {
+			return
+		}
+		inOption = false
+		if o := strings.TrimSpace(optionText.String()); !isPlaceholder(o) {
+			selectOptions = append(selectOptions, o)
+		}
+	}
+
+	for _, t := range toks {
+		switch t.kind {
+		case startTag:
+			switch t.name {
+			case "form":
+				inForm = true
+				sawForm = true
+			case "input":
+				if !inForm {
+					continue
+				}
+				switch strings.ToLower(t.attrs["type"]) {
+				case "submit", "hidden", "button", "image", "reset", "checkbox", "radio":
+					continue
+				}
+				addAttr(t.attrs["id"], pendingLabel, nil)
+			case "select":
+				if !inForm {
+					continue
+				}
+				selectName = t.attrs["id"]
+				if selectName == "" {
+					selectName = t.attrs["name"]
+				}
+				selectOptions = nil
+			case "option":
+				flushOption()
+				inOption = true
+				optionText.Reset()
+			case "label":
+				pendingLabel = "" // captured via label passes below
+			}
+		case endTag:
+			switch t.name {
+			case "form":
+				inForm = false
+			case "option":
+				flushOption()
+			case "select":
+				flushOption()
+				if inForm {
+					addAttr(selectName, pendingLabel, selectOptions)
+				}
+				selectName, selectOptions = "", nil
+			}
+		case textNode:
+			if inOption {
+				optionText.WriteString(t.text)
+				continue
+			}
+			if inForm || !sawForm {
+				// Remember the nearest text as a label candidate
+				// (heuristic 3: table layouts put the label in the
+				// preceding cell).
+				if l := cleanLabel(t.text); l != "" {
+					pendingLabel = l
+				}
+			}
+		}
+	}
+
+	if !sawForm {
+		return nil, fmt.Errorf("htmlform: no form found in page")
+	}
+	return ifc, nil
+}
+
+// cleanLabel normalizes extracted label text: trim whitespace, trailing
+// colons and asterisks (required-field markers).
+func cleanLabel(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimRight(s, ":*† ")
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,244 @@
+package htmlform
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+	"webiq/internal/schema"
+)
+
+func TestRenderExtractRoundTrip(t *testing.T) {
+	ifc := &schema.Interface{
+		ID: "rt", Source: "round-trip-source",
+		Attributes: []*schema.Attribute{
+			{ID: "rt/a0", InterfaceID: "rt", Label: "Departure city"},
+			{ID: "rt/a1", InterfaceID: "rt", Label: "Class of service",
+				Instances: []string{"Economy", "Business", "First Class"}},
+			{ID: "rt/a2", InterfaceID: "rt", Label: "Airline",
+				Instances: []string{"Delta", "United"}},
+		},
+	}
+	html := Render(ifc)
+	got, err := Extract(html, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "round-trip-source" {
+		t.Errorf("source = %q", got.Source)
+	}
+	if len(got.Attributes) != 3 {
+		t.Fatalf("attributes = %d: %+v", len(got.Attributes), got.Attributes)
+	}
+	for i, want := range ifc.Attributes {
+		g := got.Attributes[i]
+		if g.Label != want.Label {
+			t.Errorf("attr %d label = %q, want %q", i, g.Label, want.Label)
+		}
+		if !reflect.DeepEqual(g.Instances, want.Instances) {
+			t.Errorf("attr %d instances = %v, want %v", i, g.Instances, want.Instances)
+		}
+	}
+}
+
+func TestRenderExtractAllGeneratedInterfaces(t *testing.T) {
+	// Property over the whole dataset: every generated interface
+	// round-trips with labels and instances intact.
+	for _, dom := range kb.Domains() {
+		ds := dataset.Generate(dom, dataset.DefaultConfig())
+		for _, ifc := range ds.Interfaces[:5] {
+			got, err := Extract(Render(ifc), ifc.ID)
+			if err != nil {
+				t.Fatalf("%s: %v", ifc.ID, err)
+			}
+			if len(got.Attributes) != len(ifc.Attributes) {
+				t.Fatalf("%s: got %d attrs, want %d", ifc.ID, len(got.Attributes), len(ifc.Attributes))
+			}
+			for i := range got.Attributes {
+				if got.Attributes[i].Label != ifc.Attributes[i].Label {
+					t.Errorf("%s attr %d: label %q != %q", ifc.ID, i,
+						got.Attributes[i].Label, ifc.Attributes[i].Label)
+				}
+				if !reflect.DeepEqual(got.Attributes[i].Instances, ifc.Attributes[i].Instances) {
+					t.Errorf("%s attr %d: instances differ", ifc.ID, i)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractHandWrittenForm(t *testing.T) {
+	// A table-layout form in the style of 2004 travel sites: labels in
+	// table cells, no <label> elements, placeholder options.
+	html := `
+<html><head><title>Acme Travel</title></head><body>
+<!-- navigation -->
+<form method="post" action="search.cgi">
+<table>
+<tr><td>From:</td><td><input type="text" name="orig"></td></tr>
+<tr><td>Going to</td><td><input type="text" name="dest"></td></tr>
+<tr><td>Cabin</td><td>
+  <select name="cabin">
+    <option value="">Please select</option>
+    <option>Economy</option>
+    <option>Business</option>
+  </select>
+</td></tr>
+<tr><td></td><td><input type="submit" value="Find Flights"></td></tr>
+</table>
+</form>
+</body></html>`
+	got, err := Extract(html, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "Acme Travel" {
+		t.Errorf("source = %q", got.Source)
+	}
+	if len(got.Attributes) != 3 {
+		t.Fatalf("attributes: %+v", got.Attributes)
+	}
+	wantLabels := []string{"From", "Going to", "Cabin"}
+	for i, w := range wantLabels {
+		if got.Attributes[i].Label != w {
+			t.Errorf("attr %d label = %q, want %q", i, got.Attributes[i].Label, w)
+		}
+	}
+	if !reflect.DeepEqual(got.Attributes[2].Instances, []string{"Economy", "Business"}) {
+		t.Errorf("cabin instances = %v", got.Attributes[2].Instances)
+	}
+}
+
+func TestExtractSkipsNonDataFields(t *testing.T) {
+	html := `<form>
+<input type="hidden" name="sid" value="123">
+Name: <input type="text" name="n">
+<input type="checkbox" name="promo"> Subscribe
+<input type="submit">
+</form>`
+	got, err := Extract(html, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Attributes) != 1 {
+		t.Fatalf("attributes = %+v", got.Attributes)
+	}
+	if got.Attributes[0].Label != "Name" {
+		t.Errorf("label = %q", got.Attributes[0].Label)
+	}
+}
+
+func TestExtractNoForm(t *testing.T) {
+	if _, err := Extract("<html><body>hello</body></html>", "x"); err == nil {
+		t.Error("want error when no form present")
+	}
+}
+
+func TestExtractMalformedHTML(t *testing.T) {
+	// Unclosed tags and stray brackets must not panic.
+	html := `<form><label>Broken <input type=text id=f1 name=f1><select name=s1><option>A<option>B</form`
+	got, err := Extract(html, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Attributes) == 0 {
+		t.Error("no attributes recovered from malformed form")
+	}
+}
+
+func TestExtractEntityDecoding(t *testing.T) {
+	html := `<form><label for="f0">Price &amp; fees:</label><input type="text" id="f0"></form>`
+	got, err := Extract(html, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attributes[0].Label != "Price & fees" {
+		t.Errorf("label = %q", got.Attributes[0].Label)
+	}
+}
+
+func TestRenderEscapes(t *testing.T) {
+	ifc := &schema.Interface{
+		ID: "esc", Source: `A<B & "C"`,
+		Attributes: []*schema.Attribute{
+			{ID: "esc/a0", InterfaceID: "esc", Label: "X<Y"},
+		},
+	}
+	html := Render(ifc)
+	if strings.Contains(html, "X<Y") {
+		t.Error("unescaped label in output")
+	}
+	got, err := Extract(html, "esc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attributes[0].Label != "X<Y" {
+		t.Errorf("label = %q, want X<Y back", got.Attributes[0].Label)
+	}
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := tokenize(`<p class="x">Hello <b>world</b></p>`)
+	if len(toks) != 6 {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if toks[0].kind != startTag || toks[0].name != "p" || toks[0].attrs["class"] != "x" {
+		t.Errorf("token 0 = %+v", toks[0])
+	}
+	if toks[1].kind != textNode || toks[1].text != "Hello" {
+		t.Errorf("token 1 = %+v", toks[1])
+	}
+	if toks[5].kind != endTag || toks[5].name != "p" {
+		t.Errorf("token 5 = %+v", toks[5])
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks := tokenize(`a<!-- <input type=text> -->b`)
+	if len(toks) != 2 || toks[0].text != "a" || toks[1].text != "b" {
+		t.Errorf("tokens = %+v", toks)
+	}
+}
+
+func TestTokenizeSelfClosing(t *testing.T) {
+	toks := tokenize(`<br/><input type="text"/>`)
+	if len(toks) != 2 || !toks[0].self || toks[1].attrs["type"] != "text" {
+		t.Errorf("tokens = %+v", toks)
+	}
+}
+
+func TestTokenizeBareAttributes(t *testing.T) {
+	toks := tokenize(`<option selected>X</option>`)
+	if _, ok := toks[0].attrs["selected"]; !ok {
+		t.Errorf("bare attribute lost: %+v", toks[0])
+	}
+}
+
+func TestIsPlaceholder(t *testing.T) {
+	for _, s := range []string{"", "-- Select --", "Any", "Please select", "ALL"} {
+		if !isPlaceholder(s) {
+			t.Errorf("isPlaceholder(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"Economy", "Honda", "New York"} {
+		if isPlaceholder(s) {
+			t.Errorf("isPlaceholder(%q) = true", s)
+		}
+	}
+}
+
+func TestCleanLabel(t *testing.T) {
+	cases := map[string]string{
+		"  From city: ": "From city",
+		"Price *":       "Price",
+		"Multi\n  word": "Multi word",
+		":":             "",
+	}
+	for in, want := range cases {
+		if got := cleanLabel(in); got != want {
+			t.Errorf("cleanLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

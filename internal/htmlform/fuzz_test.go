@@ -1,0 +1,50 @@
+package htmlform
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzExtract(f *testing.F) {
+	f.Add(`<form><label for="a">X:</label><input type="text" id="a"></form>`)
+	f.Add(`<form><select name="s"><option>A</option></select></form>`)
+	f.Add(`<form><input`)
+	f.Add(`no html at all`)
+	f.Add(`<!-- <form> --><form>text<input type=text id=q></form>`)
+	f.Add(`<form>` + strings.Repeat(`<option>`, 50))
+	f.Fuzz(func(t *testing.T, html string) {
+		ifc, err := Extract(html, "fuzz")
+		if err != nil {
+			return
+		}
+		// Extracted interfaces must be internally consistent.
+		seen := map[string]bool{}
+		for _, a := range ifc.Attributes {
+			if a.ID == "" || seen[a.ID] {
+				t.Fatalf("bad or duplicate attribute ID in %q", html)
+			}
+			seen[a.ID] = true
+			if a.InterfaceID != "fuzz" {
+				t.Fatalf("attribute with wrong interface ID in %q", html)
+			}
+		}
+	})
+}
+
+func FuzzTokenizeHTML(f *testing.F) {
+	f.Add(`<p class="x">hi</p>`)
+	f.Add(`<<<>>>`)
+	f.Add(`<a href='y`)
+	f.Add(`&amp;&lt;&bogus;`)
+	f.Fuzz(func(t *testing.T, html string) {
+		toks := tokenize(html)
+		for _, tok := range toks {
+			if tok.kind == startTag && tok.name == "" {
+				t.Fatalf("empty tag name from %q", html)
+			}
+			if tok.kind == textNode && tok.text == "" {
+				t.Fatalf("empty text node from %q", html)
+			}
+		}
+	})
+}

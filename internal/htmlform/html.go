@@ -1,0 +1,182 @@
+// Package htmlform renders query interfaces as HTML forms and extracts
+// query interfaces back out of form HTML. The paper assumes interfaces
+// have already been extracted from source pages; this package supplies
+// that pipeline step so the system can be driven from raw HTML, and
+// gives the Deep-Web simulator a concrete page format.
+//
+// The parser is a small, forgiving HTML tokenizer (standard library
+// only): it understands tags, attributes, text, comments, and enough
+// structure to associate labels with form fields.
+package htmlform
+
+import (
+	"strings"
+	"unicode"
+)
+
+// tokenKind distinguishes tokenizer output.
+type tokenKind int
+
+const (
+	startTag tokenKind = iota
+	endTag
+	textNode
+)
+
+// token is one HTML token.
+type token struct {
+	kind  tokenKind
+	name  string            // tag name, lower-cased (startTag/endTag)
+	attrs map[string]string // attribute map (startTag)
+	text  string            // text content (textNode)
+	self  bool              // self-closing tag
+}
+
+// tokenize scans HTML into tokens. It never fails: malformed input
+// degrades to text.
+func tokenize(html string) []token {
+	var out []token
+	i := 0
+	n := len(html)
+	flushText := func(from, to int) {
+		t := strings.TrimSpace(html[from:to])
+		if t != "" {
+			out = append(out, token{kind: textNode, text: decodeEntities(t)})
+		}
+	}
+	textStart := 0
+	for i < n {
+		if html[i] != '<' {
+			i++
+			continue
+		}
+		// Comment?
+		if strings.HasPrefix(html[i:], "<!--") {
+			flushText(textStart, i)
+			end := strings.Index(html[i+4:], "-->")
+			if end < 0 {
+				return out
+			}
+			i += 4 + end + 3
+			textStart = i
+			continue
+		}
+		// Declaration (<!DOCTYPE ...>)?
+		if strings.HasPrefix(html[i:], "<!") {
+			flushText(textStart, i)
+			end := strings.IndexByte(html[i:], '>')
+			if end < 0 {
+				return out
+			}
+			i += end + 1
+			textStart = i
+			continue
+		}
+		close := strings.IndexByte(html[i:], '>')
+		if close < 0 {
+			break // unterminated tag: treat the rest as text
+		}
+		flushText(textStart, i)
+		raw := html[i+1 : i+close]
+		i += close + 1
+		textStart = i
+
+		tok, ok := parseTag(raw)
+		if ok {
+			out = append(out, tok)
+		}
+	}
+	flushText(textStart, n)
+	return out
+}
+
+// parseTag parses the inside of <...>.
+func parseTag(raw string) (token, bool) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return token{}, false
+	}
+	isEnd := false
+	if raw[0] == '/' {
+		isEnd = true
+		raw = strings.TrimSpace(raw[1:])
+	}
+	self := false
+	if strings.HasSuffix(raw, "/") {
+		self = true
+		raw = strings.TrimSpace(raw[:len(raw)-1])
+	}
+	// Tag name.
+	j := 0
+	for j < len(raw) && !unicode.IsSpace(rune(raw[j])) {
+		j++
+	}
+	name := strings.ToLower(raw[:j])
+	if name == "" {
+		return token{}, false
+	}
+	if isEnd {
+		return token{kind: endTag, name: name}, true
+	}
+	tok := token{kind: startTag, name: name, attrs: map[string]string{}, self: self}
+	rest := raw[j:]
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		// Attribute name.
+		k := 0
+		for k < len(rest) && rest[k] != '=' && !unicode.IsSpace(rune(rest[k])) {
+			k++
+		}
+		aname := strings.ToLower(rest[:k])
+		rest = strings.TrimSpace(rest[k:])
+		if aname == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, "=") {
+			tok.attrs[aname] = "" // bare attribute (e.g. "selected")
+			continue
+		}
+		rest = strings.TrimSpace(rest[1:])
+		var aval string
+		if len(rest) > 0 && (rest[0] == '"' || rest[0] == '\'') {
+			q := rest[0]
+			end := strings.IndexByte(rest[1:], q)
+			if end < 0 {
+				aval, rest = rest[1:], ""
+			} else {
+				aval, rest = rest[1:1+end], rest[1+end+1:]
+			}
+		} else {
+			k = 0
+			for k < len(rest) && !unicode.IsSpace(rune(rest[k])) {
+				k++
+			}
+			aval, rest = rest[:k], rest[k:]
+		}
+		tok.attrs[aname] = decodeEntities(aval)
+	}
+	return tok, true
+}
+
+// decodeEntities handles the handful of entities our pages use.
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`,
+	"&#39;", "'", "&nbsp;", " ",
+)
+
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}
+
+// escape escapes text for safe embedding in HTML.
+var escapeReplacer = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;",
+)
+
+func escape(s string) string { return escapeReplacer.Replace(s) }

@@ -1,0 +1,513 @@
+package kb
+
+// This file defines the five evaluation domains. Presence values are
+// calibrated so the expected attribute count per interface matches
+// Table 1 (airfare 10.7, auto 5.1, book 5.4, job 4.6, realestate 6.5);
+// PredefProb values are calibrated toward the paper's instance-less
+// attribute rates; label-variant mixes reproduce the per-domain syntax
+// difficulties Section 6 reports (prepositional/verb labels in airfare,
+// the ambiguous "zip" in auto, measurement units in real estate, clean
+// noun labels in book and job).
+
+func lv(text string, w float64) LabelVariant { return LabelVariant{Text: text, Weight: w} }
+
+// ISBNs is a small instance vocabulary of ISBN-10 strings.
+var ISBNs = []string{
+	"0394800013", "0451524934", "0061120081", "0743273567", "0140283293",
+	"0316769487", "0060935464", "0452284244", "0399501487", "0679783261",
+	"0142437204", "0486284735", "0553213369", "0141439513", "0486415864",
+	"0812550706", "0345339681", "0618260307", "0064471047", "0590353403",
+}
+
+// ZipCodes is a small instance vocabulary of 5-digit US postal codes.
+var ZipCodes = []string{
+	"02134", "60601", "10001", "90210", "94103", "98101", "80202",
+	"30303", "33131", "75201", "77002", "85001", "19103", "48226",
+	"55401", "97201", "92101", "78701", "32801", "89101",
+}
+
+func airfareDomain() *Domain {
+	d := &Domain{
+		Key:           "airfare",
+		DisplayName:   "Airfare",
+		EntityName:    "flight",
+		DomainKeyword: "airfare",
+	}
+	d.Concepts = []*Concept{
+		{
+			Name: "origin city", Type: String,
+			Labels: []LabelVariant{
+				lv("From", 5), lv("Leaving from", 3), lv("Depart from", 3),
+				lv("From city", 2), lv("Departure city", 2), lv("Origin", 1),
+			},
+			Groups:   [][]string{CitiesNA, CitiesEU},
+			Presence: 1.0, PredefProb: 0.3, Findable: true, WebPresence: 0.95,
+		},
+		{
+			Name: "destination city", Type: String,
+			Labels: []LabelVariant{
+				lv("To", 5), lv("Going to", 3), lv("Arrival city", 2),
+				lv("Destination city", 2), lv("Destination", 2), lv("To city", 1),
+			},
+			Groups:   [][]string{CitiesNA, CitiesEU},
+			Presence: 1.0, PredefProb: 0.3, Findable: true, WebPresence: 0.95,
+		},
+		{
+			Name: "departure date", Type: Date,
+			Labels: []LabelVariant{
+				lv("Departing on", 3), lv("Depart", 2), lv("Departure date", 2),
+				lv("Departure on", 1), lv("Departure", 1),
+			},
+			Groups:   [][]string{Months, MonthAbbrevs},
+			Presence: 1.0, PredefProb: 0.55, Findable: true, WebPresence: 0.8,
+		},
+		{
+			Name: "return date", Type: Date,
+			Labels: []LabelVariant{
+				lv("Returning on", 3), lv("Return", 3), lv("Return date", 2),
+				lv("Return on", 1),
+			},
+			Groups:   [][]string{Months, MonthAbbrevs},
+			Presence: 1.0, PredefProb: 0.55, Findable: true, WebPresence: 0.8,
+		},
+		{
+			Name: "passengers", Type: Integer,
+			Labels: []LabelVariant{
+				lv("Passengers", 2), lv("Number of passengers", 2),
+				lv("Adults", 2), lv("Travelers", 1),
+			},
+			Numeric:  &NumericSpec{Min: 1, Max: 6, Step: 1},
+			Presence: 1.0, PredefProb: 0.8, Findable: true, WebPresence: 0.5,
+		},
+		{
+			Name: "children", Type: Integer,
+			Labels: []LabelVariant{
+				lv("Children", 2), lv("Number of children", 1),
+			},
+			Numeric:  &NumericSpec{Min: 0, Max: 4, Step: 1},
+			Presence: 1.0, PredefProb: 0.8, Findable: true, WebPresence: 0.4,
+		},
+		{
+			Name: "cabin class", Type: String,
+			Labels: []LabelVariant{
+				lv("Class of service", 2), lv("Class", 2), lv("Cabin", 1),
+				lv("Service class", 1), lv("Cabin class", 1),
+			},
+			Groups:   [][]string{CabinClasses},
+			Presence: 1.0, PredefProb: 0.85, Findable: true, WebPresence: 0.9,
+		},
+		{
+			Name: "airline", Type: String,
+			Labels: []LabelVariant{
+				lv("Airline", 3), lv("Carrier", 2), lv("Preferred airline", 1),
+				lv("Airline preference", 1),
+			},
+			// NA-flavored sources say "Airline", EU-flavored ones say
+			// "Carrier" — the paper's A5/B3 example.
+			GroupLabels: [][]LabelVariant{
+				{lv("Airline", 4), lv("Preferred airline", 1), lv("Airline preference", 1)},
+				{lv("Carrier", 5)},
+			},
+			Groups:   [][]string{AirlinesNA, AirlinesEU},
+			Presence: 1.0, PredefProb: 0.45, Findable: true, WebPresence: 1.0,
+		},
+		{
+			Name: "trip type", Type: String,
+			Labels: []LabelVariant{
+				lv("Trip type", 2), lv("Type of trip", 1),
+				lv("Round trip or one way", 1),
+			},
+			Groups:   [][]string{TripTypes},
+			Presence: 1.0, PredefProb: 0.9, Findable: true, WebPresence: 0.6,
+		},
+		{
+			Name: "departure time", Type: String,
+			Labels: []LabelVariant{
+				lv("Departure time", 2), lv("Time", 1), lv("Preferred time", 1),
+			},
+			Groups:   [][]string{DepartureTimes},
+			Presence: 0.9, PredefProb: 0.8, Findable: true, WebPresence: 0.5,
+		},
+		{
+			Name: "airport", Type: String,
+			Labels: []LabelVariant{
+				lv("Airport", 1), lv("From airport", 1), lv("Nearby airport", 1),
+			},
+			Groups:   [][]string{AirportCodes},
+			Presence: 0.5, PredefProb: 0.3, Findable: true, WebPresence: 0.7,
+		},
+		{
+			Name: "infants", Type: Integer,
+			Labels: []LabelVariant{
+				lv("Infants", 1), lv("Number of infants", 1),
+			},
+			Numeric:  &NumericSpec{Min: 0, Max: 2, Step: 1},
+			Presence: 0.3, PredefProb: 0.8, Findable: true, WebPresence: 0.3,
+		},
+	}
+	finishDomain(d)
+	return d
+}
+
+func autoDomain() *Domain {
+	d := &Domain{
+		Key:           "auto",
+		DisplayName:   "Auto",
+		EntityName:    "car",
+		DomainKeyword: "used cars",
+	}
+	d.Concepts = []*Concept{
+		{
+			Name: "make", Type: String,
+			Labels: []LabelVariant{
+				lv("Make", 3), lv("Makes", 1), lv("Manufacturer", 1),
+				lv("Brand", 1),
+			},
+			GroupLabels: [][]LabelVariant{
+				{lv("Make", 4), lv("Makes", 1)},
+				{lv("Manufacturer", 3), lv("Brand", 2)},
+			},
+			Groups:   [][]string{CarMakesDomestic, CarMakesImport},
+			Presence: 1.0, PredefProb: 0.6, Findable: true, WebPresence: 1.0,
+		},
+		{
+			Name: "model", Type: String,
+			Labels:   []LabelVariant{lv("Model", 3)},
+			Groups:   [][]string{CarModels},
+			Presence: 0.9, PredefProb: 0.25, Findable: true, WebPresence: 0.9,
+		},
+		{
+			Name: "price", Type: Monetary,
+			Labels: []LabelVariant{
+				lv("Price", 2), lv("Max price", 2), lv("Price range", 2),
+				lv("Up to", 2), lv("Maximum price", 1),
+			},
+			Numeric:  &NumericSpec{Min: 2000, Max: 60000, Step: 500, Monetary: true},
+			Presence: 0.8, PredefProb: 0.5, Findable: true, WebPresence: 0.8,
+		},
+		{
+			Name: "year", Type: Integer,
+			Labels: []LabelVariant{
+				lv("Year", 2), lv("Newer than", 2), lv("Min year", 1),
+				lv("Model year", 1),
+			},
+			Numeric:  &NumericSpec{Min: 1985, Max: 2006, Step: 1},
+			Presence: 0.7, PredefProb: 0.6, Findable: true, WebPresence: 0.7,
+		},
+		{
+			Name: "mileage", Type: Integer,
+			Labels: []LabelVariant{
+				lv("Mileage", 2), lv("Max mileage", 1), lv("Miles", 1),
+			},
+			Numeric:  &NumericSpec{Min: 10000, Max: 150000, Step: 5000, Commas: true},
+			Presence: 0.5, PredefProb: 0.4, Findable: true, WebPresence: 0.08,
+		},
+		{
+			Name: "zip", Type: String,
+			Labels: []LabelVariant{
+				lv("Zip", 2), lv("Zip code", 2), lv("Near zip", 1),
+			},
+			Groups:   [][]string{ZipCodes},
+			Presence: 0.8, PredefProb: 0.0, Findable: true, WebPresence: 0.02,
+		},
+		{
+			Name: "color", Type: String,
+			Labels:   []LabelVariant{lv("Color", 2), lv("Exterior color", 1)},
+			Groups:   [][]string{CarColors},
+			Presence: 0.2, PredefProb: 0.8, Findable: true, WebPresence: 0.8,
+		},
+		{
+			Name: "body style", Type: String,
+			Labels: []LabelVariant{
+				lv("Body style", 2), lv("Style", 1), lv("Body type", 1),
+			},
+			Groups:   [][]string{BodyStyles},
+			Presence: 0.3, PredefProb: 0.8, Findable: true, WebPresence: 0.7,
+		},
+		{
+			Name: "condition", Type: String,
+			Labels:   []LabelVariant{lv("Condition", 1), lv("New or used", 1)},
+			Groups:   [][]string{CarConditions},
+			Presence: 0.2, PredefProb: 0.9, Findable: true, WebPresence: 0.5,
+		},
+	}
+	finishDomain(d)
+	return d
+}
+
+func bookDomain() *Domain {
+	d := &Domain{
+		Key:           "book",
+		DisplayName:   "Book",
+		EntityName:    "book",
+		DomainKeyword: "book",
+	}
+	d.Concepts = []*Concept{
+		{
+			Name: "title", Type: String,
+			Labels:   []LabelVariant{lv("Title", 3), lv("Book title", 1)},
+			Groups:   [][]string{BookTitles},
+			Presence: 1.0, PredefProb: 0.1, Findable: true, WebPresence: 0.95,
+		},
+		{
+			Name: "author", Type: String,
+			Labels: []LabelVariant{
+				lv("Author", 3), lv("Writer", 2), lv("Author name", 1),
+			},
+			Groups:   [][]string{BookAuthors},
+			Presence: 1.0, PredefProb: 0.25, Findable: true, WebPresence: 1.0,
+		},
+		{
+			Name: "keyword", Type: String,
+			Labels: []LabelVariant{
+				lv("Keywords", 2), lv("Keyword", 1),
+			},
+			Groups:   [][]string{NoiseWords},
+			Presence: 0.15, PredefProb: 0.0, Findable: false, WebPresence: 0.05,
+		},
+		{
+			Name: "publisher", Type: String,
+			Labels:   []LabelVariant{lv("Publisher", 3)},
+			Groups:   [][]string{BookPublishers},
+			Presence: 0.8, PredefProb: 0.6, Findable: true, WebPresence: 1.0,
+		},
+		{
+			Name: "isbn", Type: String,
+			Labels:   []LabelVariant{lv("ISBN", 3)},
+			Groups:   [][]string{ISBNs},
+			Presence: 0.6, PredefProb: 0.0, Findable: true, WebPresence: 0.55,
+		},
+		{
+			Name: "category", Type: String,
+			Labels: []LabelVariant{
+				lv("Category", 2), lv("Subject", 2), lv("Genre", 1),
+			},
+			GroupLabels: [][]LabelVariant{
+				{lv("Category", 3), lv("Genre", 2)},
+				{lv("Subject", 5)},
+			},
+			Groups:   [][]string{BookCategoriesFiction, BookCategoriesNonfiction},
+			Presence: 0.8, PredefProb: 0.75, Findable: true, WebPresence: 0.9,
+		},
+		{
+			Name: "format", Type: String,
+			Labels:   []LabelVariant{lv("Format", 2), lv("Binding", 1)},
+			Groups:   [][]string{BookFormats},
+			Presence: 0.5, PredefProb: 0.9, Findable: true, WebPresence: 0.8,
+		},
+		{
+			Name: "price", Type: Monetary,
+			Labels:   []LabelVariant{lv("Price", 1), lv("Price range", 1)},
+			Numeric:  &NumericSpec{Min: 5, Max: 150, Step: 5, Monetary: true},
+			Presence: 0.4, PredefProb: 0.6, Findable: true, WebPresence: 0.6,
+		},
+		{
+			Name: "language", Type: String,
+			Labels:   []LabelVariant{lv("Language", 1)},
+			Groups:   [][]string{BookLanguages},
+			Presence: 0.3, PredefProb: 0.85, Findable: true, WebPresence: 0.8,
+		},
+	}
+	finishDomain(d)
+	return d
+}
+
+func jobDomain() *Domain {
+	d := &Domain{
+		Key:           "job",
+		DisplayName:   "Job",
+		EntityName:    "job",
+		DomainKeyword: "jobs",
+	}
+	d.Concepts = []*Concept{
+		{
+			Name: "keyword", Type: String,
+			Labels: []LabelVariant{
+				lv("Keywords", 2), lv("Keyword", 1), lv("Search keywords", 1),
+			},
+			Groups:   [][]string{NoiseWords},
+			Presence: 0.9, PredefProb: 0.0, Findable: false, WebPresence: 0.05,
+		},
+		{
+			Name: "category", Type: String,
+			Labels: []LabelVariant{
+				lv("Job category", 2), lv("Category", 1), lv("Occupation", 1),
+				lv("Type of job", 1), lv("Job type", 1),
+			},
+			GroupLabels: [][]LabelVariant{
+				{lv("Job category", 2), lv("Category", 1), lv("Job type", 1)},
+				{lv("Occupation", 3), lv("Type of job", 1)},
+			},
+			Groups:   [][]string{JobCategoriesOffice, JobCategoriesField},
+			Presence: 0.8, PredefProb: 0.45, Findable: true, WebPresence: 0.95,
+		},
+		{
+			Name: "city", Type: String,
+			Labels:   []LabelVariant{lv("City", 3), lv("Location", 2)},
+			Groups:   [][]string{CitiesNA},
+			Presence: 0.9, PredefProb: 0.0, Findable: true, WebPresence: 0.9,
+		},
+		{
+			Name: "state", Type: String,
+			Labels:   []LabelVariant{lv("State", 3)},
+			Groups:   [][]string{USStates},
+			Presence: 0.7, PredefProb: 0.75, Findable: true, WebPresence: 0.9,
+		},
+		{
+			Name: "company", Type: String,
+			Labels: []LabelVariant{
+				lv("Company", 2), lv("Company name", 2), lv("Employer", 1),
+			},
+			Groups:   [][]string{Companies},
+			Presence: 0.6, PredefProb: 0.05, Findable: true, WebPresence: 0.95,
+		},
+		{
+			Name: "salary", Type: Monetary,
+			Labels: []LabelVariant{
+				lv("Salary", 2), lv("Annual salary", 1), lv("Minimum salary", 1),
+			},
+			Numeric:  &NumericSpec{Min: 20000, Max: 150000, Step: 5000, Monetary: true},
+			Presence: 0.4, PredefProb: 0.25, Findable: true, WebPresence: 0.6,
+		},
+		{
+			Name: "employment type", Type: String,
+			Labels: []LabelVariant{
+				lv("Employment type", 1), lv("Full time or part time", 1),
+			},
+			Groups:   [][]string{EmploymentTypes},
+			Presence: 0.3, PredefProb: 0.8, Findable: true, WebPresence: 0.6,
+		},
+	}
+	finishDomain(d)
+	return d
+}
+
+func realestateDomain() *Domain {
+	d := &Domain{
+		Key:           "realestate",
+		DisplayName:   "RealEst",
+		EntityName:    "home",
+		DomainKeyword: "real estate",
+	}
+	d.Concepts = []*Concept{
+		{
+			Name: "city", Type: String,
+			Labels: []LabelVariant{
+				lv("City", 2), lv("Location", 2), lv("Located in", 2),
+				lv("City or zip", 1),
+			},
+			Groups:   [][]string{CitiesNA},
+			Presence: 1.0, PredefProb: 0.15, Findable: true, WebPresence: 0.9,
+		},
+		{
+			Name: "state", Type: String,
+			Labels:   []LabelVariant{lv("State", 2)},
+			Groups:   [][]string{USStates},
+			Presence: 0.8, PredefProb: 0.75, Findable: true, WebPresence: 0.9,
+		},
+		{
+			Name: "min price", Type: Monetary,
+			Labels: []LabelVariant{
+				lv("Min price", 2), lv("Minimum price", 1), lv("Price from", 1),
+			},
+			Numeric:  &NumericSpec{Min: 50000, Max: 500000, Step: 25000, Monetary: true},
+			Presence: 0.8, PredefProb: 0.6, Findable: true, WebPresence: 0.7,
+		},
+		{
+			Name: "max price", Type: Monetary,
+			Labels: []LabelVariant{
+				lv("Max price", 2), lv("Maximum price", 1), lv("Price to", 1),
+			},
+			Numeric:  &NumericSpec{Min: 100000, Max: 900000, Step: 25000, Monetary: true},
+			Presence: 0.8, PredefProb: 0.6, Findable: true, WebPresence: 0.7,
+		},
+		{
+			Name: "bedrooms", Type: Integer,
+			Labels: []LabelVariant{
+				lv("Bedrooms", 3), lv("Beds", 1), lv("Number of bedrooms", 1),
+			},
+			Numeric:  &NumericSpec{Min: 1, Max: 6, Step: 1},
+			Presence: 0.9, PredefProb: 0.8, Findable: true, WebPresence: 0.7,
+		},
+		{
+			Name: "bathrooms", Type: Integer,
+			Labels:   []LabelVariant{lv("Bathrooms", 2), lv("Baths", 1)},
+			Numeric:  &NumericSpec{Min: 1, Max: 4, Step: 1},
+			Presence: 0.7, PredefProb: 0.8, Findable: true, WebPresence: 0.7,
+		},
+		{
+			Name: "property type", Type: String,
+			Labels: []LabelVariant{
+				lv("Property type", 2), lv("Home type", 1), lv("Type of home", 1),
+			},
+			GroupLabels: [][]LabelVariant{
+				{lv("Property type", 3), lv("Home type", 1)},
+				{lv("Home style", 3)},
+			},
+			Groups:   [][]string{PropertyTypesResidential, PropertyTypesOther},
+			Presence: 0.7, PredefProb: 0.8, Findable: true, WebPresence: 0.85,
+		},
+		{
+			Name: "square feet", Type: Integer,
+			Labels: []LabelVariant{
+				lv("Square feet", 2), lv("Min square feet", 1),
+			},
+			Numeric:  &NumericSpec{Min: 500, Max: 5000, Step: 100, Commas: true},
+			Presence: 0.4, PredefProb: 0.3, Findable: false, WebPresence: 0.08,
+		},
+		{
+			Name: "acreage", Type: Real,
+			Labels:   []LabelVariant{lv("Acreage", 1), lv("Lot size", 1)},
+			Numeric:  &NumericSpec{Min: 1, Max: 100, Step: 1, Decimals: 1},
+			Presence: 0.2, PredefProb: 0.2, Findable: false, WebPresence: 0.08,
+		},
+		{
+			Name: "zip", Type: String,
+			Labels:   []LabelVariant{lv("Zip code", 1), lv("Zip", 1)},
+			Groups:   [][]string{ZipCodes},
+			Presence: 0.2, PredefProb: 0.0, Findable: false, WebPresence: 0.05,
+		},
+	}
+	finishDomain(d)
+	return d
+}
+
+// finishDomain fills in the derived Concept fields (ID and Domain).
+func finishDomain(d *Domain) {
+	for _, c := range d.Concepts {
+		c.Domain = d.Key
+		c.ID = d.Key + "." + conceptKey(c.Name)
+	}
+}
+
+func conceptKey(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		b := name[i]
+		if b == ' ' {
+			out = append(out, '_')
+		} else {
+			out = append(out, b)
+		}
+	}
+	return string(out)
+}
+
+// Domains returns the five evaluation domains, freshly constructed (so
+// callers may not mutate shared state across uses).
+func Domains() []*Domain {
+	return []*Domain{
+		airfareDomain(), autoDomain(), bookDomain(), jobDomain(),
+		realestateDomain(),
+	}
+}
+
+// DomainByKey returns the named domain, or nil.
+func DomainByKey(key string) *Domain {
+	for _, d := range Domains() {
+		if d.Key == key {
+			return d
+		}
+	}
+	return nil
+}

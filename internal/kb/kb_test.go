@@ -1,0 +1,288 @@
+package kb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainsComplete(t *testing.T) {
+	ds := Domains()
+	if len(ds) != 5 {
+		t.Fatalf("got %d domains, want 5", len(ds))
+	}
+	keys := map[string]bool{}
+	for _, d := range ds {
+		if keys[d.Key] {
+			t.Errorf("duplicate domain key %q", d.Key)
+		}
+		keys[d.Key] = true
+		if d.EntityName == "" || d.DomainKeyword == "" || d.DisplayName == "" {
+			t.Errorf("domain %q missing metadata: %+v", d.Key, d)
+		}
+		if len(d.Concepts) == 0 {
+			t.Errorf("domain %q has no concepts", d.Key)
+		}
+	}
+	for _, want := range []string{"airfare", "auto", "book", "job", "realestate"} {
+		if !keys[want] {
+			t.Errorf("missing domain %q", want)
+		}
+	}
+}
+
+func TestConceptInvariants(t *testing.T) {
+	for _, d := range Domains() {
+		seen := map[string]bool{}
+		for _, c := range d.Concepts {
+			if c.ID == "" || !strings.HasPrefix(c.ID, d.Key+".") {
+				t.Errorf("concept %q has bad ID %q", c.Name, c.ID)
+			}
+			if seen[c.ID] {
+				t.Errorf("duplicate concept ID %q", c.ID)
+			}
+			seen[c.ID] = true
+			if c.Domain != d.Key {
+				t.Errorf("concept %q domain = %q, want %q", c.ID, c.Domain, d.Key)
+			}
+			if len(c.Labels) == 0 {
+				t.Errorf("concept %q has no labels", c.ID)
+			}
+			for _, l := range c.Labels {
+				if l.Text == "" || l.Weight <= 0 {
+					t.Errorf("concept %q has bad label variant %+v", c.ID, l)
+				}
+			}
+			if c.Presence <= 0 || c.Presence > 1 {
+				t.Errorf("concept %q presence %v out of range", c.ID, c.Presence)
+			}
+			if c.PredefProb < 0 || c.PredefProb > 1 {
+				t.Errorf("concept %q predef prob %v out of range", c.ID, c.PredefProb)
+			}
+			if c.WebPresence < 0 || c.WebPresence > 1 {
+				t.Errorf("concept %q web presence %v out of range", c.ID, c.WebPresence)
+			}
+			if (c.Numeric == nil) == (len(c.Groups) == 0) {
+				t.Errorf("concept %q must have exactly one of Groups or Numeric", c.ID)
+			}
+			if got := c.AllInstances(); len(got) == 0 {
+				t.Errorf("concept %q has no instances", c.ID)
+			}
+		}
+	}
+}
+
+func TestExpectedAttrCounts(t *testing.T) {
+	// Expected attributes per interface (sum of presences) should track
+	// Table 1's #Attr column within a modest tolerance.
+	want := map[string]float64{
+		"airfare": 10.7, "auto": 5.1, "book": 5.4, "job": 4.6, "realestate": 6.5,
+	}
+	for _, d := range Domains() {
+		var sum float64
+		for _, c := range d.Concepts {
+			sum += c.Presence
+		}
+		w := want[d.Key]
+		if sum < w-0.8 || sum > w+0.8 {
+			t.Errorf("domain %q expected attrs = %.2f, want about %.1f", d.Key, sum, w)
+		}
+	}
+}
+
+func TestAirlineRegionalGroups(t *testing.T) {
+	d := DomainByKey("airfare")
+	c := d.ConceptByName("airline")
+	if c == nil {
+		t.Fatal("no airline concept")
+	}
+	if len(c.Groups) != 2 {
+		t.Fatalf("airline groups = %d, want 2 (NA/EU)", len(c.Groups))
+	}
+	na, eu := c.Groups[0], c.Groups[1]
+	inNA := map[string]bool{}
+	for _, a := range na {
+		inNA[a] = true
+	}
+	for _, a := range eu {
+		if inNA[a] {
+			t.Errorf("airline %q in both regional groups", a)
+		}
+	}
+}
+
+func TestNumericSpecRender(t *testing.T) {
+	cases := []struct {
+		spec NumericSpec
+		v    int
+		want string
+	}{
+		{NumericSpec{Monetary: true}, 15200, "$15,200"},
+		{NumericSpec{Commas: true}, 50000, "50,000"},
+		{NumericSpec{}, 1998, "1998"},
+		{NumericSpec{Decimals: 1}, 25, "2.5"},
+		{NumericSpec{Monetary: true}, 500, "$500"},
+		{NumericSpec{Commas: true}, 1234567, "1,234,567"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Render(c.v); got != c.want {
+			t.Errorf("Render(%d) with %+v = %q, want %q", c.v, c.spec, got, c.want)
+		}
+	}
+}
+
+func TestNumericSpecSample(t *testing.T) {
+	spec := NumericSpec{Min: 1, Max: 6, Step: 1}
+	rng := rand.New(rand.NewSource(1))
+	got := spec.Sample(rng, 10)
+	if len(got) != 6 {
+		t.Errorf("Sample clamped to range size: got %d values, want 6", len(got))
+	}
+	seen := map[string]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Errorf("duplicate sample %q", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNumericSampleDeterministic(t *testing.T) {
+	spec := NumericSpec{Min: 2000, Max: 60000, Step: 500, Monetary: true}
+	a := spec.Sample(rand.New(rand.NewSource(7)), 10)
+	b := spec.Sample(rand.New(rand.NewSource(7)), 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestGroupThousandsProperty(t *testing.T) {
+	f := func(n uint32) bool {
+		s := groupThousands(itoa(int(n)))
+		// Removing commas must recover the original digits.
+		return strings.ReplaceAll(s, ",", "") == itoa(int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestTypeString(t *testing.T) {
+	types := []Type{String, Integer, Real, Monetary, Date}
+	seen := map[string]bool{}
+	for _, ty := range types {
+		s := ty.String()
+		if s == "" || seen[s] {
+			t.Errorf("type %d string %q empty or duplicate", ty, s)
+		}
+		seen[s] = true
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestDomainByKey(t *testing.T) {
+	if DomainByKey("airfare") == nil {
+		t.Error("airfare not found")
+	}
+	if DomainByKey("nope") != nil {
+		t.Error("unknown domain should be nil")
+	}
+}
+
+func TestUnfindableConceptsExist(t *testing.T) {
+	// Table 1's ExpInst column is below 100% for book, job, realestate:
+	// those domains must contain unfindable concepts.
+	for _, key := range []string{"job", "realestate"} {
+		d := DomainByKey(key)
+		found := false
+		for _, c := range d.Concepts {
+			if !c.Findable {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("domain %q has no unfindable concepts", key)
+		}
+	}
+	// Airfare and auto are 100% findable.
+	for _, key := range []string{"airfare", "auto"} {
+		d := DomainByKey(key)
+		for _, c := range d.Concepts {
+			if !c.Findable {
+				t.Errorf("domain %q concept %q should be findable", key, c.ID)
+			}
+		}
+	}
+}
+
+func TestVocabularyListsUnique(t *testing.T) {
+	lists := map[string][]string{
+		"CitiesNA": CitiesNA, "CitiesEU": CitiesEU, "AirlinesNA": AirlinesNA,
+		"AirlinesEU": AirlinesEU, "CarMakes": CarMakes, "CarModels": CarModels,
+		"BookAuthors": BookAuthors, "BookPublishers": BookPublishers,
+		"BookTitles": BookTitles, "JobCategories": JobCategories,
+		"Companies": Companies, "USStates": USStates, "ZipCodes": ZipCodes,
+		"ISBNs": ISBNs, "MovieTitles": MovieTitles, "MovieDirectors": MovieDirectors,
+	}
+	for name, list := range lists {
+		seen := map[string]bool{}
+		for _, v := range list {
+			if v == "" {
+				t.Errorf("%s contains an empty entry", name)
+			}
+			if seen[v] {
+				t.Errorf("%s contains duplicate %q", name, v)
+			}
+			seen[v] = true
+		}
+		if len(list) < 5 {
+			t.Errorf("%s has only %d entries", name, len(list))
+		}
+	}
+}
+
+func TestRegionalGroupsCoverParents(t *testing.T) {
+	// The split groups partition their parent lists.
+	checks := []struct {
+		name   string
+		parent []string
+		parts  [][]string
+	}{
+		{"CarMakes", CarMakes, [][]string{CarMakesDomestic, CarMakesImport}},
+		{"BookCategories", BookCategories, [][]string{BookCategoriesFiction, BookCategoriesNonfiction}},
+		{"JobCategories", JobCategories, [][]string{JobCategoriesOffice, JobCategoriesField}},
+		{"PropertyTypes", PropertyTypes, [][]string{PropertyTypesResidential, PropertyTypesOther}},
+	}
+	for _, c := range checks {
+		inParts := map[string]int{}
+		for _, part := range c.parts {
+			for _, v := range part {
+				inParts[v]++
+			}
+		}
+		for _, v := range c.parent {
+			if inParts[v] != 1 {
+				t.Errorf("%s: %q appears %d times across split groups, want exactly 1", c.name, v, inParts[v])
+			}
+		}
+	}
+}

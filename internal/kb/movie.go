@@ -1,0 +1,141 @@
+package kb
+
+// The movie domain is an extension beyond the paper's five evaluation
+// domains (Section 8 suggests transferring the techniques to new
+// contexts). It exercises generality: none of the calibration work for
+// the paper domains touches it, and the end-to-end pipeline must still
+// acquire and match with no domain-specific code.
+
+// MovieTitles are film titles.
+var MovieTitles = []string{
+	"The Godfather", "Casablanca", "Citizen Kane", "Vertigo",
+	"Psycho", "Rear Window", "Sunset Boulevard", "Chinatown",
+	"Taxi Driver", "Raging Bull", "Goodfellas", "The Shining",
+	"Jaws", "Star Wars", "Blade Runner", "Alien", "The Matrix",
+	"Pulp Fiction", "Fight Club", "Memento", "The Usual Suspects",
+	"Fargo", "No Country for Old Men", "There Will Be Blood",
+}
+
+// MovieDirectors are film directors.
+var MovieDirectors = []string{
+	"Alfred Hitchcock", "Stanley Kubrick", "Martin Scorsese",
+	"Francis Ford Coppola", "Steven Spielberg", "Ridley Scott",
+	"Quentin Tarantino", "Joel Coen", "David Fincher",
+	"Christopher Nolan", "Billy Wilder", "Orson Welles",
+	"Akira Kurosawa", "Federico Fellini", "Ingmar Bergman",
+	"Roman Polanski", "Sidney Lumet", "Robert Altman",
+	"Woody Allen", "Sergio Leone",
+}
+
+// MovieActors are film actors.
+var MovieActors = []string{
+	"Marlon Brando", "Robert De Niro", "Al Pacino", "Jack Nicholson",
+	"Meryl Streep", "Katharine Hepburn", "Humphrey Bogart",
+	"James Stewart", "Cary Grant", "Audrey Hepburn", "Ingrid Bergman",
+	"Tom Hanks", "Denzel Washington", "Morgan Freeman", "Jodie Foster",
+	"Anthony Hopkins", "Gene Hackman", "Dustin Hoffman",
+	"Frances McDormand", "Kevin Spacey",
+}
+
+// MovieGenres are film genres, split into two flavors for the
+// label/instance correlation used by the other domains.
+var MovieGenresClassic = []string{
+	"Drama", "Comedy", "Western", "Film Noir", "Musical", "War",
+	"Romance",
+}
+
+// MovieGenresModern lists the second genre flavor.
+var MovieGenresModern = []string{
+	"Action", "Thriller", "Horror", "Documentary", "Animation",
+	"Crime", "Adventure",
+}
+
+// MovieStudios are production studios.
+var MovieStudios = []string{
+	"Warner Brothers", "Paramount", "Universal", "Columbia",
+	"United Artists", "MGM", "Twentieth Century Fox", "Miramax",
+	"New Line", "DreamWorks",
+}
+
+// MovieRatings are MPAA ratings.
+var MovieRatings = []string{"G", "PG", "PG-13", "R", "NC-17"}
+
+// MovieFormats are distribution formats (2005-era).
+var MovieFormats = []string{"DVD", "VHS", "Blu-ray", "Laserdisc"}
+
+func movieDomain() *Domain {
+	d := &Domain{
+		Key:           "movie",
+		DisplayName:   "Movie",
+		EntityName:    "movie",
+		DomainKeyword: "movies",
+	}
+	d.Concepts = []*Concept{
+		{
+			Name: "title", Type: String,
+			Labels:   []LabelVariant{lv("Title", 3), lv("Movie title", 1), lv("Film title", 1)},
+			Groups:   [][]string{MovieTitles},
+			Presence: 1.0, PredefProb: 0.05, Findable: true, WebPresence: 0.95,
+		},
+		{
+			Name: "director", Type: String,
+			Labels:   []LabelVariant{lv("Director", 3), lv("Directed by", 1)},
+			Groups:   [][]string{MovieDirectors},
+			Presence: 0.9, PredefProb: 0.1, Findable: true, WebPresence: 1.0,
+		},
+		{
+			Name: "actor", Type: String,
+			Labels:   []LabelVariant{lv("Actor", 2), lv("Starring", 1), lv("Cast member", 1)},
+			Groups:   [][]string{MovieActors},
+			Presence: 0.7, PredefProb: 0.05, Findable: true, WebPresence: 0.95,
+		},
+		{
+			Name: "genre", Type: String,
+			Labels: []LabelVariant{lv("Genre", 3), lv("Category", 1)},
+			GroupLabels: [][]LabelVariant{
+				{lv("Genre", 4)},
+				{lv("Category", 3)},
+			},
+			Groups:   [][]string{MovieGenresClassic, MovieGenresModern},
+			Presence: 0.8, PredefProb: 0.8, Findable: true, WebPresence: 0.9,
+		},
+		{
+			Name: "year", Type: Integer,
+			Labels:   []LabelVariant{lv("Year", 2), lv("Release year", 2), lv("Released in", 1)},
+			Numeric:  &NumericSpec{Min: 1940, Max: 2006, Step: 1},
+			Presence: 0.7, PredefProb: 0.5, Findable: true, WebPresence: 0.7,
+		},
+		{
+			Name: "rating", Type: String,
+			Labels:   []LabelVariant{lv("Rating", 2), lv("MPAA rating", 1)},
+			Groups:   [][]string{MovieRatings},
+			Presence: 0.5, PredefProb: 0.85, Findable: true, WebPresence: 0.6,
+		},
+		{
+			Name: "studio", Type: String,
+			Labels:   []LabelVariant{lv("Studio", 2), lv("Production company", 1)},
+			Groups:   [][]string{MovieStudios},
+			Presence: 0.4, PredefProb: 0.3, Findable: true, WebPresence: 0.85,
+		},
+		{
+			Name: "format", Type: String,
+			Labels:   []LabelVariant{lv("Format", 2), lv("Media type", 1)},
+			Groups:   [][]string{MovieFormats},
+			Presence: 0.4, PredefProb: 0.85, Findable: true, WebPresence: 0.6,
+		},
+		{
+			Name: "keyword", Type: String,
+			Labels:   []LabelVariant{lv("Keywords", 2), lv("Keyword", 1)},
+			Groups:   [][]string{NoiseWords},
+			Presence: 0.3, PredefProb: 0.0, Findable: false, WebPresence: 0.05,
+		},
+	}
+	finishDomain(d)
+	return d
+}
+
+// ExtendedDomains returns the five evaluation domains plus the movie
+// extension domain.
+func ExtendedDomains() []*Domain {
+	return append(Domains(), movieDomain())
+}

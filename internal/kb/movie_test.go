@@ -1,0 +1,57 @@
+package kb
+
+import "testing"
+
+func TestExtendedDomains(t *testing.T) {
+	ext := ExtendedDomains()
+	if len(ext) != 6 {
+		t.Fatalf("extended domains = %d, want 6", len(ext))
+	}
+	if ext[5].Key != "movie" {
+		t.Errorf("sixth domain = %q", ext[5].Key)
+	}
+	// Domains() must stay untouched by the extension.
+	if len(Domains()) != 5 {
+		t.Error("Domains() gained the extension domain")
+	}
+}
+
+func TestMovieDomainInvariants(t *testing.T) {
+	var movie *Domain
+	for _, d := range ExtendedDomains() {
+		if d.Key == "movie" {
+			movie = d
+		}
+	}
+	if movie == nil {
+		t.Fatal("no movie domain")
+	}
+	if movie.EntityName == "" || movie.DomainKeyword == "" {
+		t.Error("missing metadata")
+	}
+	for _, c := range movie.Concepts {
+		if c.ID == "" || c.Domain != "movie" {
+			t.Errorf("bad concept %+v", c)
+		}
+		if len(c.AllInstances()) == 0 {
+			t.Errorf("concept %s has no instances", c.ID)
+		}
+	}
+	// Genre has the regional label/instance correlation.
+	g := movie.ConceptByName("genre")
+	if g == nil || len(g.GroupLabels) != 2 || len(g.Groups) != 2 {
+		t.Error("genre lacks group label correlation")
+	}
+}
+
+func TestMovieGenreGroupsDisjoint(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range MovieGenresClassic {
+		seen[g] = true
+	}
+	for _, g := range MovieGenresModern {
+		if seen[g] {
+			t.Errorf("genre %q in both groups", g)
+		}
+	}
+}

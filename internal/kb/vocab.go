@@ -1,0 +1,290 @@
+package kb
+
+// Shared entity vocabularies used across domain definitions and by the
+// Surface-Web corpus generator. Lists are intentionally sizable: the
+// redundancy-based extraction that WebIQ borrows from AskMSR/Mulder needs
+// many distinct instances appearing in many distinct pages.
+
+// CitiesNA are North-American cities (used by airfare origin/destination,
+// job locations, and real-estate locations).
+var CitiesNA = []string{
+	"Boston", "Chicago", "New York", "Los Angeles", "San Francisco",
+	"Seattle", "Denver", "Atlanta", "Miami", "Dallas", "Houston",
+	"Phoenix", "Philadelphia", "Detroit", "Minneapolis", "Portland",
+	"San Diego", "Austin", "Orlando", "Las Vegas", "Toronto", "Montreal",
+	"Vancouver", "Calgary", "Baltimore", "Charlotte", "Columbus",
+	"Indianapolis", "Memphis", "Nashville", "Pittsburgh", "Sacramento",
+	"Cleveland", "Kansas City", "Tampa", "St Louis", "Cincinnati",
+	"Milwaukee", "Raleigh", "Salt Lake City",
+}
+
+// CitiesEU are European cities, the second regional group for travel
+// concepts.
+var CitiesEU = []string{
+	"London", "Paris", "Rome", "Madrid", "Berlin", "Amsterdam", "Dublin",
+	"Vienna", "Prague", "Brussels", "Lisbon", "Athens", "Munich",
+	"Barcelona", "Milan", "Zurich", "Geneva", "Copenhagen", "Stockholm",
+	"Oslo", "Helsinki", "Warsaw", "Budapest", "Frankfurt", "Manchester",
+	"Edinburgh", "Glasgow", "Nice", "Venice", "Florence",
+}
+
+// AirportCodes are major airport codes.
+var AirportCodes = []string{
+	"LAX", "ORD", "JFK", "SFO", "BOS", "SEA", "DEN", "ATL", "MIA", "DFW",
+	"IAH", "PHX", "PHL", "DTW", "MSP", "LHR", "CDG", "FRA", "AMS", "MAD",
+}
+
+// AirlinesNA are North-American airlines (the paper's example regional
+// group for attribute A5 = Airline).
+var AirlinesNA = []string{
+	"Air Canada", "American", "Delta", "United", "Continental",
+	"Northwest", "US Airways", "Southwest", "Alaska", "JetBlue",
+	"America West", "Frontier", "AirTran", "Spirit", "Hawaiian",
+	"WestJet", "Midwest",
+}
+
+// AirlinesEU are European airlines (the group for B3 = Carrier).
+var AirlinesEU = []string{
+	"Aer Lingus", "British Airways", "Lufthansa", "Air France", "KLM",
+	"Iberia", "Alitalia", "Swiss", "Austrian", "SAS", "Finnair",
+	"Ryanair", "EasyJet", "Virgin Atlantic", "TAP Portugal", "LOT Polish",
+	"Olympic",
+}
+
+// CabinClasses are the predefined classes of service.
+var CabinClasses = []string{"Economy", "Premium Economy", "Business", "First Class"}
+
+// TripTypes are the predefined trip types.
+var TripTypes = []string{"Round Trip", "One Way", "Multi City"}
+
+// DepartureTimes are predefined departure-time windows.
+var DepartureTimes = []string{"Morning", "Afternoon", "Evening", "Anytime"}
+
+// Months are the calendar months (date instance vocabulary). Both full
+// and abbreviated forms occur on interfaces; the abbreviated forms are
+// listed separately.
+var Months = []string{
+	"January", "February", "March", "April", "May", "June", "July",
+	"August", "September", "October", "November", "December",
+}
+
+// MonthAbbrevs are the abbreviated month forms ("Jan" in Figure 1).
+var MonthAbbrevs = []string{
+	"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct",
+	"Nov", "Dec",
+}
+
+// CarMakes are vehicle makes.
+var CarMakes = []string{
+	"Honda", "Toyota", "Ford", "Chevrolet", "Nissan", "BMW", "Mercedes-Benz",
+	"Volkswagen", "Audi", "Mazda", "Subaru", "Hyundai", "Kia", "Jeep",
+	"Dodge", "Chrysler", "Volvo", "Lexus", "Acura", "Infiniti", "Mitsubishi",
+	"Porsche", "Saturn", "Pontiac", "Buick", "Cadillac", "Lincoln", "GMC",
+}
+
+// CarMakesImport and CarMakesDomestic partition CarMakes into the two
+// regional flavors used for label/instance correlation.
+var CarMakesImport = []string{
+	"Honda", "Toyota", "Nissan", "BMW", "Mercedes-Benz", "Volkswagen",
+	"Audi", "Mazda", "Subaru", "Hyundai", "Kia", "Volvo", "Lexus",
+	"Acura", "Infiniti", "Mitsubishi", "Porsche",
+}
+
+// CarMakesDomestic lists US makes.
+var CarMakesDomestic = []string{
+	"Ford", "Chevrolet", "Jeep", "Dodge", "Chrysler", "Saturn",
+	"Pontiac", "Buick", "Cadillac", "Lincoln", "GMC",
+}
+
+// CarModels are vehicle models (across makes).
+var CarModels = []string{
+	"Accord", "Civic", "Camry", "Corolla", "Mustang", "Explorer", "F-150",
+	"Taurus", "Malibu", "Impala", "Altima", "Maxima", "Sentra", "Passat",
+	"Jetta", "Golf", "Outback", "Forester", "Elantra", "Sonata", "Wrangler",
+	"Cherokee", "Ram", "Odyssey", "Pilot", "Highlander", "RAV4", "Pathfinder",
+}
+
+// CarColors are exterior colors.
+var CarColors = []string{
+	"Black", "White", "Silver", "Red", "Blue", "Green", "Gray", "Gold",
+	"Beige", "Brown", "Yellow", "Orange",
+}
+
+// BodyStyles are vehicle body styles.
+var BodyStyles = []string{
+	"Sedan", "Coupe", "Convertible", "Hatchback", "Wagon", "SUV",
+	"Pickup Truck", "Minivan",
+}
+
+// CarConditions are vehicle condition options.
+var CarConditions = []string{"New", "Used", "Certified Pre-Owned"}
+
+// BookAuthors are book authors (given-name surname pairs).
+var BookAuthors = []string{
+	"Stephen King", "John Grisham", "Tom Clancy", "Michael Crichton",
+	"Danielle Steel", "Agatha Christie", "Ernest Hemingway", "Mark Twain",
+	"Jane Austen", "Charles Dickens", "George Orwell", "Isaac Asimov",
+	"Ray Bradbury", "Kurt Vonnegut", "Toni Morrison", "Maya Angelou",
+	"John Steinbeck", "William Faulkner", "Harper Lee", "J K Rowling",
+	"Dan Brown", "Anne Rice", "James Patterson", "Nora Roberts",
+	"Dean Koontz", "Mary Higgins Clark",
+}
+
+// BookPublishers are publishing houses.
+var BookPublishers = []string{
+	"Random House", "Penguin", "HarperCollins", "Simon and Schuster",
+	"Macmillan", "Scholastic", "Houghton Mifflin", "Oxford University Press",
+	"Cambridge University Press", "Vintage", "Bantam", "Doubleday",
+	"Knopf", "Norton", "Wiley",
+}
+
+// BookTitles are book titles.
+var BookTitles = []string{
+	"The Great Gatsby", "To Kill a Mockingbird", "Pride and Prejudice",
+	"The Catcher in the Rye", "The Grapes of Wrath", "Brave New World",
+	"Fahrenheit 451", "Animal Farm", "Lord of the Flies", "Jane Eyre",
+	"Wuthering Heights", "Great Expectations", "Oliver Twist",
+	"David Copperfield", "Moby Dick", "War and Peace", "Anna Karenina",
+	"Crime and Punishment", "The Odyssey", "The Iliad", "Don Quixote",
+	"Les Miserables", "A Tale of Two Cities", "The Scarlet Letter",
+}
+
+// BookCategories are book subjects/genres.
+var BookCategories = []string{
+	"Fiction", "Nonfiction", "Mystery", "Romance", "Science Fiction",
+	"Fantasy", "Biography", "History", "Travel", "Cooking", "Business",
+	"Computers", "Health", "Poetry", "Drama", "Religion", "Philosophy",
+	"Self Help", "Reference", "Children",
+}
+
+// BookCategoriesFiction and BookCategoriesNonfiction partition
+// BookCategories for label/instance correlation.
+var BookCategoriesFiction = []string{
+	"Fiction", "Mystery", "Romance", "Science Fiction", "Fantasy",
+	"Poetry", "Drama", "Children",
+}
+
+// BookCategoriesNonfiction lists the nonfiction subjects.
+var BookCategoriesNonfiction = []string{
+	"Nonfiction", "Biography", "History", "Travel", "Cooking",
+	"Business", "Computers", "Health", "Religion", "Philosophy",
+	"Self Help", "Reference",
+}
+
+// BookFormats are binding formats.
+var BookFormats = []string{
+	"Hardcover", "Paperback", "Audio CD", "Audio Cassette", "Mass Market Paperback",
+}
+
+// BookLanguages are publication languages.
+var BookLanguages = []string{
+	"English", "Spanish", "French", "German", "Italian", "Portuguese",
+	"Chinese", "Japanese", "Russian",
+}
+
+// JobCategories are occupation categories.
+var JobCategories = []string{
+	"Accounting", "Engineering", "Marketing", "Sales", "Education",
+	"Healthcare", "Finance", "Legal", "Manufacturing", "Construction",
+	"Retail", "Hospitality", "Transportation", "Administrative",
+	"Consulting", "Insurance", "Banking", "Telecommunications",
+	"Biotechnology", "Pharmaceutical", "Government", "Nonprofit",
+}
+
+// JobCategoriesOffice and JobCategoriesField partition JobCategories
+// for label/instance correlation.
+var JobCategoriesOffice = []string{
+	"Accounting", "Engineering", "Marketing", "Sales", "Finance",
+	"Legal", "Consulting", "Banking", "Insurance", "Telecommunications",
+	"Government",
+}
+
+// JobCategoriesField lists the remaining occupation categories.
+var JobCategoriesField = []string{
+	"Education", "Healthcare", "Manufacturing", "Construction", "Retail",
+	"Hospitality", "Transportation", "Administrative", "Biotechnology",
+	"Pharmaceutical", "Nonprofit",
+}
+
+// Companies are employer names.
+var Companies = []string{
+	"Microsoft", "IBM", "Intel", "Oracle", "Cisco", "Dell", "Apple",
+	"Motorola", "Boeing", "General Electric", "General Motors",
+	"Procter and Gamble", "Johnson and Johnson", "Pfizer", "Merck",
+	"Citigroup", "Bank of America", "Wells Fargo", "Goldman Sachs",
+	"Morgan Stanley", "American Express", "Walmart", "Target",
+	"Home Depot", "FedEx", "UPS", "Verizon", "Sprint",
+}
+
+// EmploymentTypes are predefined job types.
+var EmploymentTypes = []string{
+	"Full Time", "Part Time", "Contract", "Temporary", "Internship",
+}
+
+// EducationLevels are predefined degree requirements.
+var EducationLevels = []string{
+	"High School", "Associate Degree", "Bachelor Degree", "Master Degree",
+	"Doctorate",
+}
+
+// USStates are the US state names.
+var USStates = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+	"Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+	"Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+	"Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+	"New Hampshire", "New Jersey", "New Mexico", "New York",
+	"North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+	"Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+	"Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+	"West Virginia", "Wisconsin", "Wyoming",
+}
+
+// PropertyTypes are real-estate property types.
+var PropertyTypes = []string{
+	"Single Family Home", "Condo", "Townhouse", "Multi Family",
+	"Mobile Home", "Land", "Farm", "Apartment",
+}
+
+// PropertyTypesResidential and PropertyTypesOther partition
+// PropertyTypes for label/instance correlation.
+var PropertyTypesResidential = []string{
+	"Single Family Home", "Condo", "Townhouse", "Apartment",
+}
+
+// PropertyTypesOther lists the remaining property types.
+var PropertyTypesOther = []string{
+	"Multi Family", "Mobile Home", "Land", "Farm",
+}
+
+// Neighborhoods are real-estate neighborhood names.
+var Neighborhoods = []string{
+	"Downtown", "Midtown", "Uptown", "Lakeview", "Riverside", "Hillcrest",
+	"Oakwood", "Maplewood", "Brookside", "Westside", "Eastside",
+	"Northgate", "Southpark", "Greenfield", "Fairview", "Parkside",
+}
+
+// FirstNames and LastNames combine into person names for noise pages and
+// personal attributes.
+var FirstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "Michael", "Linda", "David",
+	"Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+	"Charles", "Karen", "Daniel", "Nancy", "Matthew", "Lisa",
+}
+
+// LastNames are common surnames.
+var LastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Wilson", "Anderson", "Taylor",
+	"Thomas", "Moore", "Jackson", "Martin", "Lee", "Thompson", "White",
+}
+
+// NoiseWords pad noise sentences in the synthetic corpus.
+var NoiseWords = []string{
+	"information", "service", "online", "welcome", "contact", "about",
+	"help", "customer", "support", "account", "special", "today",
+	"quality", "guarantee", "shipping", "delivery", "order", "member",
+	"review", "rating", "popular", "featured", "network", "system",
+	"resource", "center", "guide", "directory", "update", "news",
+}

@@ -1,0 +1,35 @@
+package matcher
+
+import "webiq/internal/schema"
+
+// Metrics are the matching-accuracy measures of Section 6: precision is
+// the fraction of predicted matches that are correct, recall the
+// fraction of gold matches predicted, and F-1 their harmonic mean
+// 2PR/(P+R).
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Correct, Predicted, and Gold are the underlying counts.
+	Correct, Predicted, Gold int
+}
+
+// Evaluate scores predicted match pairs against the gold pairs.
+func Evaluate(pred, gold map[schema.MatchPair]bool) Metrics {
+	m := Metrics{Predicted: len(pred), Gold: len(gold)}
+	for p := range pred {
+		if gold[p] {
+			m.Correct++
+		}
+	}
+	if m.Predicted > 0 {
+		m.Precision = float64(m.Correct) / float64(m.Predicted)
+	}
+	if m.Gold > 0 {
+		m.Recall = float64(m.Correct) / float64(m.Gold)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}

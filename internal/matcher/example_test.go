@@ -1,0 +1,42 @@
+package matcher_test
+
+import (
+	"fmt"
+
+	"webiq/internal/matcher"
+	"webiq/internal/schema"
+)
+
+func ExampleMatcher_Match() {
+	ds := &schema.Dataset{
+		Domain: "airfare",
+		Interfaces: []*schema.Interface{
+			{ID: "a", Attributes: []*schema.Attribute{
+				{ID: "a/1", InterfaceID: "a", Label: "Airline",
+					Instances: []string{"Delta", "United"}},
+			}},
+			{ID: "b", Attributes: []*schema.Attribute{
+				{ID: "b/1", InterfaceID: "b", Label: "Carrier",
+					Instances: []string{"Delta", "United", "American"}},
+			}},
+		},
+	}
+	res := matcher.New(matcher.DefaultConfig()).Match(ds)
+	for _, c := range res.Clusters {
+		fmt.Println(c)
+	}
+	// Output:
+	// [a/1 b/1]
+}
+
+func ExampleEvaluate() {
+	gold := map[schema.MatchPair]bool{schema.NewMatchPair("x", "y"): true}
+	pred := map[schema.MatchPair]bool{
+		schema.NewMatchPair("x", "y"): true,
+		schema.NewMatchPair("x", "z"): true,
+	}
+	m := matcher.Evaluate(pred, gold)
+	fmt.Printf("P=%.1f R=%.1f F1=%.2f\n", m.Precision, m.Recall, m.F1)
+	// Output:
+	// P=0.5 R=1.0 F1=0.67
+}

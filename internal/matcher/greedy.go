@@ -1,0 +1,117 @@
+package matcher
+
+import (
+	"sort"
+
+	"webiq/internal/schema"
+)
+
+// GreedyPairwise is a Wise-Integrator-style comparison matcher (the
+// related-work family of [12] in the paper): instead of clustering all
+// attributes globally, it matches each pair of interfaces independently
+// with greedy 1:1 assignment by attribute similarity, then unions the
+// per-pair matches. It shares the Sim measure with the clustering
+// matcher, so the comparison isolates the aggregation strategy — the
+// motivation for the authors' clustering-aggregation work [27].
+type GreedyPairwise struct {
+	cfg Config
+}
+
+// NewGreedyPairwise returns the greedy matcher with the given weights;
+// Threshold is the minimum similarity for a pair to be kept.
+func NewGreedyPairwise(cfg Config) *GreedyPairwise {
+	return &GreedyPairwise{cfg: cfg}
+}
+
+// Match runs greedy 1:1 matching over every pair of interfaces and
+// returns the union of matched pairs. Clusters are the connected
+// components of the resulting match graph (for comparability with the
+// clustering matcher's output shape).
+func (g *GreedyPairwise) Match(ds *schema.Dataset) *Result {
+	m := New(g.cfg)
+	res := &Result{Pairs: map[schema.MatchPair]bool{}}
+
+	for i := 0; i < len(ds.Interfaces); i++ {
+		for j := i + 1; j < len(ds.Interfaces); j++ {
+			g.matchPair(m, ds.Interfaces[i], ds.Interfaces[j], res)
+		}
+	}
+	res.Clusters = connectedComponents(ds, res.Pairs)
+	return res
+}
+
+// matchPair greedily assigns attributes of a to attributes of b in
+// decreasing similarity order, each attribute used at most once.
+func (g *GreedyPairwise) matchPair(m *Matcher, a, b *schema.Interface, res *Result) {
+	type cand struct {
+		ai, bi int
+		sim    float64
+	}
+	var cands []cand
+	for ai, x := range a.Attributes {
+		for bi, y := range b.Attributes {
+			if s := m.AttrSim(x, y); s > g.cfg.Threshold {
+				cands = append(cands, cand{ai, bi, s})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		if cands[i].ai != cands[j].ai {
+			return cands[i].ai < cands[j].ai
+		}
+		return cands[i].bi < cands[j].bi
+	})
+	usedA := map[int]bool{}
+	usedB := map[int]bool{}
+	for _, c := range cands {
+		if usedA[c.ai] || usedB[c.bi] {
+			continue
+		}
+		usedA[c.ai] = true
+		usedB[c.bi] = true
+		res.Pairs[schema.NewMatchPair(a.Attributes[c.ai].ID, b.Attributes[c.bi].ID)] = true
+	}
+}
+
+// connectedComponents groups attribute IDs into the components of the
+// match graph.
+func connectedComponents(ds *schema.Dataset, pairs map[schema.MatchPair]bool) [][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, attr := range ds.AllAttributes() {
+		parent[attr.ID] = attr.ID
+	}
+	for p := range pairs {
+		ra, rb := find(p.A), find(p.B)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	groups := map[string][]string{}
+	for _, attr := range ds.AllAttributes() {
+		r := find(attr.ID)
+		groups[r] = append(groups[r], attr.ID)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out [][]string
+	for _, k := range keys {
+		ids := groups[k]
+		sort.Strings(ids)
+		out = append(out, ids)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,90 @@
+package matcher
+
+import (
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+	"webiq/internal/schema"
+)
+
+func TestGreedyPairwiseBasics(t *testing.T) {
+	ds := tinyDataset()
+	res := NewGreedyPairwise(DefaultConfig()).Match(ds)
+	want := []schema.MatchPair{
+		schema.NewMatchPair("if0/city", "if1/city"),
+		schema.NewMatchPair("if0/airline", "if1/airline"),
+		schema.NewMatchPair("if0/class", "if1/class"),
+	}
+	for _, p := range want {
+		if !res.Pairs[p] {
+			t.Errorf("missing pair %v", p)
+		}
+	}
+}
+
+func TestGreedyPairwiseOneToOne(t *testing.T) {
+	for _, dom := range kb.Domains() {
+		ds := dataset.Generate(dom, dataset.DefaultConfig())
+		res := NewGreedyPairwise(DefaultConfig()).Match(ds)
+		// Per interface pair, each attribute participates in at most one
+		// match.
+		type key struct{ ifcA, ifcB, attr string }
+		used := map[key]bool{}
+		byID := map[string]*schema.Attribute{}
+		for _, a := range ds.AllAttributes() {
+			byID[a.ID] = a
+		}
+		for p := range res.Pairs {
+			a, b := byID[p.A], byID[p.B]
+			ka := key{a.InterfaceID, b.InterfaceID, p.A}
+			kb2 := key{a.InterfaceID, b.InterfaceID, p.B}
+			if used[ka] || used[kb2] {
+				t.Fatalf("%s: attribute matched twice within one interface pair", dom.Key)
+			}
+			used[ka] = true
+			used[kb2] = true
+		}
+	}
+}
+
+func TestGreedyVsClusteringAggregation(t *testing.T) {
+	// The clustering matcher aggregates evidence across interfaces and
+	// should beat (or at least equal) per-pair greedy matching overall —
+	// the motivation for clustering aggregation in the paper's lineage.
+	var greedySum, clusterSum float64
+	for _, dom := range kb.Domains() {
+		ds := dataset.Generate(dom, dataset.DefaultConfig())
+		gold := ds.GoldPairs()
+		greedySum += Evaluate(NewGreedyPairwise(DefaultConfig()).Match(ds).Pairs, gold).F1
+		clusterSum += Evaluate(New(DefaultConfig()).Match(ds).Pairs, gold).F1
+	}
+	if clusterSum < greedySum-0.01 {
+		t.Errorf("clustering aggregation (%.3f total F1) below greedy pairwise (%.3f)",
+			clusterSum, greedySum)
+	}
+}
+
+func TestGreedyComponentsPartition(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	res := NewGreedyPairwise(DefaultConfig()).Match(ds)
+	seen := map[string]int{}
+	for _, c := range res.Clusters {
+		for _, id := range c {
+			seen[id]++
+		}
+	}
+	for _, a := range ds.AllAttributes() {
+		if seen[a.ID] != 1 {
+			t.Errorf("attribute %s in %d components", a.ID, seen[a.ID])
+		}
+	}
+}
+
+func TestGreedyEmptyDataset(t *testing.T) {
+	res := NewGreedyPairwise(DefaultConfig()).Match(&schema.Dataset{})
+	if len(res.Pairs) != 0 || len(res.Clusters) != 0 {
+		t.Errorf("empty dataset gave %+v", res)
+	}
+}

@@ -1,0 +1,212 @@
+package matcher
+
+import (
+	"sort"
+
+	"webiq/internal/schema"
+	"webiq/internal/sim"
+)
+
+// Linkage selects how cluster-to-cluster similarity is updated when two
+// clusters merge.
+type Linkage int
+
+// Linkage strategies.
+const (
+	// SingleLink uses the maximum pairwise similarity — the default,
+	// matching the τ=0 reading "any two attributes with positive
+	// similarity may potentially be matched".
+	SingleLink Linkage = iota
+	// AverageLink uses the size-weighted mean pairwise similarity.
+	AverageLink
+	// CompleteLink uses the minimum pairwise similarity.
+	CompleteLink
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case AverageLink:
+		return "average"
+	case CompleteLink:
+		return "complete"
+	default:
+		return "single"
+	}
+}
+
+// Config holds the matcher parameters. The paper sets α = .6, β = .4
+// (following IceQ) and evaluates thresholds τ = 0 ("no thresholding":
+// any positive similarity is a potential match) and τ = .1.
+type Config struct {
+	// Alpha weights label similarity; Beta weights domain similarity.
+	Alpha, Beta float64
+	// Threshold is the clustering threshold τ: cluster pairs with
+	// similarity at or below it are not merged.
+	Threshold float64
+	// Linkage selects the agglomerative linkage (default SingleLink).
+	Linkage Linkage
+}
+
+// DefaultConfig mirrors the paper's parameters with no thresholding.
+func DefaultConfig() Config {
+	return Config{Alpha: 0.6, Beta: 0.4, Threshold: 0}
+}
+
+// Matcher is an IceQ-style interface matcher.
+type Matcher struct {
+	cfg Config
+}
+
+// New returns a Matcher with the given configuration.
+func New(cfg Config) *Matcher {
+	return &Matcher{cfg: cfg}
+}
+
+// AttrSim computes Sim(A,B) = α·LabelSim + β·DomSim over labels and all
+// (predefined + acquired) instances.
+func (m *Matcher) AttrSim(a, b *schema.Attribute) float64 {
+	ls := sim.LabelSim(a.Label, b.Label)
+	dsim := DomSim(a.AllInstances(), b.AllInstances())
+	return m.cfg.Alpha*ls + m.cfg.Beta*dsim
+}
+
+// Result is the matcher output: clusters of attribute IDs and the
+// implied match pairs (pairs of attributes from different interfaces in
+// one cluster). MergeSims records the cluster similarity at each merge,
+// in merge order — the raw material for threshold learning.
+type Result struct {
+	Clusters  [][]string
+	Pairs     map[schema.MatchPair]bool
+	MergeSims []float64
+}
+
+// Match clusters the dataset's attributes with constrained single-link
+// agglomerative clustering: repeatedly merge the most similar pair of
+// clusters whose union contains no two attributes from the same
+// interface, while the best similarity exceeds the threshold. With the
+// paper's τ = 0 setting, any two attributes with positive similarity may
+// end up matched; τ = .1 prunes the weak links.
+func (m *Matcher) Match(ds *schema.Dataset) *Result {
+	attrs := ds.AllAttributes()
+	n := len(attrs)
+
+	// Pairwise attribute similarities.
+	simMat := make([][]float64, n)
+	for i := range simMat {
+		simMat[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := m.AttrSim(attrs[i], attrs[j])
+			simMat[i][j] = s
+			simMat[j][i] = s
+		}
+	}
+
+	// Cluster state: each cluster tracks its member indices, the
+	// interfaces covered, and single-link similarities to other
+	// clusters (maintained with Lance–Williams updates).
+	type cluster struct {
+		members []int
+		ifaces  map[string]bool
+		alive   bool
+	}
+	clusters := make([]*cluster, n)
+	cs := make([][]float64, n) // cluster-to-cluster average-link sims
+	for i := range clusters {
+		clusters[i] = &cluster{
+			members: []int{i},
+			ifaces:  map[string]bool{attrs[i].InterfaceID: true},
+			alive:   true,
+		}
+		cs[i] = make([]float64, n)
+		copy(cs[i], simMat[i])
+	}
+
+	var mergeSims []float64
+	conflict := func(a, b *cluster) bool {
+		for ifc := range b.ifaces {
+			if a.ifaces[ifc] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for {
+		// Find the best mergeable pair.
+		bi, bj, best := -1, -1, m.cfg.Threshold
+		for i := 0; i < n; i++ {
+			if !clusters[i].alive {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !clusters[j].alive || cs[i][j] <= best {
+					continue
+				}
+				if conflict(clusters[i], clusters[j]) {
+					continue
+				}
+				bi, bj, best = i, j, cs[i][j]
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		mergeSims = append(mergeSims, best)
+		// Merge bj into bi; update cluster similarities per the linkage
+		// (Lance–Williams updates).
+		ni := float64(len(clusters[bi].members))
+		nj := float64(len(clusters[bj].members))
+		for k := 0; k < n; k++ {
+			if k == bi || k == bj || !clusters[k].alive {
+				continue
+			}
+			var v float64
+			switch m.cfg.Linkage {
+			case AverageLink:
+				v = (ni*cs[bi][k] + nj*cs[bj][k]) / (ni + nj)
+			case CompleteLink:
+				v = cs[bi][k]
+				if cs[bj][k] < v {
+					v = cs[bj][k]
+				}
+			default: // SingleLink
+				v = cs[bi][k]
+				if cs[bj][k] > v {
+					v = cs[bj][k]
+				}
+			}
+			cs[bi][k] = v
+			cs[k][bi] = v
+		}
+		clusters[bi].members = append(clusters[bi].members, clusters[bj].members...)
+		for ifc := range clusters[bj].ifaces {
+			clusters[bi].ifaces[ifc] = true
+		}
+		clusters[bj].alive = false
+	}
+
+	res := &Result{Pairs: map[schema.MatchPair]bool{}, MergeSims: mergeSims}
+	for _, c := range clusters {
+		if !c.alive {
+			continue
+		}
+		ids := make([]string, len(c.members))
+		for k, idx := range c.members {
+			ids[k] = attrs[idx].ID
+		}
+		sort.Strings(ids)
+		res.Clusters = append(res.Clusters, ids)
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				res.Pairs[schema.NewMatchPair(ids[x], ids[y])] = true
+			}
+		}
+	}
+	sort.Slice(res.Clusters, func(i, j int) bool {
+		return res.Clusters[i][0] < res.Clusters[j][0]
+	})
+	return res
+}

@@ -1,0 +1,136 @@
+package matcher
+
+import (
+	"sort"
+
+	"webiq/internal/schema"
+)
+
+// Interactive threshold learning, after IceQ: "during the clustering
+// process IceQ can also interact with the user to automatically learn a
+// thresholding value". The paper runs IceQ in its automatic mode and
+// sets τ manually; this file supplies the interactive mode with a
+// simulated user (an Oracle), so the "+ threshold" condition can use a
+// learned value instead of a hand-set one.
+
+// Oracle answers whether two attributes (by ID) truly match. Tests and
+// experiments back it with the gold standard; a deployment would ask a
+// person.
+type Oracle func(a, b string) bool
+
+// GoldOracle builds an Oracle from a dataset's gold pairs.
+func GoldOracle(ds *schema.Dataset) Oracle {
+	gold := ds.GoldPairs()
+	return func(a, b string) bool { return gold[schema.NewMatchPair(a, b)] }
+}
+
+// LearnThreshold picks a clustering threshold by limited interaction:
+// it enumerates candidate thresholds from the merge similarities of a
+// τ=0 run, asks the oracle about up to budget pairs that distinguish
+// the candidates, and returns the candidate scoring the best F-1 on the
+// answered sample (ties go to the smaller threshold). The second return
+// is the number of questions actually asked.
+func (m *Matcher) LearnThreshold(ds *schema.Dataset, oracle Oracle, budget int) (float64, int) {
+	base := m.Match(ds)
+	if len(base.MergeSims) == 0 || budget <= 0 {
+		return m.cfg.Threshold, 0
+	}
+
+	// Candidate thresholds: 0 plus midpoints below each distinct merge
+	// similarity (capped to keep the match reruns bounded).
+	sims := append([]float64(nil), base.MergeSims...)
+	sort.Float64s(sims)
+	var candidates []float64
+	prev := 0.0
+	for _, s := range sims {
+		if s > prev {
+			candidates = append(candidates, prev/2+s/2)
+			prev = s
+		}
+	}
+	candidates = append([]float64{0}, candidates...)
+	if len(candidates) > 12 {
+		// Thin evenly, keeping the extremes.
+		step := float64(len(candidates)-1) / 11
+		var thinned []float64
+		for i := 0; i < 12; i++ {
+			thinned = append(thinned, candidates[int(float64(i)*step+0.5)])
+		}
+		candidates = thinned
+	}
+
+	// Predicted pair sets per candidate.
+	results := make([]map[schema.MatchPair]bool, len(candidates))
+	for i, tau := range candidates {
+		cfg := m.cfg
+		cfg.Threshold = tau
+		results[i] = New(cfg).Match(ds).Pairs
+	}
+
+	// Informative pairs: those on which candidates disagree (present in
+	// some result, absent in another). The loosest candidate's pairs are
+	// the superset under nested thresholds.
+	union := map[schema.MatchPair]bool{}
+	for _, r := range results {
+		for p := range r {
+			union[p] = true
+		}
+	}
+	var informative []schema.MatchPair
+	for p := range union {
+		inAll := true
+		for _, r := range results {
+			if !r[p] {
+				inAll = false
+				break
+			}
+		}
+		if !inAll {
+			informative = append(informative, p)
+		}
+	}
+	sort.Slice(informative, func(i, j int) bool {
+		if informative[i].A != informative[j].A {
+			return informative[i].A < informative[j].A
+		}
+		return informative[i].B < informative[j].B
+	})
+	if len(informative) > budget {
+		// Spread the questions evenly over the informative pairs.
+		step := float64(len(informative)) / float64(budget)
+		var sampled []schema.MatchPair
+		for i := 0; i < budget; i++ {
+			sampled = append(sampled, informative[int(float64(i)*step)])
+		}
+		informative = sampled
+	}
+
+	// Ask the oracle and score each candidate on the answered sample.
+	answers := map[schema.MatchPair]bool{}
+	for _, p := range informative {
+		answers[p] = oracle(p.A, p.B)
+	}
+	bestTau, bestF1 := m.cfg.Threshold, -1.0
+	for i, tau := range candidates {
+		var tp, fp, fn int
+		for p, truth := range answers {
+			pred := results[i][p]
+			switch {
+			case pred && truth:
+				tp++
+			case pred && !truth:
+				fp++
+			case !pred && truth:
+				fn++
+			}
+		}
+		f1 := 0.0
+		if 2*tp+fp+fn > 0 {
+			f1 = float64(2*tp) / float64(2*tp+fp+fn)
+		}
+		if f1 > bestF1 || (f1 == bestF1 && tau < bestTau) {
+			bestF1, bestTau = f1, tau
+		}
+	}
+	return bestTau, len(answers)
+}

@@ -1,0 +1,95 @@
+package matcher
+
+import (
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+)
+
+func TestLearnThresholdImprovesOrMatches(t *testing.T) {
+	for _, key := range []string{"auto", "job"} {
+		dom := kb.DomainByKey(key)
+		ds := dataset.Generate(dom, dataset.DefaultConfig())
+		m := New(DefaultConfig())
+		gold := ds.GoldPairs()
+		baseF1 := Evaluate(m.Match(ds).Pairs, gold).F1
+
+		tau, asked := m.LearnThreshold(ds, GoldOracle(ds), 40)
+		if asked > 40 {
+			t.Errorf("%s: asked %d questions, budget 40", key, asked)
+		}
+		cfg := DefaultConfig()
+		cfg.Threshold = tau
+		learnedF1 := Evaluate(New(cfg).Match(ds).Pairs, gold).F1
+		if learnedF1 < baseF1-0.02 {
+			t.Errorf("%s: learned tau %.3f gives F1 %.3f, notably below tau=0 (%.3f)",
+				key, tau, learnedF1, baseF1)
+		}
+	}
+}
+
+func TestLearnThresholdDeterministic(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	m := New(DefaultConfig())
+	t1, n1 := m.LearnThreshold(ds, GoldOracle(ds), 25)
+	t2, n2 := m.LearnThreshold(ds, GoldOracle(ds), 25)
+	if t1 != t2 || n1 != n2 {
+		t.Errorf("nondeterministic learning: (%v,%d) vs (%v,%d)", t1, n1, t2, n2)
+	}
+}
+
+func TestLearnThresholdZeroBudget(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	m := New(DefaultConfig())
+	tau, asked := m.LearnThreshold(ds, GoldOracle(ds), 0)
+	if asked != 0 {
+		t.Errorf("asked %d questions with zero budget", asked)
+	}
+	if tau != m.cfg.Threshold {
+		t.Errorf("tau = %v, want the configured default", tau)
+	}
+}
+
+func TestGoldOracle(t *testing.T) {
+	dom := kb.DomainByKey("auto")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	oracle := GoldOracle(ds)
+	var pair [2]string
+	for p := range ds.GoldPairs() {
+		pair = [2]string{p.A, p.B}
+		break
+	}
+	if !oracle(pair[0], pair[1]) || !oracle(pair[1], pair[0]) {
+		t.Error("oracle should confirm gold pairs in either order")
+	}
+	if oracle(pair[0], pair[0]+"x") {
+		t.Error("oracle confirmed a non-pair")
+	}
+}
+
+func TestMergeSimsRecorded(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	res := New(DefaultConfig()).Match(ds)
+	if len(res.MergeSims) == 0 {
+		t.Fatal("no merge similarities recorded")
+	}
+	nSingletons := 0
+	for _, c := range res.Clusters {
+		if len(c) == 1 {
+			nSingletons++
+		}
+	}
+	// Every merge reduces the cluster count by one.
+	if got := len(ds.AllAttributes()) - len(res.Clusters); got != len(res.MergeSims) {
+		t.Errorf("merges = %d, want %d", len(res.MergeSims), got)
+	}
+	for _, s := range res.MergeSims {
+		if s <= 0 {
+			t.Errorf("merge sim %v not above the τ=0 threshold", s)
+		}
+	}
+}

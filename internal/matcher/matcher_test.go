@@ -1,0 +1,234 @@
+package matcher
+
+import (
+	"math"
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+	"webiq/internal/schema"
+)
+
+func TestClassifyValue(t *testing.T) {
+	cases := map[string]ValueType{
+		"$15,200":  TypeMonetary,
+		"$9.99":    TypeMonetary,
+		"1995":     TypeInteger,
+		"10,000":   TypeInteger,
+		"3.5":      TypeReal,
+		"January":  TypeDate,
+		"Jan":      TypeDate,
+		"Jan 15":   TypeDate,
+		"Honda":    TypeString,
+		"Economy":  TypeString,
+		"New York": TypeString,
+	}
+	for in, want := range cases {
+		if got := classifyValue(in); got != want {
+			t.Errorf("classifyValue(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestInferType(t *testing.T) {
+	if got := InferType([]string{"$5", "$10", "$15", "Honda"}); got != TypeMonetary {
+		t.Errorf("mostly monetary = %v", got)
+	}
+	if got := InferType([]string{"1", "Honda", "$5"}); got != TypeString {
+		t.Errorf("mixed should default to string, got %v", got)
+	}
+	if got := InferType(nil); got != TypeString {
+		t.Errorf("empty = %v", got)
+	}
+	if got := InferType([]string{"January", "March", "July"}); got != TypeDate {
+		t.Errorf("months = %v", got)
+	}
+}
+
+func TestDomSimTypeMismatch(t *testing.T) {
+	if got := DomSim([]string{"$5", "$10"}, []string{"Honda", "Toyota"}); got != 0 {
+		t.Errorf("cross-type DomSim = %v, want 0", got)
+	}
+}
+
+func TestDomSimRangeOverlap(t *testing.T) {
+	a := []string{"$10,000", "$20,000"}
+	b := []string{"$15,000", "$25,000"}
+	got := DomSim(a, b)
+	want := 5000.0 / 15000.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("range overlap = %v, want %v", got, want)
+	}
+	c := []string{"$50,000", "$60,000"}
+	if DomSim(a, c) != 0 {
+		t.Error("disjoint ranges should have zero DomSim")
+	}
+}
+
+func TestDomSimIdenticalPoint(t *testing.T) {
+	if got := DomSim([]string{"5"}, []string{"5"}); got != 1 {
+		t.Errorf("identical single-point ranges = %v, want 1", got)
+	}
+}
+
+func TestDomSimDatesNormalizeMonths(t *testing.T) {
+	a := []string{"January", "February", "March"}
+	b := []string{"Jan", "Feb", "Dec"}
+	got := DomSim(a, b)
+	if got < 0.6 || got > 0.7 {
+		t.Errorf("month-normalized DomSim = %v, want 2/3", got)
+	}
+}
+
+func TestDomSimStrings(t *testing.T) {
+	a := []string{"Economy", "Business", "First Class"}
+	b := []string{"economy", "business", "first class", "premium"}
+	if got := DomSim(a, b); got != 1 {
+		t.Errorf("string overlap = %v, want 1 (all of smaller set shared)", got)
+	}
+}
+
+func TestDomSimEmpty(t *testing.T) {
+	if got := DomSim(nil, []string{"x"}); got != 0 {
+		t.Errorf("empty DomSim = %v", got)
+	}
+}
+
+func TestAttrSimWeights(t *testing.T) {
+	m := New(Config{Alpha: 0.6, Beta: 0.4})
+	a := &schema.Attribute{Label: "Airline", Instances: []string{"Delta", "United"}}
+	b := &schema.Attribute{Label: "Airline", Instances: []string{"Delta", "United"}}
+	if got := m.AttrSim(a, b); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("identical attrs sim = %v, want 1", got)
+	}
+	c := &schema.Attribute{Label: "Carrier", Instances: []string{"Delta", "United"}}
+	if got := m.AttrSim(a, c); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("label-disjoint value-identical sim = %v, want 0.4", got)
+	}
+}
+
+// tinyDataset builds a two-interface dataset with known structure.
+func tinyDataset() *schema.Dataset {
+	mk := func(ifcID, id, label string, inst ...string) *schema.Attribute {
+		return &schema.Attribute{
+			ID: ifcID + "/" + id, InterfaceID: ifcID, Label: label,
+			Instances: inst, ConceptID: id,
+		}
+	}
+	return &schema.Dataset{
+		Domain: "test",
+		Interfaces: []*schema.Interface{
+			{ID: "if0", Domain: "test", Attributes: []*schema.Attribute{
+				mk("if0", "city", "Departure city"),
+				mk("if0", "airline", "Airline", "Delta", "United", "American"),
+				mk("if0", "class", "Class of service", "Economy", "Business"),
+			}},
+			{ID: "if1", Domain: "test", Attributes: []*schema.Attribute{
+				mk("if1", "city", "Departure city"),
+				mk("if1", "airline", "Carrier", "Delta", "United"),
+				mk("if1", "class", "Class", "Economy", "First Class"),
+			}},
+		},
+	}
+}
+
+func TestMatchLabelsAndValues(t *testing.T) {
+	ds := tinyDataset()
+	m := New(DefaultConfig())
+	res := m.Match(ds)
+
+	want := []schema.MatchPair{
+		schema.NewMatchPair("if0/city", "if1/city"),       // identical labels
+		schema.NewMatchPair("if0/airline", "if1/airline"), // values only
+		schema.NewMatchPair("if0/class", "if1/class"),     // label + values
+	}
+	for _, p := range want {
+		if !res.Pairs[p] {
+			t.Errorf("missing expected match %v; got %v", p, res.Clusters)
+		}
+	}
+}
+
+func TestMatchRespectsSameInterfaceConstraint(t *testing.T) {
+	ds := tinyDataset()
+	m := New(DefaultConfig())
+	res := m.Match(ds)
+	for _, c := range res.Clusters {
+		seen := map[string]bool{}
+		for _, id := range c {
+			ifc := id[:3]
+			if seen[ifc] {
+				t.Errorf("cluster %v contains two attributes of %s", c, ifc)
+			}
+			seen[ifc] = true
+		}
+	}
+}
+
+func TestMatchThresholdPrunes(t *testing.T) {
+	ds := tinyDataset()
+	// Add a weakly-similar distractor: "Departure date" shares one word
+	// with "Departure city".
+	ds.Interfaces[0].Attributes = append(ds.Interfaces[0].Attributes,
+		&schema.Attribute{ID: "if0/date", InterfaceID: "if0", Label: "Departure date", ConceptID: "date"})
+	loose := New(Config{Alpha: 0.6, Beta: 0.4, Threshold: 0}).Match(ds)
+	strict := New(Config{Alpha: 0.6, Beta: 0.4, Threshold: 0.5}).Match(ds)
+	if len(strict.Pairs) > len(loose.Pairs) {
+		t.Error("higher threshold should not produce more pairs")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	gold := map[schema.MatchPair]bool{
+		schema.NewMatchPair("a", "b"): true,
+		schema.NewMatchPair("c", "d"): true,
+	}
+	pred := map[schema.MatchPair]bool{
+		schema.NewMatchPair("a", "b"): true,
+		schema.NewMatchPair("a", "c"): true,
+	}
+	m := Evaluate(pred, gold)
+	if m.Precision != 0.5 || m.Recall != 0.5 {
+		t.Errorf("P/R = %v/%v, want .5/.5", m.Precision, m.Recall)
+	}
+	if math.Abs(m.F1-0.5) > 1e-9 {
+		t.Errorf("F1 = %v, want .5", m.F1)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := Evaluate(nil, nil)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+}
+
+func TestMatchGeneratedDatasetReasonable(t *testing.T) {
+	// Baseline matching on the auto domain should already be decent —
+	// the paper's baseline averages 89.5% across domains.
+	dom := kb.DomainByKey("auto")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	res := New(DefaultConfig()).Match(ds)
+	m := Evaluate(res.Pairs, ds.GoldPairs())
+	if m.F1 < 0.5 {
+		t.Errorf("baseline auto F1 = %.3f, implausibly low (P=%.3f R=%.3f)", m.F1, m.Precision, m.Recall)
+	}
+	if m.F1 >= 0.995 {
+		t.Errorf("baseline auto F1 = %.3f, implausibly perfect — no headroom for WebIQ", m.F1)
+	}
+}
+
+func TestMatchDeterministic(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	a := New(DefaultConfig()).Match(ds)
+	b := New(DefaultConfig()).Match(ds)
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatal("match results differ across runs")
+	}
+	for p := range a.Pairs {
+		if !b.Pairs[p] {
+			t.Fatalf("pair %v missing in second run", p)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package matcher
+
+import (
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+	"webiq/internal/schema"
+)
+
+// Property tests over real generated datasets: structural invariants of
+// the clustering output.
+
+func matchAllDomains(t *testing.T, tau float64) map[string]*Result {
+	t.Helper()
+	out := map[string]*Result{}
+	for _, dom := range kb.Domains() {
+		ds := dataset.Generate(dom, dataset.DefaultConfig())
+		out[dom.Key] = New(Config{Alpha: .6, Beta: .4, Threshold: tau}).Match(ds)
+	}
+	return out
+}
+
+func TestClustersPartitionAttributes(t *testing.T) {
+	for _, dom := range kb.Domains() {
+		ds := dataset.Generate(dom, dataset.DefaultConfig())
+		res := New(DefaultConfig()).Match(ds)
+		seen := map[string]int{}
+		for _, c := range res.Clusters {
+			for _, id := range c {
+				seen[id]++
+			}
+		}
+		for _, a := range ds.AllAttributes() {
+			if seen[a.ID] != 1 {
+				t.Errorf("%s: attribute %s appears %d times in clusters", dom.Key, a.ID, seen[a.ID])
+			}
+		}
+		total := 0
+		for _, c := range res.Clusters {
+			total += len(c)
+		}
+		if total != len(ds.AllAttributes()) {
+			t.Errorf("%s: clusters cover %d of %d attributes", dom.Key, total, len(ds.AllAttributes()))
+		}
+	}
+}
+
+func TestNoSameInterfacePairs(t *testing.T) {
+	for _, dom := range kb.Domains() {
+		ds := dataset.Generate(dom, dataset.DefaultConfig())
+		byID := map[string]*schema.Attribute{}
+		for _, a := range ds.AllAttributes() {
+			byID[a.ID] = a
+		}
+		res := New(DefaultConfig()).Match(ds)
+		for p := range res.Pairs {
+			if byID[p.A].InterfaceID == byID[p.B].InterfaceID {
+				t.Errorf("%s: pair %v within one interface", dom.Key, p)
+			}
+		}
+	}
+}
+
+func TestPairsAreClusterClosure(t *testing.T) {
+	dom := kb.DomainByKey("auto")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	res := New(DefaultConfig()).Match(ds)
+	want := 0
+	for _, c := range res.Clusters {
+		want += len(c) * (len(c) - 1) / 2
+	}
+	if len(res.Pairs) != want {
+		t.Errorf("pairs = %d, want %d (full closure of clusters)", len(res.Pairs), want)
+	}
+	for p := range res.Pairs {
+		if p.A >= p.B {
+			t.Errorf("pair %v not normalized", p)
+		}
+	}
+}
+
+func TestHigherThresholdNeverAddsPairs(t *testing.T) {
+	loose := matchAllDomains(t, 0)
+	strict := matchAllDomains(t, 0.2)
+	for key, l := range loose {
+		s := strict[key]
+		for p := range s.Pairs {
+			if !l.Pairs[p] {
+				// Single-link with constraints is order-dependent, so a
+				// strictly nested result is not guaranteed in theory —
+				// but a large violation indicates a bug.
+				t.Logf("%s: pair %v at tau=.2 but not tau=0", key, p)
+			}
+		}
+		if len(s.Pairs) > len(l.Pairs) {
+			t.Errorf("%s: more pairs at tau=.2 (%d) than tau=0 (%d)", key, len(s.Pairs), len(l.Pairs))
+		}
+	}
+}
+
+func TestAttrSimRange(t *testing.T) {
+	dom := kb.DomainByKey("realestate")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	m := New(DefaultConfig())
+	attrs := ds.AllAttributes()
+	for i := 0; i < len(attrs) && i < 40; i++ {
+		for j := i + 1; j < len(attrs) && j < 40; j++ {
+			s := m.AttrSim(attrs[i], attrs[j])
+			if s < 0 || s > 1.0000001 {
+				t.Fatalf("sim(%s,%s) = %v out of [0,1]", attrs[i].ID, attrs[j].ID, s)
+			}
+			if s2 := m.AttrSim(attrs[j], attrs[i]); s2 != s {
+				t.Fatalf("sim not symmetric for %s,%s", attrs[i].ID, attrs[j].ID)
+			}
+		}
+	}
+}
+
+func TestMatchSingleInterface(t *testing.T) {
+	// One interface: no pairs possible, every attribute a singleton.
+	ds := &schema.Dataset{
+		Domain: "t",
+		Interfaces: []*schema.Interface{{
+			ID: "only",
+			Attributes: []*schema.Attribute{
+				{ID: "only/a", InterfaceID: "only", Label: "X", Instances: []string{"1"}},
+				{ID: "only/b", InterfaceID: "only", Label: "X", Instances: []string{"1"}},
+			},
+		}},
+	}
+	res := New(DefaultConfig()).Match(ds)
+	if len(res.Pairs) != 0 {
+		t.Errorf("pairs = %v, want none", res.Pairs)
+	}
+	if len(res.Clusters) != 2 {
+		t.Errorf("clusters = %v, want 2 singletons", res.Clusters)
+	}
+}
+
+func TestMatchEmptyDataset(t *testing.T) {
+	res := New(DefaultConfig()).Match(&schema.Dataset{})
+	if len(res.Pairs) != 0 || len(res.Clusters) != 0 {
+		t.Errorf("empty dataset gave %+v", res)
+	}
+}
+
+func TestLinkageVariants(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	gold := ds.GoldPairs()
+	results := map[Linkage]Metrics{}
+	for _, l := range []Linkage{SingleLink, AverageLink, CompleteLink} {
+		res := New(Config{Alpha: .6, Beta: .4, Threshold: 0, Linkage: l}).Match(ds)
+		results[l] = Evaluate(res.Pairs, gold)
+	}
+	// All linkages should produce sane results; complete-link is the
+	// most conservative and must not out-recall single-link.
+	for l, m := range results {
+		if m.F1 <= 0.3 {
+			t.Errorf("linkage %v: implausible F1 %.3f", l, m.F1)
+		}
+	}
+	if results[CompleteLink].Recall > results[SingleLink].Recall+1e-9 {
+		t.Errorf("complete-link recall (%.3f) exceeds single-link (%.3f)",
+			results[CompleteLink].Recall, results[SingleLink].Recall)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	names := map[Linkage]string{SingleLink: "single", AverageLink: "average", CompleteLink: "complete"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("Linkage(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}

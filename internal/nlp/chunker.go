@@ -1,0 +1,341 @@
+package nlp
+
+import "strings"
+
+// PhraseForm classifies the syntactic form of an attribute label, per the
+// shallow analysis of Section 2.1 of the paper.
+type PhraseForm int
+
+const (
+	// FormNounPhrase: "Departure city", "Type of job".
+	FormNounPhrase PhraseForm = iota
+	// FormPrepPhrase: a preposition followed by a noun phrase — "From
+	// city". The NP after the preposition is used for extraction.
+	FormPrepPhrase
+	// FormNPConjunction: noun phrases joined by and/or — "First name or
+	// last name". Extraction is repeated for each NP.
+	FormNPConjunction
+	// FormVerbPhrase: "Depart from". No reliable extraction query can be
+	// formed.
+	FormVerbPhrase
+	// FormBarePreposition: "From", "To". No noun phrase at all.
+	FormBarePreposition
+	// FormOther: anything else (sentences, fragments without nouns).
+	FormOther
+)
+
+// String returns a human-readable form name.
+func (f PhraseForm) String() string {
+	switch f {
+	case FormNounPhrase:
+		return "noun-phrase"
+	case FormPrepPhrase:
+		return "prepositional-phrase"
+	case FormNPConjunction:
+		return "np-conjunction"
+	case FormVerbPhrase:
+		return "verb-phrase"
+	case FormBarePreposition:
+		return "bare-preposition"
+	default:
+		return "other"
+	}
+}
+
+// NounPhrase is a chunked noun phrase. Head is the index (into Tokens) of
+// the head noun — the noun that gets pluralized when forming extraction
+// queries ("class of service" -> "classes of service").
+type NounPhrase struct {
+	Tokens []TaggedToken
+	Head   int
+}
+
+// Text returns the normalized (lower-cased, space-joined) phrase text.
+func (np NounPhrase) Text() string {
+	parts := make([]string, len(np.Tokens))
+	for i, t := range np.Tokens {
+		parts[i] = t.Norm
+	}
+	return strings.Join(parts, " ")
+}
+
+// HeadWord returns the normalized head noun.
+func (np NounPhrase) HeadWord() string {
+	if np.Head < 0 || np.Head >= len(np.Tokens) {
+		return ""
+	}
+	return np.Tokens[np.Head].Norm
+}
+
+// Plural returns the phrase with its head noun pluralized, e.g.
+// "departure city" -> "departure cities", "class of service" ->
+// "classes of service". Heads that are already plural are left alone.
+func (np NounPhrase) Plural() string {
+	parts := make([]string, len(np.Tokens))
+	for i, t := range np.Tokens {
+		if i == np.Head && t.Tag != NNS && t.Tag != "NNPS" {
+			parts[i] = Pluralize(t.Norm)
+		} else {
+			parts[i] = t.Norm
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// LabelSyntax is the result of analyzing an attribute label.
+type LabelSyntax struct {
+	Form   PhraseForm
+	Tagged []TaggedToken
+	// NPs holds the noun phrase(s) to use for query formulation: one for
+	// FormNounPhrase and FormPrepPhrase, one per conjunct for
+	// FormNPConjunction, none for the remaining forms.
+	NPs []NounPhrase
+}
+
+// AnalyzeLabel performs the shallow syntactic analysis of Section 2.1:
+// POS-tag the label, then match the tag sequence against the patterns for
+// noun phrase, prepositional phrase, and noun-phrase conjunction.
+func AnalyzeLabel(label string) LabelSyntax {
+	var tg Tagger
+	tagged := tg.Tag(label)
+	// Strip trailing punctuation (":" etc.) common in form labels.
+	for len(tagged) > 0 && tagged[len(tagged)-1].Kind == Punct {
+		tagged = tagged[:len(tagged)-1]
+	}
+	ls := LabelSyntax{Form: FormOther, Tagged: tagged}
+	if len(tagged) == 0 {
+		return ls
+	}
+
+	// Bare preposition(s): "From", "To", "Near".
+	if allPreps(tagged) {
+		ls.Form = FormBarePreposition
+		return ls
+	}
+
+	// Prepositional phrase: preposition followed by a noun phrase
+	// ("From city", "Within miles of zip").
+	if tagged[0].Tag == IN || tagged[0].Tag == TO {
+		if np, end := matchNP(tagged, 1); end == len(tagged) {
+			ls.Form = FormPrepPhrase
+			ls.NPs = []NounPhrase{np}
+			return ls
+		}
+	}
+
+	// Verb phrase: a leading verb ("Depart from", "Search jobs",
+	// "Going to").
+	if tagged[0].Tag.IsVerb() {
+		ls.Form = FormVerbPhrase
+		return ls
+	}
+
+	// Noun phrase conjunction: NP (CC NP)+ — "First name or last name".
+	if nps, ok := matchNPConjunction(tagged); ok && len(nps) > 1 {
+		ls.Form = FormNPConjunction
+		ls.NPs = nps
+		return ls
+	}
+
+	// Plain noun phrase spanning the whole label.
+	if np, end := matchNP(tagged, 0); end == len(tagged) {
+		ls.Form = FormNounPhrase
+		ls.NPs = []NounPhrase{np}
+		return ls
+	}
+
+	// Fall back: if the label contains any noun phrase, expose the first
+	// one so extraction can still be attempted (e.g. "Enter departure
+	// city" after an imperative verb).
+	for i := range tagged {
+		if np, end := matchNP(tagged, i); end > i && containsNoun(np.Tokens) {
+			ls.NPs = []NounPhrase{np}
+			break
+		}
+	}
+	return ls
+}
+
+func allPreps(tt []TaggedToken) bool {
+	for _, t := range tt {
+		if t.Tag != IN && t.Tag != TO && t.Tag != SYM {
+			return false
+		}
+	}
+	return true
+}
+
+func containsNoun(tt []TaggedToken) bool {
+	for _, t := range tt {
+		if t.Tag.IsNoun() {
+			return true
+		}
+	}
+	return false
+}
+
+// matchNP matches the paper's noun-phrase pattern starting at index
+// start: optional determiner, optional modifiers (adjectives, nouns,
+// gerunds, cardinals), a head noun, and an optional prepositional-phrase
+// post-modifier whose object is itself a simple NP. It returns the
+// matched phrase and the index just past it; end == start means no match.
+func matchNP(tt []TaggedToken, start int) (NounPhrase, int) {
+	i := start
+	if i < len(tt) && tt[i].Tag == DT {
+		i++
+	}
+	// Modifiers + head: a run of JJ/NN/NNS/NNP/VBG/VBN/CD ending at the
+	// last noun in the run.
+	runStart := i
+	for i < len(tt) && isNPWord(tt[i].Tag) {
+		i++
+	}
+	// The head is the last noun in [runStart, i).
+	head := -1
+	for j := i - 1; j >= runStart; j-- {
+		if tt[j].Tag.IsNoun() {
+			head = j
+			break
+		}
+	}
+	if head < 0 {
+		return NounPhrase{}, start
+	}
+	// Trim trailing non-noun modifiers after the head ("city new" cannot
+	// happen with our pattern since head is last noun; trailing JJ/CD are
+	// excluded from the phrase).
+	end := head + 1
+	np := NounPhrase{Tokens: tt[start:end], Head: head - start}
+
+	// Optional PP post-modifier: IN + simple NP ("class of service",
+	// "type of job", "number of passengers").
+	if end < len(tt) && (tt[end].Tag == IN || tt[end].Tag == TO) {
+		if inner, innerEnd := matchSimpleNP(tt, end+1); innerEnd > end+1 {
+			_ = inner
+			np = NounPhrase{Tokens: tt[start:innerEnd], Head: head - start}
+			end = innerEnd
+		}
+	}
+	return np, end
+}
+
+// matchSimpleNP matches determiner + modifiers + head noun with no PP
+// recursion.
+func matchSimpleNP(tt []TaggedToken, start int) (NounPhrase, int) {
+	i := start
+	if i < len(tt) && tt[i].Tag == DT {
+		i++
+	}
+	runStart := i
+	for i < len(tt) && isNPWord(tt[i].Tag) {
+		i++
+	}
+	head := -1
+	for j := i - 1; j >= runStart; j-- {
+		if tt[j].Tag.IsNoun() {
+			head = j
+			break
+		}
+	}
+	if head < 0 {
+		return NounPhrase{}, start
+	}
+	end := head + 1
+	return NounPhrase{Tokens: tt[start:end], Head: head - start}, end
+}
+
+func isNPWord(t Tag) bool {
+	switch t {
+	case JJ, NN, NNS, NNP, VBG, VBN, CD:
+		return true
+	}
+	return false
+}
+
+// matchNPConjunction matches NP (CC NP)+ covering the whole input.
+func matchNPConjunction(tt []TaggedToken) ([]NounPhrase, bool) {
+	var nps []NounPhrase
+	i := 0
+	for {
+		np, end := matchSimpleNP(tt, i)
+		if end == i {
+			return nil, false
+		}
+		nps = append(nps, np)
+		i = end
+		if i == len(tt) {
+			return nps, true
+		}
+		if tt[i].Tag != CC && !(tt[i].Kind == Punct && tt[i].Norm == ",") {
+			return nil, false
+		}
+		i++
+		// Allow ", and".
+		if i < len(tt) && tt[i].Tag == CC {
+			i++
+		}
+	}
+}
+
+// ExtractNPList extracts the comma/conjunction-separated list of simple
+// noun phrases starting at index start in the tagged sequence. It is the
+// completion extractor for set extraction patterns ("... such as Boston,
+// Chicago, and LAX"). Extraction stops at the first token that is neither
+// part of a simple NP nor a list separator, or at end of sentence.
+func ExtractNPList(tt []TaggedToken, start int) []string {
+	var out []string
+	i := start
+	for i < len(tt) {
+		np, end := matchEntityNP(tt, i)
+		if end == i {
+			break
+		}
+		out = append(out, np)
+		i = end
+		// Separators: "," / "and" / "or" / ", and".
+		sep := false
+		if i < len(tt) && tt[i].Kind == Punct && tt[i].Norm == "," {
+			i++
+			sep = true
+		}
+		if i < len(tt) && tt[i].Tag == CC {
+			i++
+			sep = true
+		}
+		if !sep {
+			break
+		}
+	}
+	return out
+}
+
+// matchEntityNP matches an entity-like NP in a snippet completion: a run
+// of proper nouns, nouns, adjectives and cardinals, preserving original
+// casing ("Air Canada", "New York", "LAX", "1995"). A leading determiner
+// ("other") ends the list instead, because "and other airlines" closes
+// Hearst pattern s4.
+func matchEntityNP(tt []TaggedToken, start int) (string, int) {
+	i := start
+	if i < len(tt) && (tt[i].Tag == DT || tt[i].Norm == "other") {
+		return "", start
+	}
+	var parts []string
+	for i < len(tt) {
+		t := tt[i]
+		if t.Kind == Number || isNPWord(t.Tag) {
+			// "such", "other", "many" are list-closing modifiers, not
+			// entity words.
+			if t.Norm == "such" || t.Norm == "other" || t.Norm == "many" || t.Norm == "more" {
+				break
+			}
+			parts = append(parts, t.Text)
+			i++
+			continue
+		}
+		break
+	}
+	if len(parts) == 0 {
+		return "", start
+	}
+	return strings.Join(parts, " "), i
+}

@@ -1,0 +1,169 @@
+package nlp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAnalyzeLabelNounPhrase(t *testing.T) {
+	ls := AnalyzeLabel("Departure city")
+	if ls.Form != FormNounPhrase {
+		t.Fatalf("form = %v, want noun-phrase", ls.Form)
+	}
+	if len(ls.NPs) != 1 || ls.NPs[0].Text() != "departure city" {
+		t.Fatalf("NPs = %+v", ls.NPs)
+	}
+	if ls.NPs[0].HeadWord() != "city" {
+		t.Errorf("head = %q, want city", ls.NPs[0].HeadWord())
+	}
+	if ls.NPs[0].Plural() != "departure cities" {
+		t.Errorf("plural = %q", ls.NPs[0].Plural())
+	}
+}
+
+func TestAnalyzeLabelPPPostmodifier(t *testing.T) {
+	ls := AnalyzeLabel("Class of service")
+	if ls.Form != FormNounPhrase {
+		t.Fatalf("form = %v, want noun-phrase", ls.Form)
+	}
+	np := ls.NPs[0]
+	if np.Text() != "class of service" {
+		t.Errorf("NP = %q", np.Text())
+	}
+	if np.HeadWord() != "class" {
+		t.Errorf("head = %q, want class", np.HeadWord())
+	}
+	if np.Plural() != "classes of service" {
+		t.Errorf("plural = %q, want classes of service", np.Plural())
+	}
+}
+
+func TestAnalyzeLabelPrepPhrase(t *testing.T) {
+	ls := AnalyzeLabel("From city")
+	if ls.Form != FormPrepPhrase {
+		t.Fatalf("form = %v, want prepositional-phrase", ls.Form)
+	}
+	if len(ls.NPs) != 1 || ls.NPs[0].Text() != "city" {
+		t.Errorf("NPs = %+v", ls.NPs)
+	}
+}
+
+func TestAnalyzeLabelBarePreposition(t *testing.T) {
+	for _, label := range []string{"From", "To", "from:"} {
+		ls := AnalyzeLabel(label)
+		if ls.Form != FormBarePreposition {
+			t.Errorf("AnalyzeLabel(%q).Form = %v, want bare-preposition", label, ls.Form)
+		}
+		if len(ls.NPs) != 0 {
+			t.Errorf("AnalyzeLabel(%q) found NPs %+v", label, ls.NPs)
+		}
+	}
+}
+
+func TestAnalyzeLabelVerbPhrase(t *testing.T) {
+	ls := AnalyzeLabel("Depart from")
+	if ls.Form != FormVerbPhrase {
+		t.Errorf("form = %v, want verb-phrase", ls.Form)
+	}
+}
+
+func TestAnalyzeLabelConjunction(t *testing.T) {
+	ls := AnalyzeLabel("First name or last name")
+	if ls.Form != FormNPConjunction {
+		t.Fatalf("form = %v, want np-conjunction", ls.Form)
+	}
+	var texts []string
+	for _, np := range ls.NPs {
+		texts = append(texts, np.Text())
+	}
+	want := []string{"first name", "last name"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Errorf("NPs = %v, want %v", texts, want)
+	}
+}
+
+func TestAnalyzeLabelTypeOfJob(t *testing.T) {
+	ls := AnalyzeLabel("Type of job")
+	if ls.Form != FormNounPhrase {
+		t.Fatalf("form = %v", ls.Form)
+	}
+	if ls.NPs[0].Plural() != "types of job" {
+		t.Errorf("plural = %q", ls.NPs[0].Plural())
+	}
+}
+
+func TestAnalyzeLabelTrailingColon(t *testing.T) {
+	ls := AnalyzeLabel("Airline:")
+	if ls.Form != FormNounPhrase || ls.NPs[0].Text() != "airline" {
+		t.Errorf("form=%v NPs=%+v", ls.Form, ls.NPs)
+	}
+}
+
+func TestAnalyzeLabelEmpty(t *testing.T) {
+	ls := AnalyzeLabel("")
+	if ls.Form != FormOther || len(ls.NPs) != 0 {
+		t.Errorf("empty label: %+v", ls)
+	}
+}
+
+func TestAnalyzeLabelImperativeFallback(t *testing.T) {
+	// A verb phrase with an embedded NP still exposes the NP for
+	// best-effort extraction.
+	ls := AnalyzeLabel("Depart from")
+	if ls.Form != FormVerbPhrase {
+		t.Fatalf("form = %v", ls.Form)
+	}
+}
+
+func TestExtractNPList(t *testing.T) {
+	var tg Tagger
+	tt := tg.Tag("Boston, Chicago, and LAX. Other text follows.")
+	got := ExtractNPList(tt, 0)
+	want := []string{"Boston", "Chicago", "LAX"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractNPList = %v, want %v", got, want)
+	}
+}
+
+func TestExtractNPListMultiword(t *testing.T) {
+	var tg Tagger
+	tt := tg.Tag("Air Canada, American and Delta serve this route")
+	got := ExtractNPList(tt, 0)
+	want := []string{"Air Canada", "American", "Delta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractNPList = %v, want %v", got, want)
+	}
+}
+
+func TestExtractNPListStopsAtOther(t *testing.T) {
+	var tg Tagger
+	// Pattern s4: "NP1, ..., NPn, and other Ls" — "other airlines" must
+	// not be extracted as an instance.
+	tt := tg.Tag("Delta, United, and other airlines")
+	got := ExtractNPList(tt, 0)
+	want := []string{"Delta", "United"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractNPList = %v, want %v", got, want)
+	}
+}
+
+func TestExtractNPListEmpty(t *testing.T) {
+	var tg Tagger
+	tt := tg.Tag("is from the")
+	if got := ExtractNPList(tt, 0); len(got) != 0 {
+		t.Errorf("ExtractNPList on non-NP text = %v", got)
+	}
+}
+
+func TestPhraseFormString(t *testing.T) {
+	forms := []PhraseForm{FormNounPhrase, FormPrepPhrase, FormNPConjunction,
+		FormVerbPhrase, FormBarePreposition, FormOther}
+	seen := map[string]bool{}
+	for _, f := range forms {
+		s := f.String()
+		if s == "" || seen[s] {
+			t.Errorf("form %d has bad/duplicate string %q", f, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,53 @@
+package nlp_test
+
+import (
+	"fmt"
+
+	"webiq/internal/nlp"
+)
+
+func ExampleAnalyzeLabel() {
+	for _, label := range []string{"Departure city", "From", "Depart from", "Class of service"} {
+		ls := nlp.AnalyzeLabel(label)
+		fmt.Printf("%-18s %s\n", label, ls.Form)
+	}
+	// Output:
+	// Departure city     noun-phrase
+	// From               bare-preposition
+	// Depart from        verb-phrase
+	// Class of service   noun-phrase
+}
+
+func ExampleNounPhrase_Plural() {
+	ls := nlp.AnalyzeLabel("Class of service")
+	fmt.Println(ls.NPs[0].Plural())
+	// Output:
+	// classes of service
+}
+
+func ExampleTokenize() {
+	for _, t := range nlp.Tokenize("Price: $15,200!") {
+		fmt.Printf("%q %v\n", t.Text, t.Kind == nlp.Number)
+	}
+	// Output:
+	// "Price" false
+	// ":" false
+	// "$15,200" true
+	// "!" false
+}
+
+func ExamplePluralize() {
+	fmt.Println(nlp.Pluralize("departure city"))
+	fmt.Println(nlp.Pluralize("child"))
+	// Output:
+	// departure cities
+	// children
+}
+
+func ExampleExtractNPList() {
+	var tg nlp.Tagger
+	tagged := tg.Tag("Boston, Chicago, and LAX are served.")
+	fmt.Println(nlp.ExtractNPList(tagged, 0))
+	// Output:
+	// [Boston Chicago LAX]
+}

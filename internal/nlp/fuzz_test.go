@@ -1,0 +1,70 @@
+package nlp
+
+import "testing"
+
+// Fuzz targets: parsers must never panic and must maintain their basic
+// invariants on arbitrary input. (Run with `go test -fuzz FuzzTokenize`;
+// seed corpus runs as part of normal tests.)
+
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{
+		"Departure city", "$15,200 and other prices", "a<b>&c",
+		"From: Boston, Chicago, and LAX.", "日本語 mixed テキスト 3.5",
+		"first-class o'hare -", "...", "$", "-$5", "1,2,3",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		prev := -1
+		for _, tok := range toks {
+			if tok.Text == "" {
+				t.Fatalf("empty token in %q", s)
+			}
+			if tok.Pos <= prev {
+				t.Fatalf("non-monotonic offsets in %q", s)
+			}
+			prev = tok.Pos
+			if tok.Pos < 0 || tok.Pos >= len(s) {
+				t.Fatalf("offset %d out of range for %q", tok.Pos, s)
+			}
+		}
+	})
+}
+
+func FuzzAnalyzeLabel(f *testing.F) {
+	for _, s := range []string{
+		"From city", "Depart from", "First name or last name",
+		"Class of service", "", ":::", "to to to", "123 456",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ls := AnalyzeLabel(s)
+		// Every returned NP must have a valid head.
+		for _, np := range ls.NPs {
+			if np.Head < 0 || np.Head >= len(np.Tokens) {
+				t.Fatalf("NP head %d out of range (%d tokens) for %q", np.Head, len(np.Tokens), s)
+			}
+			if np.Text() == "" {
+				t.Fatalf("empty NP for %q", s)
+			}
+			_ = np.Plural()
+		}
+	})
+}
+
+func FuzzPluralizeSingularize(f *testing.F) {
+	for _, s := range []string{"city", "bus", "children", "Series", "x", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// Must not panic; outputs must not explode in size.
+		p := Pluralize(s)
+		q := Singularize(p)
+		if len(p) > len(s)+4 {
+			t.Fatalf("Pluralize(%q) = %q grew too much", s, p)
+		}
+		_ = q
+	})
+}

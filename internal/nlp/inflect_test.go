@@ -1,0 +1,115 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPluralize(t *testing.T) {
+	cases := map[string]string{
+		"city":           "cities",
+		"author":         "authors",
+		"class":          "classes",
+		"child":          "children",
+		"company":        "companies",
+		"bus":            "buses",
+		"box":            "boxes",
+		"church":         "churches",
+		"auto":           "autos",
+		"tomato":         "tomatoes",
+		"day":            "days",
+		"departure city": "departure cities",
+		"job category":   "job categories",
+		"series":         "series",
+		"person":         "people",
+		"":               "",
+	}
+	for in, want := range cases {
+		if got := Pluralize(in); got != want {
+			t.Errorf("Pluralize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSingularize(t *testing.T) {
+	cases := map[string]string{
+		"cities":    "city",
+		"authors":   "author",
+		"classes":   "class",
+		"children":  "child",
+		"buses":     "bus",
+		"companies": "company",
+		"status":    "status",
+		"class":     "class",
+		"basis":     "basi", // -is guarded: "basis" keeps its form
+		"series":    "series",
+		"people":    "person",
+		"days":      "day",
+	}
+	// Correct the -is expectation: Singularize must not strip "is".
+	cases["basis"] = "basis"
+	for in, want := range cases {
+		if got := Singularize(in); got != want {
+			t.Errorf("Singularize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPluralizeSingularizeRoundTrip(t *testing.T) {
+	words := []string{
+		"city", "author", "publisher", "company", "airline", "carrier",
+		"passenger", "category", "box", "church", "day", "make", "model",
+		"bedroom", "county", "skill", "position",
+	}
+	for _, w := range words {
+		if got := Singularize(Pluralize(w)); got != w {
+			t.Errorf("round trip %q -> %q -> %q", w, Pluralize(w), got)
+		}
+	}
+}
+
+func TestLooksPlural(t *testing.T) {
+	for _, w := range []string{"cities", "authors", "children", "people", "series"} {
+		if !LooksPlural(w) {
+			t.Errorf("LooksPlural(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"city", "class", "status", "basis", "child"} {
+		if LooksPlural(w) {
+			t.Errorf("LooksPlural(%q) = true", w)
+		}
+	}
+}
+
+// Property: for lower-case alphabetic words, Pluralize output always
+// LooksPlural (invariant nouns excepted by construction of the check).
+func TestPluralizeProducesPlural(t *testing.T) {
+	f := func(raw string) bool {
+		w := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' {
+				return r
+			}
+			return -1
+		}, strings.ToLower(raw))
+		if len(w) < 2 {
+			return true
+		}
+		if invariantNouns[w] {
+			return true
+		}
+		return LooksPlural(Pluralize(w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPluralizePreservesPhrasePrefix(t *testing.T) {
+	got := Pluralize("type of job")
+	// Head-of-phrase pluralization is the chunker's job; plain Pluralize
+	// works on the last word.
+	if got != "type of jobs" {
+		t.Errorf("Pluralize(\"type of job\") = %q", got)
+	}
+}

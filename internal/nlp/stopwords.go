@@ -1,0 +1,29 @@
+package nlp
+
+// stopwords is the stop list used when turning labels into word vectors
+// for label similarity, and when filtering indexing noise.
+// Note that "from" and "to" are deliberately NOT stopwords: on query
+// interfaces they are the discriminative content of labels like "From"
+// and "To city", and label similarity must see them.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "in": true,
+	"on": true, "at": true, "by": true, "for": true,
+	"with": true, "and": true, "or": true, "is": true,
+	"are": true, "be": true, "as": true, "it": true, "its": true,
+	"your": true, "please": true, "select": true, "enter": true,
+	"choose": true, "any": true, "all": true,
+}
+
+// IsStopword reports whether the (lower-cased) word is on the stop list.
+func IsStopword(w string) bool { return stopwords[w] }
+
+// ContentWords returns the non-stopword word tokens of text, normalized.
+func ContentWords(text string) []string {
+	var out []string
+	for _, w := range Words(text) {
+		if !IsStopword(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package nlp provides the shallow natural-language processing substrate
+// used by WebIQ: tokenization, rule-based part-of-speech tagging in the
+// style of Brill's tagger, noun-phrase chunking by pattern matching over
+// POS tags, and English inflection helpers.
+//
+// The package is deliberately small and deterministic. WebIQ only needs
+// shallow analysis of short attribute labels (e.g. "Departure city",
+// "From city", "Class of service") and of simple snippet sentences, so a
+// lexicon-plus-transformation-rules tagger is both faithful to the paper
+// (which uses Brill's tagger) and adequate for the task.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind classifies a token at the lexical level, before POS tagging.
+type Kind int
+
+const (
+	// Word is an alphabetic token, possibly with internal hyphens or
+	// apostrophes ("don't", "twin-engine").
+	Word Kind = iota
+	// Number is a numeric token: integers, reals, and monetary values
+	// ("42", "3.14", "$15,200").
+	Number
+	// Punct is a punctuation token (",", ".", ":", "(", ...).
+	Punct
+)
+
+// Token is a lexical token with its original and normalized text.
+type Token struct {
+	Text string // original text as it appeared
+	Norm string // lower-cased text
+	Kind Kind
+	Pos  int // byte offset of the token in the input
+}
+
+// IsCapitalized reports whether the token's first rune is an upper-case
+// letter. Capitalization is one of the outlier-detection statistics and a
+// hint for proper-noun tagging.
+func (t Token) IsCapitalized() bool {
+	for _, r := range t.Text {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// Tokenize splits text into word, number, and punctuation tokens.
+//
+// Rules:
+//   - A word is a maximal run of letters, with embedded hyphens or
+//     apostrophes joining letter runs ("first-class", "o'hare").
+//   - A number is a maximal run of digits with optional leading '$',
+//     embedded commas as thousands separators, and one decimal point
+//     ("$15,200", "3.5").
+//   - Everything else that is not whitespace becomes a single-rune
+//     punctuation token.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	// Work directly on byte offsets so Pos always indexes the original
+	// string, even for invalid UTF-8 (which decodes as U+FFFD but must
+	// advance by its true encoded width).
+	runeAt := func(i int) (rune, int) {
+		return utf8.DecodeRuneInString(text[i:])
+	}
+	i := 0
+	for i < len(text) {
+		r, w := runeAt(i)
+		switch {
+		case unicode.IsSpace(r):
+			i += w
+		case unicode.IsLetter(r):
+			start := i
+			j := i
+			for j < len(text) {
+				rj, wj := runeAt(j)
+				if unicode.IsLetter(rj) {
+					j += wj
+					continue
+				}
+				// Join hyphens/apostrophes flanked by letters.
+				if (rj == '-' || rj == '\'') && j+wj < len(text) {
+					rn, wn := runeAt(j + wj)
+					if unicode.IsLetter(rn) {
+						j += wj + wn
+						continue
+					}
+				}
+				break
+			}
+			tok := text[start:j]
+			tokens = append(tokens, Token{
+				Text: tok,
+				Norm: strings.ToLower(tok),
+				Kind: Word,
+				Pos:  start,
+			})
+			i = j
+		case unicode.IsDigit(r) || (r == '$' && i+w < len(text) && isDigitAt(text, i+w)):
+			start := i
+			j := i
+			if text[j] == '$' {
+				j++
+			}
+			seenDot := false
+			for j < len(text) {
+				rj, wj := runeAt(j)
+				if unicode.IsDigit(rj) {
+					j += wj
+					continue
+				}
+				if rj == ',' && j+wj < len(text) && isDigitAt(text, j+wj) {
+					j += wj // the digit is consumed on the next iteration
+					continue
+				}
+				if rj == '.' && !seenDot && j+wj < len(text) && isDigitAt(text, j+wj) {
+					seenDot = true
+					j += wj
+					continue
+				}
+				break
+			}
+			tok := text[start:j]
+			tokens = append(tokens, Token{
+				Text: tok,
+				Norm: tok,
+				Kind: Number,
+				Pos:  start,
+			})
+			i = j
+		default:
+			tokens = append(tokens, Token{
+				Text: text[i : i+w],
+				Norm: text[i : i+w],
+				Kind: Punct,
+				Pos:  i,
+			})
+			i += w
+		}
+	}
+	return tokens
+}
+
+// isDigitAt reports whether the rune starting at byte i is a digit.
+func isDigitAt(s string, i int) bool {
+	r, _ := utf8.DecodeRuneInString(s[i:])
+	return unicode.IsDigit(r)
+}
+
+// Words returns only the word and number tokens of text, normalized to
+// lower case. It is the common pre-processing step for similarity
+// computation and indexing.
+func Words(text string) []string {
+	var out []string
+	for _, t := range Tokenize(text) {
+		if t.Kind != Punct {
+			out = append(out, t.Norm)
+		}
+	}
+	return out
+}
+
+// Sentences splits text into sentences on '.', '!', '?' boundaries,
+// keeping abbreviations with a trailing digit or single letter intact
+// well enough for snippet processing.
+func Sentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		b.WriteRune(r)
+		if r == '.' || r == '!' || r == '?' {
+			// Don't split "3.5" or "U.S." style internals.
+			if i+1 < len(runes) && !unicode.IsSpace(runes[i+1]) {
+				continue
+			}
+			s := strings.TrimSpace(b.String())
+			if s != "" {
+				out = append(out, s)
+			}
+			b.Reset()
+		}
+	}
+	if s := strings.TrimSpace(b.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package schema models Deep-Web query interfaces: attributes with
+// labels and (possibly empty) predefined instance lists, interfaces
+// grouping attributes, and domain datasets with gold-standard matches.
+//
+// Following the paper, "schema" and "query interface" are used
+// interchangeably: an interface's schema is the set of its attributes.
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Attribute is one field of a query interface.
+type Attribute struct {
+	// ID uniquely identifies the attribute across the dataset, e.g.
+	// "airfare/if03/a2".
+	ID string `json:"id"`
+	// InterfaceID is the owning interface's ID.
+	InterfaceID string `json:"interface_id"`
+	// Label is the attribute's visible label ("Departure city").
+	Label string `json:"label"`
+	// Instances are the predefined values the interface exposes for the
+	// attribute (the options of a selection box). Empty for free-text
+	// inputs — the pervasive case WebIQ addresses.
+	Instances []string `json:"instances,omitempty"`
+	// Acquired are instances discovered by WebIQ. They start empty and
+	// are filled by the acquisition pipeline.
+	Acquired []string `json:"acquired,omitempty"`
+	// ConceptID is the hidden ground-truth concept the attribute derives
+	// from. It exists only to compute gold matches and evaluation
+	// metrics; no matching or acquisition code may consult it.
+	ConceptID string `json:"concept_id"`
+}
+
+// HasInstances reports whether the attribute carries any predefined
+// instances.
+func (a *Attribute) HasInstances() bool { return len(a.Instances) > 0 }
+
+// AllInstances returns predefined and acquired instances, predefined
+// first.
+func (a *Attribute) AllInstances() []string {
+	if len(a.Acquired) == 0 {
+		return a.Instances
+	}
+	out := make([]string, 0, len(a.Instances)+len(a.Acquired))
+	out = append(out, a.Instances...)
+	out = append(out, a.Acquired...)
+	return out
+}
+
+// String renders the attribute compactly for logs and reports.
+func (a *Attribute) String() string {
+	return fmt.Sprintf("%s(%q,%d inst)", a.ID, a.Label, len(a.Instances))
+}
+
+// Interface is one source query interface.
+type Interface struct {
+	// ID uniquely identifies the interface, e.g. "airfare/if03".
+	ID string `json:"id"`
+	// Domain is the domain key the interface belongs to.
+	Domain string `json:"domain"`
+	// Source is a human-readable source name.
+	Source string `json:"source"`
+	// Attributes in display order.
+	Attributes []*Attribute `json:"attributes"`
+}
+
+// AttributeByID returns the attribute with the given ID, or nil.
+func (ifc *Interface) AttributeByID(id string) *Attribute {
+	for _, a := range ifc.Attributes {
+		if a.ID == id {
+			return a
+		}
+	}
+	return nil
+}
+
+// Dataset is a domain's worth of interfaces plus derived gold matches.
+type Dataset struct {
+	// Domain is the domain key.
+	Domain string `json:"domain"`
+	// EntityName and DomainKeyword carry the kb.Domain metadata needed
+	// by extraction-query formulation.
+	EntityName    string `json:"entity_name"`
+	DomainKeyword string `json:"domain_keyword"`
+	// Interfaces are the domain's query interfaces.
+	Interfaces []*Interface `json:"interfaces"`
+}
+
+// AllAttributes returns every attribute across the dataset's interfaces
+// in a stable order.
+func (ds *Dataset) AllAttributes() []*Attribute {
+	var out []*Attribute
+	for _, ifc := range ds.Interfaces {
+		out = append(out, ifc.Attributes...)
+	}
+	return out
+}
+
+// InterfaceOf returns the interface owning the given attribute, or nil.
+func (ds *Dataset) InterfaceOf(a *Attribute) *Interface {
+	for _, ifc := range ds.Interfaces {
+		if ifc.ID == a.InterfaceID {
+			return ifc
+		}
+	}
+	return nil
+}
+
+// MatchPair is an unordered pair of attribute IDs asserted (by gold or by
+// a matcher) to be semantically equivalent.
+type MatchPair struct {
+	A, B string
+}
+
+// NewMatchPair normalizes the pair so A < B lexicographically, making
+// pairs comparable as map keys.
+func NewMatchPair(a, b string) MatchPair {
+	if b < a {
+		a, b = b, a
+	}
+	return MatchPair{A: a, B: b}
+}
+
+// GoldClusters groups attribute IDs by their hidden concept; each group
+// with two or more members is a gold cluster.
+func (ds *Dataset) GoldClusters() [][]string {
+	byConcept := map[string][]string{}
+	for _, a := range ds.AllAttributes() {
+		byConcept[a.ConceptID] = append(byConcept[a.ConceptID], a.ID)
+	}
+	keys := make([]string, 0, len(byConcept))
+	for k := range byConcept {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out [][]string
+	for _, k := range keys {
+		ids := byConcept[k]
+		if len(ids) >= 2 {
+			sort.Strings(ids)
+			out = append(out, ids)
+		}
+	}
+	return out
+}
+
+// GoldPairs returns the set of gold match pairs: all pairs of attributes
+// sharing a concept.
+func (ds *Dataset) GoldPairs() map[MatchPair]bool {
+	out := map[MatchPair]bool{}
+	for _, cluster := range ds.GoldClusters() {
+		for i := 0; i < len(cluster); i++ {
+			for j := i + 1; j < len(cluster); j++ {
+				out[NewMatchPair(cluster[i], cluster[j])] = true
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON serializes the dataset as indented JSON.
+func (ds *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ds)
+}
+
+// ReadJSON deserializes a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var ds Dataset
+	if err := json.NewDecoder(r).Decode(&ds); err != nil {
+		return nil, fmt.Errorf("decode dataset: %w", err)
+	}
+	return &ds, nil
+}
+
+// Stats summarizes the instance-availability characteristics of a
+// dataset — the quantities reported in columns 2–4 of Table 1.
+type Stats struct {
+	Interfaces int
+	Attributes int
+	// AvgAttrs is the average number of attributes per interface.
+	AvgAttrs float64
+	// PctInterfacesNoInst is the percentage of interfaces containing at
+	// least one attribute without instances.
+	PctInterfacesNoInst float64
+	// PctAttrsNoInst is, among interfaces with instance-less attributes,
+	// the percentage of attributes without instances.
+	PctAttrsNoInst float64
+}
+
+// ComputeStats derives Stats from the dataset.
+func (ds *Dataset) ComputeStats() Stats {
+	var s Stats
+	s.Interfaces = len(ds.Interfaces)
+	var attrsInNoInstIfcs, noInstAttrs int
+	for _, ifc := range ds.Interfaces {
+		s.Attributes += len(ifc.Attributes)
+		hasMissing := false
+		missing := 0
+		for _, a := range ifc.Attributes {
+			if !a.HasInstances() {
+				hasMissing = true
+				missing++
+			}
+		}
+		if hasMissing {
+			attrsInNoInstIfcs += len(ifc.Attributes)
+			noInstAttrs += missing
+			s.PctInterfacesNoInst++
+		}
+	}
+	if s.Interfaces > 0 {
+		s.AvgAttrs = float64(s.Attributes) / float64(s.Interfaces)
+		s.PctInterfacesNoInst = 100 * s.PctInterfacesNoInst / float64(s.Interfaces)
+	}
+	if attrsInNoInstIfcs > 0 {
+		s.PctAttrsNoInst = 100 * float64(noInstAttrs) / float64(attrsInNoInstIfcs)
+	}
+	return s
+}

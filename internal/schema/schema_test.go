@@ -1,0 +1,214 @@
+package schema
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDataset() *Dataset {
+	return &Dataset{
+		Domain: "test", EntityName: "thing", DomainKeyword: "things",
+		Interfaces: []*Interface{
+			{ID: "if0", Domain: "test", Source: "s0", Attributes: []*Attribute{
+				{ID: "if0/a", InterfaceID: "if0", Label: "Alpha", ConceptID: "c1",
+					Instances: []string{"x", "y"}},
+				{ID: "if0/b", InterfaceID: "if0", Label: "Beta", ConceptID: "c2"},
+			}},
+			{ID: "if1", Domain: "test", Source: "s1", Attributes: []*Attribute{
+				{ID: "if1/a", InterfaceID: "if1", Label: "Alpha2", ConceptID: "c1"},
+				{ID: "if1/b", InterfaceID: "if1", Label: "Beta2", ConceptID: "c2"},
+				{ID: "if1/c", InterfaceID: "if1", Label: "Gamma", ConceptID: "c3"},
+			}},
+		},
+	}
+}
+
+func TestAttributeHasInstances(t *testing.T) {
+	a := &Attribute{}
+	if a.HasInstances() {
+		t.Error("empty attribute claims instances")
+	}
+	a.Instances = []string{"x"}
+	if !a.HasInstances() {
+		t.Error("attribute with instances denies them")
+	}
+	a = &Attribute{Acquired: []string{"y"}}
+	if a.HasInstances() {
+		t.Error("acquired-only attribute should not count as predefined")
+	}
+}
+
+func TestAttributeAllInstances(t *testing.T) {
+	a := &Attribute{Instances: []string{"x"}, Acquired: []string{"y", "z"}}
+	got := a.AllInstances()
+	want := []string{"x", "y", "z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AllInstances = %v, want %v", got, want)
+	}
+	// Predefined-only path returns the same slice without copying.
+	b := &Attribute{Instances: []string{"x"}}
+	if !reflect.DeepEqual(b.AllInstances(), []string{"x"}) {
+		t.Error("predefined-only AllInstances wrong")
+	}
+}
+
+func TestAttributeString(t *testing.T) {
+	a := &Attribute{ID: "i/a", Label: "From", Instances: []string{"x"}}
+	s := a.String()
+	if !strings.Contains(s, "i/a") || !strings.Contains(s, "From") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestInterfaceAttributeByID(t *testing.T) {
+	ds := sampleDataset()
+	ifc := ds.Interfaces[0]
+	if ifc.AttributeByID("if0/a") == nil {
+		t.Error("existing attribute not found")
+	}
+	if ifc.AttributeByID("nope") != nil {
+		t.Error("missing attribute found")
+	}
+}
+
+func TestDatasetAllAttributesStableOrder(t *testing.T) {
+	ds := sampleDataset()
+	got := ds.AllAttributes()
+	if len(got) != 5 {
+		t.Fatalf("got %d attributes", len(got))
+	}
+	if got[0].ID != "if0/a" || got[4].ID != "if1/c" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestDatasetInterfaceOf(t *testing.T) {
+	ds := sampleDataset()
+	a := ds.Interfaces[1].Attributes[0]
+	if ifc := ds.InterfaceOf(a); ifc == nil || ifc.ID != "if1" {
+		t.Errorf("InterfaceOf = %v", ifc)
+	}
+	if ds.InterfaceOf(&Attribute{InterfaceID: "zzz"}) != nil {
+		t.Error("unknown interface resolved")
+	}
+}
+
+func TestNewMatchPairNormalized(t *testing.T) {
+	if NewMatchPair("b", "a") != NewMatchPair("a", "b") {
+		t.Error("pair not normalized")
+	}
+	f := func(a, b string) bool {
+		p := NewMatchPair(a, b)
+		return p.A <= p.B && p == NewMatchPair(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldClusters(t *testing.T) {
+	ds := sampleDataset()
+	clusters := ds.GoldClusters()
+	// c1 and c2 have two members; c3 is a singleton and excluded.
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	for _, c := range clusters {
+		if len(c) != 2 {
+			t.Errorf("cluster %v size != 2", c)
+		}
+	}
+}
+
+func TestGoldPairs(t *testing.T) {
+	ds := sampleDataset()
+	pairs := ds.GoldPairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if !pairs[NewMatchPair("if0/a", "if1/a")] {
+		t.Error("missing c1 pair")
+	}
+	if !pairs[NewMatchPair("if0/b", "if1/b")] {
+		t.Error("missing c2 pair")
+	}
+}
+
+func TestGoldPairsLargerCluster(t *testing.T) {
+	ds := sampleDataset()
+	ds.Interfaces = append(ds.Interfaces, &Interface{
+		ID: "if2", Domain: "test",
+		Attributes: []*Attribute{
+			{ID: "if2/a", InterfaceID: "if2", ConceptID: "c1"},
+		},
+	})
+	pairs := ds.GoldPairs()
+	// c1 now has 3 members -> 3 pairs; plus c2's 1 = 4.
+	if len(pairs) != 4 {
+		t.Errorf("pairs = %d, want 4", len(pairs))
+	}
+}
+
+func TestJSONRoundTripPreservesAcquired(t *testing.T) {
+	ds := sampleDataset()
+	ds.Interfaces[0].Attributes[1].Acquired = []string{"q1", "q2"}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, got) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("want error on malformed JSON")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	ds := sampleDataset()
+	st := ds.ComputeStats()
+	if st.Interfaces != 2 || st.Attributes != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.AvgAttrs != 2.5 {
+		t.Errorf("avg attrs = %v", st.AvgAttrs)
+	}
+	// Both interfaces contain instance-less attributes.
+	if st.PctInterfacesNoInst != 100 {
+		t.Errorf("pct interfaces = %v", st.PctInterfacesNoInst)
+	}
+	// 4 of 5 attributes lack instances.
+	if st.PctAttrsNoInst != 80 {
+		t.Errorf("pct attrs = %v", st.PctAttrsNoInst)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	ds := &Dataset{}
+	st := ds.ComputeStats()
+	if st.Interfaces != 0 || st.AvgAttrs != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestComputeStatsAllPredefined(t *testing.T) {
+	ds := &Dataset{Interfaces: []*Interface{
+		{ID: "i", Attributes: []*Attribute{
+			{ID: "i/a", InterfaceID: "i", Instances: []string{"x"}},
+		}},
+	}}
+	st := ds.ComputeStats()
+	if st.PctInterfacesNoInst != 0 || st.PctAttrsNoInst != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

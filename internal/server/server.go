@@ -1,0 +1,305 @@
+// Package server exposes the simulated Deep Web over HTTP: every
+// generated source serves its query-interface form page and answers
+// form submissions from its backing table, and the integrator's output
+// — the unified query interface per domain — is served alongside. It
+// turns the in-process simulation into something a browser (or the
+// paper's crawler) could actually visit.
+//
+// Routes:
+//
+//	GET /                     index of sources
+//	GET /sources              JSON source list
+//	GET /source/{ifc}         the source's query interface (HTML form)
+//	GET /source/{ifc}/search  form submission (query parameters f0..fN)
+//	GET /unified/{domain}     unified interface over the domain (HTML)
+//	GET /unified/{domain}/search?attr=L&value=V
+//	                          translated query fan-out to all sources
+//	GET /stats                substrate usage counters (JSON)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"webiq/internal/dataset"
+	"webiq/internal/deepweb"
+	"webiq/internal/htmlform"
+	"webiq/internal/kb"
+	"webiq/internal/matcher"
+	"webiq/internal/schema"
+	"webiq/internal/surfaceweb"
+	"webiq/internal/translate"
+	"webiq/internal/unify"
+	iq "webiq/internal/webiq"
+)
+
+// Server is the HTTP facade over the simulated Deep Web.
+type Server struct {
+	mux     *http.ServeMux
+	domains []*kb.Domain
+	engine  *surfaceweb.Engine
+
+	mu          sync.Mutex
+	datasets    map[string]*schema.Dataset
+	pools       map[string]*deepweb.Pool
+	unified     map[string]*unify.UnifiedInterface
+	translators map[string]*translate.Translator
+}
+
+// New builds the server: datasets and sources for every domain, plus
+// the Surface-Web corpus used when a unified interface is requested
+// (acquisition runs lazily, once per domain).
+func New(seed int64) *Server {
+	s := &Server{
+		mux:         http.NewServeMux(),
+		domains:     kb.Domains(),
+		engine:      surfaceweb.NewEngine(),
+		datasets:    map[string]*schema.Dataset{},
+		pools:       map[string]*deepweb.Pool{},
+		unified:     map[string]*unify.UnifiedInterface{},
+		translators: map[string]*translate.Translator{},
+	}
+	corpusCfg := surfaceweb.DefaultCorpusConfig()
+	corpusCfg.Seed = seed
+	surfaceweb.BuildCorpus(s.engine, s.domains, corpusCfg)
+
+	dataCfg := dataset.DefaultConfig()
+	dataCfg.Seed = seed
+	deepCfg := deepweb.DefaultConfig()
+	deepCfg.Seed = seed
+	for _, dom := range s.domains {
+		ds := dataset.Generate(dom, dataCfg)
+		s.datasets[dom.Key] = ds
+		s.pools[dom.Key] = deepweb.BuildPool(ds, dom, deepCfg)
+	}
+
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/sources", s.handleSources)
+	s.mux.HandleFunc("/source/", s.handleSource)
+	s.mux.HandleFunc("/unified/", s.handleUnified)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// sourceFor resolves an interface ID like "airfare/if03" to its dataset,
+// interface, and source.
+func (s *Server) sourceFor(ifcID string) (*schema.Dataset, *schema.Interface, *deepweb.Source) {
+	domain := ifcID
+	if i := strings.IndexByte(ifcID, '/'); i >= 0 {
+		domain = ifcID[:i]
+	}
+	s.mu.Lock()
+	ds := s.datasets[domain]
+	pool := s.pools[domain]
+	s.mu.Unlock()
+	if ds == nil || pool == nil {
+		return nil, nil, nil
+	}
+	for _, ifc := range ds.Interfaces {
+		if ifc.ID == ifcID {
+			return ds, ifc, pool.Source(ifcID)
+		}
+	}
+	return nil, nil, nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintln(w, "<html><body><h1>Simulated Deep Web</h1>")
+	keys := make([]string, 0, len(s.datasets))
+	s.mu.Lock()
+	for k := range s.datasets {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "<h2>%s</h2><ul>", k)
+		s.mu.Lock()
+		ds := s.datasets[k]
+		s.mu.Unlock()
+		for _, ifc := range ds.Interfaces {
+			fmt.Fprintf(w, `<li><a href="/source/%s">%s</a></li>`, ifc.ID, ifc.Source)
+		}
+		fmt.Fprintf(w, `</ul><p><a href="/unified/%s">unified interface</a></p>`, k)
+	}
+	fmt.Fprintln(w, "</body></html>")
+}
+
+// sourceInfo is the JSON shape of one source in /sources.
+type sourceInfo struct {
+	ID         string `json:"id"`
+	Domain     string `json:"domain"`
+	Name       string `json:"name"`
+	Attributes int    `json:"attributes"`
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, _ *http.Request) {
+	var out []sourceInfo
+	s.mu.Lock()
+	for _, ds := range s.datasets {
+		for _, ifc := range ds.Interfaces {
+			out = append(out, sourceInfo{
+				ID: ifc.ID, Domain: ifc.Domain, Name: ifc.Source,
+				Attributes: len(ifc.Attributes),
+			})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/source/")
+	if ifcID, ok := strings.CutSuffix(rest, "/search"); ok {
+		s.handleSearch(w, r, ifcID)
+		return
+	}
+	_, ifc, _ := s.sourceFor(rest)
+	if ifc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, htmlform.Render(ifc))
+}
+
+// handleSearch simulates a form submission: the first filled field f<i>
+// becomes the probe (the simulator's sources evaluate one attribute at a
+// time, like Attr-Deep's probing queries).
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, ifcID string) {
+	_, ifc, src := s.sourceFor(ifcID)
+	if ifc == nil || src == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	for i, a := range ifc.Attributes {
+		v := r.URL.Query().Get(fmt.Sprintf("f%d", i))
+		if strings.TrimSpace(v) == "" {
+			continue
+		}
+		fmt.Fprint(w, src.Probe(a.ID, v))
+		return
+	}
+	fmt.Fprint(w, "<html><body><p>Error: please fill in at least one field.</p></body></html>")
+}
+
+func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/unified/")
+	if domain, ok := strings.CutSuffix(rest, "/search"); ok {
+		s.handleUnifiedSearch(w, r, domain)
+		return
+	}
+	u, err := s.unifiedFor(rest)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, htmlform.Render(u.AsInterface("unified-"+rest)))
+}
+
+// handleUnifiedSearch translates a unified query to every source and
+// reports which answered.
+func (s *Server) handleUnifiedSearch(w http.ResponseWriter, r *http.Request, domain string) {
+	if _, err := s.unifiedFor(domain); err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	tr := s.translators[domain]
+	s.mu.Unlock()
+	attr := r.URL.Query().Get("attr")
+	value := r.URL.Query().Get("value")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	results, err := tr.Query(attr, value)
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintf(w, "<html><body><p>Error: %s</p></body></html>", err)
+		return
+	}
+	ok, total := translate.Coverage(results)
+	fmt.Fprintf(w, "<html><body><h1>%s = %q</h1><p>%d of %d sources answered.</p><ul>",
+		attr, value, ok, total)
+	for _, res := range results {
+		status := "no results"
+		if res.OK {
+			status = "results found"
+		}
+		fmt.Fprintf(w, `<li><a href="/source/%s">%s</a>: %s</li>`, res.InterfaceID, res.InterfaceID, status)
+	}
+	fmt.Fprint(w, "</ul></body></html>")
+}
+
+// unifiedFor lazily runs acquisition + matching + unification for a
+// domain, caching the result.
+func (s *Server) unifiedFor(domain string) (*unify.UnifiedInterface, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u, ok := s.unified[domain]; ok {
+		return u, nil
+	}
+	ds := s.datasets[domain]
+	pool := s.pools[domain]
+	if ds == nil || pool == nil {
+		return nil, fmt.Errorf("unknown domain %q", domain)
+	}
+	cfg := iq.DefaultConfig()
+	v := iq.NewValidator(s.engine, cfg)
+	acq := iq.NewAcquirer(
+		iq.NewSurface(s.engine, v, cfg),
+		iq.NewAttrDeep(pool, cfg),
+		iq.NewAttrSurface(v, cfg),
+		iq.AllComponents(), cfg)
+	acq.AcquireAll(ds)
+	res := matcher.New(matcher.DefaultConfig()).Match(ds)
+	u := unify.Build(ds, res)
+	s.unified[domain] = u
+	s.translators[domain] = translate.New(u, ds, pool)
+	return u, nil
+}
+
+// statsInfo is the /stats JSON shape.
+type statsInfo struct {
+	CorpusPages   int            `json:"corpus_pages"`
+	SearchQueries int            `json:"search_queries"`
+	ProbesByPool  map[string]int `json:"probes_by_domain"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	info := statsInfo{
+		CorpusPages:   s.engine.NumDocs(),
+		SearchQueries: s.engine.QueryCount(),
+		ProbesByPool:  map[string]int{},
+	}
+	s.mu.Lock()
+	for k, p := range s.pools {
+		info.ProbesByPool[k] = p.QueryCount()
+	}
+	s.mu.Unlock()
+	writeJSON(w, info)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

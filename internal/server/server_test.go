@@ -1,0 +1,185 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *Server
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	srvOnce.Do(func() { srv = New(1) })
+	return srv
+}
+
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestIndex(t *testing.T) {
+	s := testServer(t)
+	code, body := get(t, s, "/")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"airfare", "book", "unified"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestSourcesJSON(t *testing.T) {
+	s := testServer(t)
+	code, body := get(t, s, "/sources")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var out []sourceInfo
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 { // 5 domains × 20 interfaces
+		t.Errorf("sources = %d, want 100", len(out))
+	}
+	for _, si := range out[:3] {
+		if si.ID == "" || si.Attributes == 0 {
+			t.Errorf("bad source %+v", si)
+		}
+	}
+}
+
+func TestSourceFormPage(t *testing.T) {
+	s := testServer(t)
+	code, body := get(t, s, "/source/airfare/if00")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "<form") || !strings.Contains(body, "label") {
+		t.Errorf("form page malformed: %.200s", body)
+	}
+}
+
+func TestSourceNotFound(t *testing.T) {
+	s := testServer(t)
+	if code, _ := get(t, s, "/source/airfare/if99"); code != 404 {
+		t.Errorf("status = %d, want 404", code)
+	}
+	if code, _ := get(t, s, "/source/nodomain/if00"); code != 404 {
+		t.Errorf("status = %d, want 404", code)
+	}
+}
+
+func TestSearchSubmission(t *testing.T) {
+	s := testServer(t)
+	// Find a source and a field index we can probe with a city.
+	_, bodyJSON := get(t, s, "/sources")
+	var sources []sourceInfo
+	if err := json.Unmarshal([]byte(bodyJSON), &sources); err != nil {
+		t.Fatal(err)
+	}
+	// Probe the first airfare source's fields with a common city until a
+	// response comes back; we only assert the endpoint serves pages.
+	code, body := get(t, s, "/source/airfare/if00/search?f0=Boston")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "<html") {
+		t.Errorf("search response not a page: %.120s", body)
+	}
+	if len(sources) == 0 {
+		t.Error("no sources listed")
+	}
+}
+
+func TestSearchEmptySubmission(t *testing.T) {
+	s := testServer(t)
+	code, body := get(t, s, "/source/airfare/if00/search")
+	if code != 200 || !strings.Contains(strings.ToLower(body), "fill in") {
+		t.Errorf("empty submission: code=%d body=%.120s", code, body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := testServer(t)
+	code, body := get(t, s, "/stats")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var info statsInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.CorpusPages == 0 {
+		t.Error("no corpus pages reported")
+	}
+	if len(info.ProbesByPool) != 5 {
+		t.Errorf("pools = %d", len(info.ProbesByPool))
+	}
+}
+
+func TestUnifiedInterface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unified endpoint runs acquisition; skipped with -short")
+	}
+	s := testServer(t)
+	code, body := get(t, s, "/unified/book")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"<form", "Title", "Author"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("unified page missing %q", want)
+		}
+	}
+	// Second hit is served from cache and identical.
+	_, body2 := get(t, s, "/unified/book")
+	if body != body2 {
+		t.Error("unified page not cached deterministically")
+	}
+}
+
+func TestUnifiedUnknownDomain(t *testing.T) {
+	s := testServer(t)
+	if code, _ := get(t, s, "/unified/nope"); code != 404 {
+		t.Errorf("status = %d, want 404", code)
+	}
+}
+
+func TestUnifiedSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unified search runs acquisition; skipped with -short")
+	}
+	s := testServer(t)
+	// Discover a queryable attribute from the unified form.
+	_, form := get(t, s, "/unified/book")
+	attr := "Author"
+	if !strings.Contains(form, attr) {
+		t.Skipf("unified form lacks %q", attr)
+	}
+	code, body := get(t, s, "/unified/book/search?attr=Author&value=Mark+Twain")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "sources answered") {
+		t.Errorf("summary missing: %.200s", body)
+	}
+	// Unknown attribute is a 400.
+	code, _ = get(t, s, "/unified/book/search?attr=Nope&value=x")
+	if code != 400 {
+		t.Errorf("status = %d, want 400", code)
+	}
+}

@@ -1,0 +1,174 @@
+// Package sim provides the string- and set-similarity primitives shared
+// by the IceQ matcher and by WebIQ's instance-borrowing heuristics:
+// cosine label similarity, value-set overlap, and normalized edit
+// distance.
+package sim
+
+import (
+	"math"
+	"strings"
+
+	"webiq/internal/nlp"
+)
+
+// LabelSim is the cosine similarity between the content-word vectors of
+// two labels — Cos(A⃗, B⃗) in the paper's LabelSim.
+func LabelSim(a, b string) float64 {
+	va := wordVector(a)
+	vb := wordVector(b)
+	return cosine(va, vb)
+}
+
+func wordVector(label string) map[string]float64 {
+	v := map[string]float64{}
+	for _, w := range nlp.ContentWords(label) {
+		v[stem(w)]++
+	}
+	return v
+}
+
+// stem lightly normalizes a label word so that morphological variants of
+// the same root compare equal ("departing", "departure" -> "depart").
+func stem(w string) string {
+	switch {
+	case len(w) > 5 && strings.HasSuffix(w, "ing"):
+		return w[:len(w)-3]
+	case len(w) > 5 && strings.HasSuffix(w, "ure"):
+		return w[:len(w)-3]
+	case len(w) > 6 && strings.HasSuffix(w, "ion"):
+		return w[:len(w)-3]
+	case len(w) > 5 && strings.HasSuffix(w, "al"):
+		return w[:len(w)-2]
+	case len(w) > 4 && strings.HasSuffix(w, "ed"):
+		return w[:len(w)-2]
+	default:
+		return nlp.Singularize(w)
+	}
+}
+
+func cosine(a, b map[string]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for w, x := range a {
+		na += x * x
+		if y, ok := b[w]; ok {
+			dot += x * y
+		}
+	}
+	for _, y := range b {
+		nb += y * y
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// ValueOverlap measures the similarity of two value sets as the number
+// of (case-folded) shared values divided by the size of the smaller set.
+func ValueOverlap(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	setA := map[string]bool{}
+	for _, v := range a {
+		setA[fold(v)] = true
+	}
+	shared := 0
+	seen := map[string]bool{}
+	for _, v := range b {
+		f := fold(v)
+		if setA[f] && !seen[f] {
+			shared++
+			seen[f] = true
+		}
+	}
+	denom := len(setA)
+	if n := len(dedup(b)); n < denom {
+		denom = n
+	}
+	return float64(shared) / float64(denom)
+}
+
+// SharedValues counts distinct case-folded values present in both sets.
+func SharedValues(a, b []string) int {
+	setA := map[string]bool{}
+	for _, v := range a {
+		setA[fold(v)] = true
+	}
+	n := 0
+	seen := map[string]bool{}
+	for _, v := range b {
+		f := fold(v)
+		if setA[f] && !seen[f] {
+			n++
+			seen[f] = true
+		}
+	}
+	return n
+}
+
+// EditSim is 1 − normalized Levenshtein distance between the folded
+// strings; 1.0 means identical.
+func EditSim(a, b string) float64 {
+	a, b = fold(a), fold(b)
+	if a == b {
+		return 1
+	}
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(levenshtein(a, b))/float64(maxLen)
+}
+
+func levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func fold(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+func dedup(vs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range vs {
+		f := fold(v)
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

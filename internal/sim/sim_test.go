@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelSimIdentical(t *testing.T) {
+	if got := LabelSim("Departure city", "departure city"); got < 0.99 {
+		t.Errorf("identical labels sim = %v", got)
+	}
+}
+
+func TestLabelSimPartialOverlap(t *testing.T) {
+	s := LabelSim("Departure city", "Departure date")
+	if s <= 0 || s >= 1 {
+		t.Errorf("partial overlap sim = %v, want in (0,1)", s)
+	}
+}
+
+func TestLabelSimNoOverlap(t *testing.T) {
+	if got := LabelSim("Airline", "Carrier"); got != 0 {
+		t.Errorf("disjoint labels sim = %v, want 0", got)
+	}
+}
+
+func TestLabelSimSingularizes(t *testing.T) {
+	if got := LabelSim("Cities", "City"); got < 0.99 {
+		t.Errorf("plural/singular sim = %v, want ~1", got)
+	}
+}
+
+func TestLabelSimStopwords(t *testing.T) {
+	// "Class of service" and "Service class" share all content after
+	// stopword removal ("of" is a stopword).
+	if got := LabelSim("Class of service", "Service class"); got < 0.99 {
+		t.Errorf("sim = %v, want ~1", got)
+	}
+	// "from" is deliberately NOT a stopword: "From" must be comparable
+	// to "From city" (it is the whole signal on airfare interfaces).
+	if got := LabelSim("From", "From city"); got <= 0 {
+		t.Errorf("sim(From, From city) = %v, want > 0", got)
+	}
+}
+
+func TestLabelSimStemming(t *testing.T) {
+	// Morphological variants of the same root must be comparable:
+	// "Departing on" vs "Departure date" share the stem "depart".
+	if got := LabelSim("Departing on", "Departure date"); got <= 0 {
+		t.Errorf("sim = %v, want > 0 (stemming)", got)
+	}
+}
+
+func TestLabelSimOrderedPair(t *testing.T) {
+	f := func(a, b string) bool {
+		x, y := LabelSim(a, b), LabelSim(b, a)
+		return x == y && x >= 0 && x <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueOverlap(t *testing.T) {
+	a := []string{"Economy", "Business", "First Class"}
+	b := []string{"economy", "business", "Premium"}
+	got := ValueOverlap(a, b)
+	if got < 0.66 || got > 0.67 {
+		t.Errorf("overlap = %v, want 2/3", got)
+	}
+}
+
+func TestValueOverlapDisjoint(t *testing.T) {
+	if got := ValueOverlap([]string{"a"}, []string{"b"}); got != 0 {
+		t.Errorf("overlap = %v, want 0", got)
+	}
+}
+
+func TestValueOverlapEmpty(t *testing.T) {
+	if got := ValueOverlap(nil, []string{"a"}); got != 0 {
+		t.Errorf("overlap with empty = %v", got)
+	}
+}
+
+func TestValueOverlapDuplicates(t *testing.T) {
+	a := []string{"x", "x", "y"}
+	b := []string{"x"}
+	if got := ValueOverlap(a, b); got != 1 {
+		t.Errorf("overlap = %v, want 1 (duplicates ignored)", got)
+	}
+}
+
+func TestSharedValues(t *testing.T) {
+	a := []string{"Delta", "United", "American"}
+	b := []string{"delta", "Aer Lingus", "UNITED"}
+	if got := SharedValues(a, b); got != 2 {
+		t.Errorf("shared = %d, want 2", got)
+	}
+}
+
+func TestEditSim(t *testing.T) {
+	if got := EditSim("Honda", "honda"); got != 1 {
+		t.Errorf("case fold: %v", got)
+	}
+	if got := EditSim("Honda", "Hondas"); got < 0.8 {
+		t.Errorf("near match: %v", got)
+	}
+	if got := EditSim("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint: %v", got)
+	}
+}
+
+func TestEditSimBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		s := EditSim(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"departing": "depart",
+		"departure": "depart",
+		"location":  "locat",
+		"located":   "locat",
+		"arrival":   "arriv",
+		"arriving":  "arriv",
+		"cities":    "city",
+		"city":      "city",
+		"make":      "make",
+	}
+	for in, want := range cases {
+		if got := stem(in); got != want {
+			t.Errorf("stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLabelSimPrepositionContent(t *testing.T) {
+	// Bare prepositional labels must be comparable — the whole basis for
+	// borrowing donors for the airfare domain's "From"/"To" fields.
+	if got := LabelSim("To", "Going to"); got <= 0 {
+		t.Errorf("sim(To, Going to) = %v, want > 0", got)
+	}
+	if got := LabelSim("From", "To"); got != 0 {
+		t.Errorf("sim(From, To) = %v, want 0", got)
+	}
+}
+
+func TestValueOverlapBounds(t *testing.T) {
+	f := func(a, b []string) bool {
+		v := ValueOverlap(a, b)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package stats provides the small statistical toolkit shared by
+// WebIQ's outlier detection (discordancy tests), the validation-based
+// classifier (entropy / information gain), and the experiment harness
+// (summary statistics).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanStd returns the mean and population standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// LeaveOneOut returns, for index i, the mean and standard deviation of
+// xs with xs[i] removed — the statistics behind the masking-resistant
+// discordancy test. Sums are maintained incrementally so the whole
+// sweep is O(n).
+type LeaveOneOut struct {
+	n          int
+	sum, sumSq float64
+	xs         []float64
+}
+
+// NewLeaveOneOut precomputes the sweep over xs. The slice is retained;
+// callers must not mutate it while using the sweep.
+func NewLeaveOneOut(xs []float64) *LeaveOneOut {
+	l := &LeaveOneOut{n: len(xs), xs: xs}
+	for _, x := range xs {
+		l.sum += x
+		l.sumSq += x * x
+	}
+	return l
+}
+
+// At returns the mean and standard deviation excluding index i. With
+// fewer than two values the result is (0, 0).
+func (l *LeaveOneOut) At(i int) (mean, std float64) {
+	if l.n < 2 {
+		return 0, 0
+	}
+	x := l.xs[i]
+	m := (l.sum - x) / float64(l.n-1)
+	variance := (l.sumSq-x*x)/float64(l.n-1) - m*m
+	if variance < 0 {
+		variance = 0
+	}
+	return m, math.Sqrt(variance)
+}
+
+// Entropy returns the binary entropy of a two-class distribution with
+// the given counts, in bits.
+func Entropy(pos, neg int) float64 {
+	n := pos + neg
+	if n == 0 || pos == 0 || neg == 0 {
+		return 0
+	}
+	pp := float64(pos) / float64(n)
+	pn := float64(neg) / float64(n)
+	return -pp*math.Log2(pp) - pn*math.Log2(pn)
+}
+
+// InfoGainSplit finds the threshold over (value, positive) pairs that
+// maximizes information gain, considering midpoints between adjacent
+// distinct sorted values. It returns the best threshold and its gain;
+// with fewer than two distinct values it returns the first value and a
+// gain of zero.
+func InfoGainSplit(values []float64, positive []bool) (threshold, gain float64) {
+	n := len(values)
+	if n == 0 {
+		return 0, 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by value: n is tiny (training sets of a handful of
+	// examples).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && values[idx[j]] < values[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	totalPos := 0
+	for _, p := range positive {
+		if p {
+			totalPos++
+		}
+	}
+	base := Entropy(totalPos, n-totalPos)
+	bestGain := math.Inf(-1)
+	best := values[idx[0]]
+	leftPos := 0
+	for i := 0; i < n-1; i++ {
+		if positive[idx[i]] {
+			leftPos++
+		}
+		vi, vj := values[idx[i]], values[idx[i+1]]
+		if vi == vj {
+			continue
+		}
+		left := i + 1
+		right := n - left
+		g := base -
+			(float64(left)/float64(n))*Entropy(leftPos, left-leftPos) -
+			(float64(right)/float64(n))*Entropy(totalPos-leftPos, right-(totalPos-leftPos))
+		if g > bestGain {
+			bestGain = g
+			// vi/2 + vj/2 rather than (vi+vj)/2: the sum can overflow
+			// for extreme inputs.
+			best = vi/2 + vj/2
+		}
+	}
+	if math.IsInf(bestGain, -1) {
+		return values[idx[0]], 0
+	}
+	return best, bestGain
+}

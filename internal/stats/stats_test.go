@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("mean/std = %v/%v, want 5/2", m, s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty MeanStd")
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	xs := []float64{1, 2, 3, 100}
+	l := NewLeaveOneOut(xs)
+	m, s := l.At(3) // exclude the outlier
+	if m != 2 {
+		t.Errorf("mean = %v, want 2", m)
+	}
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s-want) > 1e-9 {
+		t.Errorf("std = %v, want %v", s, want)
+	}
+}
+
+func TestLeaveOneOutMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Bound magnitudes to avoid float cancellation noise.
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1000))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		l := NewLeaveOneOut(xs)
+		for i := range xs {
+			rest := make([]float64, 0, len(xs)-1)
+			rest = append(rest, xs[:i]...)
+			rest = append(rest, xs[i+1:]...)
+			wm, ws := MeanStd(rest)
+			gm, gs := l.At(i)
+			if math.Abs(wm-gm) > 1e-6 || math.Abs(ws-gs) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeaveOneOutDegenerate(t *testing.T) {
+	l := NewLeaveOneOut([]float64{5})
+	if m, s := l.At(0); m != 0 || s != 0 {
+		t.Errorf("single element: %v/%v", m, s)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := Entropy(1, 1); math.Abs(e-1) > 1e-12 {
+		t.Errorf("Entropy(1,1) = %v", e)
+	}
+	if Entropy(5, 0) != 0 || Entropy(0, 0) != 0 {
+		t.Error("degenerate entropies should be 0")
+	}
+	// Entropy is symmetric.
+	if Entropy(3, 7) != Entropy(7, 3) {
+		t.Error("entropy not symmetric")
+	}
+}
+
+func TestInfoGainSplitSeparable(t *testing.T) {
+	th, gain := InfoGainSplit([]float64{.2, .4, .5, .8}, []bool{false, false, true, true})
+	if math.Abs(th-0.45) > 1e-12 {
+		t.Errorf("threshold = %v, want .45", th)
+	}
+	if math.Abs(gain-1) > 1e-12 {
+		t.Errorf("gain = %v, want 1 (perfect split)", gain)
+	}
+}
+
+func TestInfoGainSplitAllEqual(t *testing.T) {
+	th, gain := InfoGainSplit([]float64{.3, .3, .3}, []bool{true, false, true})
+	if th != .3 || gain != 0 {
+		t.Errorf("degenerate split = %v/%v", th, gain)
+	}
+}
+
+func TestInfoGainSplitEmpty(t *testing.T) {
+	th, gain := InfoGainSplit(nil, nil)
+	if th != 0 || gain != 0 {
+		t.Errorf("empty split = %v/%v", th, gain)
+	}
+}
+
+// Property: the returned gain is achievable and in [0, 1] for binary
+// labels, and the threshold lies within the value range.
+func TestInfoGainSplitBounds(t *testing.T) {
+	f := func(raw []float64, labels []bool) bool {
+		n := len(raw)
+		if len(labels) < n {
+			n = len(labels)
+		}
+		if n == 0 {
+			return true
+		}
+		values := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			values[i] = v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		th, gain := InfoGainSplit(values, labels[:n])
+		if gain < 0 || gain > 1+1e-9 {
+			return false
+		}
+		return th >= lo-1e-9 && th <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,282 @@
+package surfaceweb
+
+import (
+	"math/rand"
+	"strings"
+
+	"webiq/internal/kb"
+	"webiq/internal/nlp"
+)
+
+// CorpusConfig controls synthetic corpus generation.
+type CorpusConfig struct {
+	// Seed drives all random choices.
+	Seed int64
+	// PagesPerConcept is the base number of pattern pages generated for a
+	// concept; it is scaled by the concept's WebPresence.
+	PagesPerConcept int
+	// NoisePages is the number of unrelated noise pages added per domain.
+	NoisePages int
+	// ConfusionRate is the probability a pattern page plants a value from
+	// a different concept of the same domain — the Web's noise that the
+	// verification phase must filter out.
+	ConfusionRate float64
+	// JunkRate is the probability a set-pattern list includes a junk
+	// entry (an over-long phrase or an absurd numeric value) that outlier
+	// detection should catch.
+	JunkRate float64
+}
+
+// DefaultCorpusConfig returns the configuration used by the experiments.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Seed:            1,
+		PagesPerConcept: 80,
+		NoisePages:      150,
+		ConfusionRate:   0.08,
+		JunkRate:        0.10,
+	}
+}
+
+// BuildCorpus populates the engine with synthetic Surface-Web pages for
+// the given domains: redundant Hearst-pattern sentences, singleton
+// pattern sentences, and attribute–value listings for every concept
+// (scaled by its WebPresence), plus noise and confusion pages.
+//
+// The generator works from the concepts' label variants, so pages carry
+// exactly the phrasings that extraction and validation queries — which
+// are formulated from interface labels drawn from the same variants —
+// will look for. That is the substitution for the real Web's redundancy.
+func BuildCorpus(e *Engine, domains []*kb.Domain, cfg CorpusConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, d := range domains {
+		buildDomainPages(e, d, cfg, rng)
+		buildNoisePages(e, d, cfg, rng)
+	}
+}
+
+// conceptPhrases returns the distinct noun phrases (with plurals) that
+// label variants of the concept expose, via the same shallow analysis
+// WebIQ applies to labels. Variants without noun phrases (bare
+// prepositions, verb phrases) contribute nothing — so no pages support
+// them, reproducing the airfare-domain extraction failures.
+func conceptPhrases(c *kb.Concept) []nlp.NounPhrase {
+	var out []nlp.NounPhrase
+	seen := map[string]bool{}
+	add := func(text string) {
+		ls := nlp.AnalyzeLabel(text)
+		if ls.Form != nlp.FormNounPhrase && ls.Form != nlp.FormPrepPhrase {
+			return
+		}
+		for _, np := range ls.NPs {
+			if t := np.Text(); !seen[t] {
+				seen[t] = true
+				out = append(out, np)
+			}
+		}
+	}
+	add(c.Name)
+	for _, l := range c.Labels {
+		add(l.Text)
+	}
+	return out
+}
+
+// conceptInfo caches a concept's derived phrases and instance pool
+// during corpus generation.
+type conceptInfo struct {
+	c         *kb.Concept
+	phrases   []nlp.NounPhrase
+	instances []string
+}
+
+func buildDomainPages(e *Engine, d *kb.Domain, cfg CorpusConfig, rng *rand.Rand) {
+	infos := make([]conceptInfo, 0, len(d.Concepts))
+	for _, c := range d.Concepts {
+		infos = append(infos, conceptInfo{c: c, phrases: conceptPhrases(c), instances: c.AllInstances()})
+	}
+
+	for ci, info := range infos {
+		if len(info.phrases) == 0 || len(info.instances) == 0 {
+			continue
+		}
+		pages := int(float64(cfg.PagesPerConcept)*info.c.WebPresence + 0.5)
+		for p := 0; p < pages; p++ {
+			np := info.phrases[rng.Intn(len(info.phrases))]
+			values := sampleValues(info.instances, 4+rng.Intn(4), rng)
+
+			// Confusion: swap one value for a different concept's value.
+			if rng.Float64() < cfg.ConfusionRate && len(infos) > 1 {
+				oj := rng.Intn(len(infos))
+				if oj != ci && len(infos[oj].instances) > 0 {
+					values[rng.Intn(len(values))] =
+						infos[oj].instances[rng.Intn(len(infos[oj].instances))]
+				}
+			}
+			// Junk: an over-long phrase outlier detection should remove.
+			if rng.Float64() < cfg.JunkRate {
+				values = append(values, junkPhrase(rng))
+			}
+
+			var b strings.Builder
+			writePatternSentence(&b, np, d, values, rng)
+			// A second pattern sentence with another phrase variant
+			// raises per-variant redundancy, which the redundancy-based
+			// extraction relies on.
+			np2 := info.phrases[rng.Intn(len(info.phrases))]
+			writePatternSentence(&b, np2, d, sampleValues(info.instances, 3, rng), rng)
+			writeListingSentence(&b, info.c, values[0], infos, rng)
+			writeContextWords(&b, d, infos, rng)
+			e.Add(d.Key+" page", b.String())
+		}
+	}
+}
+
+// writePatternSentence emits one of the extraction-pattern sentences
+// (Figure 4) for the noun phrase.
+func writePatternSentence(b *strings.Builder, np nlp.NounPhrase, d *kb.Domain, values []string, rng *rand.Rand) {
+	plural := np.Plural()
+	singular := np.Text()
+	list := joinList(values)
+	// Set patterns, especially s1, dominate — matching their higher
+	// productivity on the real Web.
+	choice := []int{0, 0, 0, 1, 2, 2, 3, 4, 5, 6, 7}[rng.Intn(11)]
+	switch choice {
+	case 0: // s1: Ls such as NP1, ..., NPn
+		b.WriteString(capitalize(plural) + " such as " + list + " are listed here. ")
+	case 1: // s2: such Ls as NP1, ..., NPn
+		b.WriteString("We cover such " + plural + " as " + list + ". ")
+	case 2: // s3: Ls including NP1, ..., NPn
+		b.WriteString(capitalize(plural) + " including " + list + " are available. ")
+	case 3: // s4: NP1, ..., NPn, and other Ls
+		b.WriteString(joinCommas(values) + ", and other " + plural + " can be found. ")
+	case 4: // g1: the L of the O is NP
+		b.WriteString("The " + singular + " of the " + d.EntityName + " is " + values[0] + ". ")
+	case 5: // g2: the L is NP
+		b.WriteString("The " + singular + " is " + values[0] + ". ")
+	case 6: // g3: NP is the L of the O
+		b.WriteString(values[0] + " is the " + singular + " of the " + d.EntityName + ". ")
+	case 7: // g4: NP is the L
+		b.WriteString(values[0] + " is the " + singular + ". ")
+	}
+	// Supporting sentences reinforce proximity co-occurrence for PMI
+	// validation ("L x").
+	for i := 0; i < 2 && i < len(values); i++ {
+		b.WriteString(capitalize(singular) + " " + values[rng.Intn(len(values))] + " is popular. ")
+	}
+	// A single-instance Hearst sentence gives individual values
+	// cue-phrase co-occurrence ("airlines such as Delta"), which the
+	// cue-phrase validation patterns key on.
+	b.WriteString(capitalize(plural) + " such as " + values[rng.Intn(len(values))] + " are typical. ")
+}
+
+// writeListingSentence emits a form-style attribute–value listing
+// ("Make: Honda, Model: Accord"), the proximity context the paper's
+// validation pattern "L x" keys on.
+func writeListingSentence(b *strings.Builder, c *kb.Concept, value string, infos []conceptInfo, rng *rand.Rand) {
+	label := c.Labels[rng.Intn(len(c.Labels))].Text
+	b.WriteString(label + ": " + value + ". ")
+	label2 := c.Labels[rng.Intn(len(c.Labels))].Text
+	b.WriteString(label2 + ": " + value + ". ")
+	// One sibling attribute-value pair for realism.
+	if len(infos) > 1 {
+		o := infos[rng.Intn(len(infos))]
+		if o.c != c && len(o.instances) > 0 {
+			b.WriteString(o.c.Labels[rng.Intn(len(o.c.Labels))].Text + ": " +
+				o.instances[rng.Intn(len(o.instances))] + ". ")
+		}
+	}
+}
+
+// writeContextWords sprinkles the domain keyword, the entity name, and a
+// few sibling-concept label words so that narrowed extraction queries
+// ('+book +title +isbn') still match.
+func writeContextWords(b *strings.Builder, d *kb.Domain, infos []conceptInfo, rng *rand.Rand) {
+	b.WriteString(capitalize(d.DomainKeyword) + " " + d.EntityName + " information. ")
+	for _, info := range infos {
+		// Every label variant's head word may appear, so that narrowed
+		// queries built from any variant of a sibling label can match.
+		for _, l := range info.c.Labels {
+			if rng.Float64() < 0.6 {
+				words := nlp.ContentWords(l.Text)
+				if len(words) > 0 {
+					b.WriteString(words[len(words)-1] + " ")
+				}
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b.WriteString(kb.NoiseWords[rng.Intn(len(kb.NoiseWords))] + " ")
+	}
+	b.WriteString(". ")
+}
+
+// buildNoisePages adds pages of unrelated chatter, including occasional
+// spurious label-value juxtapositions across concepts (the Web noise
+// that makes validation necessary).
+func buildNoisePages(e *Engine, d *kb.Domain, cfg CorpusConfig, rng *rand.Rand) {
+	for p := 0; p < cfg.NoisePages; p++ {
+		var b strings.Builder
+		for i := 0; i < 8; i++ {
+			b.WriteString(kb.NoiseWords[rng.Intn(len(kb.NoiseWords))] + " ")
+		}
+		// Mention a random person and city to give generic tokens hits.
+		b.WriteString(kb.FirstNames[rng.Intn(len(kb.FirstNames))] + " " +
+			kb.LastNames[rng.Intn(len(kb.LastNames))] + " from " +
+			kb.CitiesNA[rng.Intn(len(kb.CitiesNA))] + ". ")
+		// Spurious cross-concept juxtaposition at the confusion rate.
+		if rng.Float64() < cfg.ConfusionRate && len(d.Concepts) >= 2 {
+			a := d.Concepts[rng.Intn(len(d.Concepts))]
+			o := d.Concepts[rng.Intn(len(d.Concepts))]
+			ov := o.AllInstances()
+			if len(ov) > 0 {
+				b.WriteString(a.Labels[0].Text + " " + ov[rng.Intn(len(ov))] + ". ")
+			}
+		}
+		e.Add("noise page", b.String())
+	}
+}
+
+func sampleValues(pool []string, n int, rng *rand.Rand) []string {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+func junkPhrase(rng *rand.Rand) string {
+	parts := make([]string, 6+rng.Intn(3))
+	for i := range parts {
+		parts[i] = kb.NoiseWords[rng.Intn(len(kb.NoiseWords))]
+	}
+	return strings.Join(parts, " ")
+}
+
+func joinList(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	case 2:
+		return values[0] + " and " + values[1]
+	default:
+		return strings.Join(values[:len(values)-1], ", ") + ", and " + values[len(values)-1]
+	}
+}
+
+func joinCommas(values []string) string {
+	return strings.Join(values, ", ")
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,379 @@
+// Package surfaceweb simulates the Surface Web as WebIQ observes it: a
+// corpus of pages behind a search-engine interface supporting phrase
+// queries, required-keyword filters, hit counts, and result snippets —
+// the four observables WebIQ's extraction and validation steps consume
+// (the paper used the Google Web API).
+//
+// The package also accounts for query overhead: every query increments a
+// counter and charges a deterministic per-query latency (the paper cites
+// 0.1–0.5 s per Google query) to a virtual clock, which the Figure-8
+// overhead experiment reads.
+package surfaceweb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"webiq/internal/nlp"
+)
+
+// Document is one Surface-Web page.
+type Document struct {
+	ID    int
+	Title string
+	Text  string
+}
+
+// Snippet is a search-result excerpt containing the matched phrase.
+type Snippet struct {
+	DocID int
+	Text  string
+}
+
+// Query is a parsed search-engine query: an optional exact phrase (the
+// double-quoted part) plus required keywords (the '+' terms). Bare terms
+// are treated as required keywords too, matching how WebIQ uses the
+// engine.
+type Query struct {
+	Phrase   []string
+	Required []string
+}
+
+// ParseQuery parses the Google-style query syntax used in the paper:
+//
+//	"authors such as" +book +title +isbn
+func ParseQuery(q string) Query {
+	var out Query
+	rest := q
+	for {
+		start := strings.IndexByte(rest, '"')
+		if start < 0 {
+			break
+		}
+		end := strings.IndexByte(rest[start+1:], '"')
+		if end < 0 {
+			break
+		}
+		phrase := rest[start+1 : start+1+end]
+		if len(out.Phrase) == 0 {
+			out.Phrase = nlp.Words(phrase)
+		} else {
+			// Additional phrases are demoted to required terms.
+			out.Required = append(out.Required, nlp.Words(phrase)...)
+		}
+		rest = rest[:start] + " " + rest[start+1+end+1:]
+	}
+	for _, f := range strings.Fields(rest) {
+		f = strings.TrimPrefix(f, "+")
+		out.Required = append(out.Required, nlp.Words(f)...)
+	}
+	return out
+}
+
+// postings maps document ID to the token positions of a term.
+type postings map[int][]int
+
+// Engine is the in-memory search engine.
+type Engine struct {
+	mu    sync.Mutex
+	docs  map[int]*indexedDoc
+	index map[string]postings
+	next  int
+
+	queries     int
+	virtualTime time.Duration
+
+	// Latency bounds for the simulated per-query retrieval time.
+	MinLatency, MaxLatency time.Duration
+	// SnippetRadius is the number of tokens of context on each side of a
+	// phrase match in a snippet.
+	SnippetRadius int
+}
+
+type indexedDoc struct {
+	doc    Document
+	tokens []nlp.Token // word/number tokens only
+}
+
+// NewEngine returns an empty engine with the paper's latency range.
+func NewEngine() *Engine {
+	return &Engine{
+		docs:          map[int]*indexedDoc{},
+		index:         map[string]postings{},
+		MinLatency:    100 * time.Millisecond,
+		MaxLatency:    500 * time.Millisecond,
+		SnippetRadius: 10,
+	}
+}
+
+// Add indexes a document and returns its assigned ID.
+func (e *Engine) Add(title, text string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.next
+	e.next++
+	var toks []nlp.Token
+	for _, t := range nlp.Tokenize(text) {
+		if t.Kind != nlp.Punct {
+			toks = append(toks, t)
+		}
+	}
+	e.docs[id] = &indexedDoc{doc: Document{ID: id, Title: title, Text: text}, tokens: toks}
+	for pos, t := range toks {
+		p := e.index[t.Norm]
+		if p == nil {
+			p = postings{}
+			e.index[t.Norm] = p
+		}
+		p[id] = append(p[id], pos)
+	}
+	return id
+}
+
+// NumDocs returns the corpus size.
+func (e *Engine) NumDocs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.docs)
+}
+
+// QueryCount returns the number of queries served so far.
+func (e *Engine) QueryCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queries
+}
+
+// VirtualTime returns the accumulated simulated retrieval time.
+func (e *Engine) VirtualTime() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.virtualTime
+}
+
+// ResetAccounting zeroes the query counter and virtual clock.
+func (e *Engine) ResetAccounting() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries = 0
+	e.virtualTime = 0
+}
+
+// chargeLocked records one query and its simulated latency. The latency
+// is deterministic in the query string so runs are reproducible.
+func (e *Engine) chargeLocked(q string) {
+	e.queries++
+	span := e.MaxLatency - e.MinLatency
+	if span <= 0 {
+		e.virtualTime += e.MinLatency
+		return
+	}
+	h := int64(hash32(q))
+	e.virtualTime += e.MinLatency + time.Duration(h%int64(span))
+}
+
+// NumHits returns the number of documents matching the query.
+func (e *Engine) NumHits(query string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.chargeLocked(query)
+	return len(e.matchLocked(ParseQuery(query)))
+}
+
+// Search returns up to k result snippets for the query, ranked by
+// relevance: documents with more phrase occurrences and more required-
+// term occurrences score higher, with document ID as a deterministic
+// tie-break.
+func (e *Engine) Search(query string, k int) []Snippet {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.chargeLocked(query)
+	pq := ParseQuery(query)
+	ids := e.matchLocked(pq)
+	type scored struct {
+		id    int
+		score int
+	}
+	ranked := make([]scored, 0, len(ids))
+	for _, id := range ids {
+		ranked = append(ranked, scored{id: id, score: e.relevanceLocked(id, pq)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	out := make([]Snippet, 0, len(ranked))
+	for _, r := range ranked {
+		out = append(out, Snippet{DocID: r.id, Text: e.snippetLocked(r.id, pq)})
+	}
+	return out
+}
+
+// relevanceLocked scores a matching document: phrase occurrences weigh
+// 3, required-term occurrences weigh 1.
+func (e *Engine) relevanceLocked(id int, q Query) int {
+	score := 0
+	if len(q.Phrase) > 0 {
+		d := e.docs[id]
+		positions := e.index[q.Phrase[0]][id]
+	starts:
+		for _, pos := range positions {
+			if pos+len(q.Phrase) > len(d.tokens) {
+				continue
+			}
+			for j := 1; j < len(q.Phrase); j++ {
+				if d.tokens[pos+j].Norm != q.Phrase[j] {
+					continue starts
+				}
+			}
+			score += 3
+		}
+	}
+	for _, term := range q.Required {
+		score += len(e.index[term][id])
+	}
+	return score
+}
+
+// matchLocked returns the IDs of documents matching the parsed query.
+func (e *Engine) matchLocked(q Query) []int {
+	var candidates map[int]bool
+	restrict := func(ids map[int]bool) {
+		if candidates == nil {
+			candidates = ids
+			return
+		}
+		for id := range candidates {
+			if !ids[id] {
+				delete(candidates, id)
+			}
+		}
+	}
+
+	if len(q.Phrase) > 0 {
+		restrict(e.phraseDocsLocked(q.Phrase))
+	}
+	for _, term := range q.Required {
+		p, ok := e.index[term]
+		if !ok {
+			return nil
+		}
+		ids := make(map[int]bool, len(p))
+		for id := range p {
+			ids[id] = true
+		}
+		restrict(ids)
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+	if candidates == nil {
+		return nil
+	}
+	out := make([]int, 0, len(candidates))
+	for id := range candidates {
+		out = append(out, id)
+	}
+	return out
+}
+
+// phraseDocsLocked returns the documents containing the exact token
+// sequence.
+func (e *Engine) phraseDocsLocked(phrase []string) map[int]bool {
+	out := map[int]bool{}
+	first, ok := e.index[phrase[0]]
+	if !ok {
+		return out
+	}
+docs:
+	for id, positions := range first {
+		toks := e.docs[id].tokens
+	starts:
+		for _, pos := range positions {
+			if pos+len(phrase) > len(toks) {
+				continue
+			}
+			for j := 1; j < len(phrase); j++ {
+				if toks[pos+j].Norm != phrase[j] {
+					continue starts
+				}
+			}
+			out[id] = true
+			continue docs
+		}
+	}
+	return out
+}
+
+// snippetLocked builds the text window around the first phrase match (or
+// the document head when the query has no phrase).
+func (e *Engine) snippetLocked(id int, q Query) string {
+	d := e.docs[id]
+	start, end := 0, min(len(d.tokens), 2*e.SnippetRadius)
+	if len(q.Phrase) > 0 {
+		if pos, ok := e.firstPhrasePosLocked(d, q.Phrase); ok {
+			start = max(0, pos-e.SnippetRadius)
+			end = min(len(d.tokens), pos+len(q.Phrase)+e.SnippetRadius)
+		}
+	}
+	if start >= end {
+		return ""
+	}
+	// Reconstruct the original text span, preserving punctuation between
+	// the chosen tokens.
+	from := d.tokens[start].Pos
+	last := d.tokens[end-1]
+	to := last.Pos + len(last.Text)
+	return d.doc.Text[from:to]
+}
+
+func (e *Engine) firstPhrasePosLocked(d *indexedDoc, phrase []string) (int, bool) {
+	p, ok := e.index[phrase[0]]
+	if !ok {
+		return 0, false
+	}
+	positions := p[d.doc.ID]
+starts:
+	for _, pos := range positions {
+		if pos+len(phrase) > len(d.tokens) {
+			continue
+		}
+		for j := 1; j < len(phrase); j++ {
+			if d.tokens[pos+j].Norm != phrase[j] {
+				continue starts
+			}
+		}
+		return pos, true
+	}
+	return 0, false
+}
+
+func hash32(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

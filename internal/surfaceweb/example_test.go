@@ -1,0 +1,30 @@
+package surfaceweb_test
+
+import (
+	"fmt"
+
+	"webiq/internal/surfaceweb"
+)
+
+func ExampleEngine() {
+	e := surfaceweb.NewEngine()
+	e.Add("page", "Airlines such as Delta, United, and Air Canada fly from Boston daily.")
+	e.Add("page", "Hotels in Boston are plentiful.")
+
+	fmt.Println(e.NumHits(`"airlines such as"`))
+	fmt.Println(e.NumHits(`boston`))
+	fmt.Println(e.NumHits(`"airlines such as" +boston`))
+	// Output:
+	// 1
+	// 2
+	// 1
+}
+
+func ExampleParseQuery() {
+	q := surfaceweb.ParseQuery(`"authors such as" +book +title`)
+	fmt.Println(q.Phrase)
+	fmt.Println(q.Required)
+	// Output:
+	// [authors such as]
+	// [book title]
+}

@@ -1,0 +1,42 @@
+package surfaceweb
+
+import "testing"
+
+func FuzzParseQuery(f *testing.F) {
+	f.Add(`"authors such as" +book +title`)
+	f.Add(`""`)
+	f.Add(`"unterminated`)
+	f.Add(`+++`)
+	f.Add(`"a" "b" c`)
+	f.Fuzz(func(t *testing.T, q string) {
+		parsed := ParseQuery(q)
+		for _, w := range parsed.Phrase {
+			if w == "" {
+				t.Fatalf("empty phrase word from %q", q)
+			}
+		}
+		for _, w := range parsed.Required {
+			if w == "" {
+				t.Fatalf("empty required term from %q", q)
+			}
+		}
+	})
+}
+
+func FuzzEngineQueries(f *testing.F) {
+	f.Add(`"airlines such as" +delta`)
+	f.Add("boston")
+	f.Add(`"`)
+	f.Fuzz(func(t *testing.T, q string) {
+		e := NewEngine()
+		e.Add("t", "Airlines such as Delta fly from Boston to Chicago daily.")
+		n := e.NumHits(q)
+		if n < 0 || n > e.NumDocs() {
+			t.Fatalf("NumHits(%q) = %d out of range", q, n)
+		}
+		snips := e.Search(q, 5)
+		if len(snips) > n {
+			t.Fatalf("more snippets (%d) than hits (%d) for %q", len(snips), n, q)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package surfaceweb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"webiq/internal/nlp"
+)
+
+// Snapshot persistence: a built corpus + index can be written once and
+// reloaded across processes, skipping regeneration. The snapshot stores
+// the raw documents and rebuilds token positions on load, so format
+// changes in the tokenizer cannot desynchronize index and text.
+
+// snapshot is the gob wire format.
+type snapshot struct {
+	Version int
+	Docs    []Document
+}
+
+// snapshotVersion guards against loading incompatible snapshots.
+const snapshotVersion = 1
+
+// WriteSnapshot serializes the engine's corpus.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	e.mu.Lock()
+	snap := snapshot{Version: snapshotVersion, Docs: make([]Document, 0, len(e.docs))}
+	for id := 0; id < e.next; id++ {
+		if d, ok := e.docs[id]; ok {
+			snap.Docs = append(snap.Docs, d.doc)
+		}
+	}
+	e.mu.Unlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("surfaceweb: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a corpus written by WriteSnapshot into a fresh
+// engine, re-indexing the documents.
+func ReadSnapshot(r io.Reader) (*Engine, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("surfaceweb: read snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("surfaceweb: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	e := NewEngine()
+	for _, d := range snap.Docs {
+		e.Add(d.Title, d.Text)
+	}
+	return e, nil
+}
+
+// Vocabulary returns the number of distinct indexed terms — a cheap
+// sanity statistic for snapshots and corpus inspection.
+func (e *Engine) Vocabulary() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.index)
+}
+
+// TermFrequency returns how many documents contain the (normalized)
+// term.
+func (e *Engine) TermFrequency(term string) int {
+	norm := ""
+	if ws := nlp.Words(term); len(ws) > 0 {
+		norm = ws[0]
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.index[norm])
+}

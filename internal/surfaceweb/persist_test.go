@@ -1,0 +1,96 @@
+package surfaceweb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"webiq/internal/kb"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	orig := NewEngine()
+	orig.Add("t1", "Airlines such as Delta, United, and Air Canada fly daily.")
+	orig.Add("t2", "Make: Honda. Model: Accord.")
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != orig.NumDocs() {
+		t.Fatalf("docs = %d, want %d", loaded.NumDocs(), orig.NumDocs())
+	}
+	for _, q := range []string{`"airlines such as"`, `"make honda"`, `delta`} {
+		if loaded.NumHits(q) != orig.NumHits(q) {
+			t.Errorf("hit counts differ for %s after reload", q)
+		}
+	}
+	snips := loaded.Search(`"airlines such as"`, 3)
+	if len(snips) == 0 || !strings.Contains(snips[0].Text, "Delta") {
+		t.Errorf("snippets lost after reload: %v", snips)
+	}
+}
+
+func TestSnapshotFullCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus snapshot is slow")
+	}
+	orig := NewEngine()
+	BuildCorpus(orig, kb.Domains(), DefaultCorpusConfig())
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != orig.NumDocs() || loaded.Vocabulary() != orig.Vocabulary() {
+		t.Errorf("reload mismatch: docs %d/%d vocab %d/%d",
+			loaded.NumDocs(), orig.NumDocs(), loaded.Vocabulary(), orig.Vocabulary())
+	}
+}
+
+func TestSnapshotBadData(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("want error on garbage input")
+	}
+}
+
+func TestSnapshotVersionCheck(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEngine()
+	e.Add("t", "text")
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by re-encoding with a bumped version constant
+	// is awkward with gob; instead verify the happy-path version is
+	// accepted and vocabulary survives.
+	loaded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Vocabulary() != 1 {
+		t.Errorf("vocabulary = %d", loaded.Vocabulary())
+	}
+}
+
+func TestTermFrequency(t *testing.T) {
+	e := NewEngine()
+	e.Add("a", "delta flies from boston")
+	e.Add("b", "Delta and United")
+	if got := e.TermFrequency("Delta"); got != 2 {
+		t.Errorf("TermFrequency(Delta) = %d, want 2", got)
+	}
+	if got := e.TermFrequency("zzz"); got != 0 {
+		t.Errorf("TermFrequency(zzz) = %d, want 0", got)
+	}
+	if got := e.TermFrequency(""); got != 0 {
+		t.Errorf("TermFrequency(\"\") = %d", got)
+	}
+}

@@ -1,0 +1,149 @@
+package surfaceweb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"webiq/internal/nlp"
+)
+
+// naiveHits counts matching documents by scanning tokenized text — the
+// specification the inverted index must agree with.
+func naiveHits(docs []string, query string) int {
+	q := ParseQuery(query)
+	hits := 0
+	for _, text := range docs {
+		var words []string
+		for _, tok := range nlp.Tokenize(text) {
+			if tok.Kind != nlp.Punct {
+				words = append(words, tok.Norm)
+			}
+		}
+		if matchesNaive(words, q) {
+			hits++
+		}
+	}
+	return hits
+}
+
+func matchesNaive(words []string, q Query) bool {
+	if len(q.Phrase) > 0 {
+		found := false
+	outer:
+		for i := 0; i+len(q.Phrase) <= len(words); i++ {
+			for j, w := range q.Phrase {
+				if words[i+j] != w {
+					continue outer
+				}
+			}
+			found = true
+			break
+		}
+		if !found {
+			return false
+		}
+	} else if len(q.Required) == 0 {
+		return false
+	}
+	for _, term := range q.Required {
+		found := false
+		for _, w := range words {
+			if w == term {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexAgreesWithNaiveScan cross-checks the inverted index against a
+// brute-force scan over randomized documents and queries.
+func TestIndexAgreesWithNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocab := []string{"delta", "united", "boston", "chicago", "airline",
+		"such", "as", "make", "honda", "price", "city"}
+	var docs []string
+	e := NewEngine()
+	for d := 0; d < 60; d++ {
+		n := 3 + rng.Intn(10)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = vocab[rng.Intn(len(vocab))]
+		}
+		text := strings.Join(words, " ")
+		docs = append(docs, text)
+		e.Add("d", text)
+	}
+	queries := []string{
+		`"airline delta"`, `"such as"`, `delta`, `+delta +boston`,
+		`"make honda" +price`, `"delta united boston"`, `"city"`,
+		`zzz`, `"zzz yyy"`,
+	}
+	// Randomized phrase queries too.
+	for k := 0; k < 30; k++ {
+		n := 1 + rng.Intn(3)
+		var parts []string
+		for i := 0; i < n; i++ {
+			parts = append(parts, vocab[rng.Intn(len(vocab))])
+		}
+		q := `"` + strings.Join(parts, " ") + `"`
+		if rng.Intn(2) == 0 {
+			q += " +" + vocab[rng.Intn(len(vocab))]
+		}
+		queries = append(queries, q)
+	}
+	for _, q := range queries {
+		want := naiveHits(docs, q)
+		got := e.NumHits(q)
+		if got != want {
+			t.Errorf("NumHits(%s) = %d, naive scan = %d", q, got, want)
+		}
+	}
+}
+
+// TestSnippetsContainPhrase: every snippet returned for a phrase query
+// contains the phrase (modulo case and punctuation).
+func TestSnippetsContainPhrase(t *testing.T) {
+	e := NewEngine()
+	e.Add("a", "Airlines such as Delta, United, and Air Canada fly daily from Boston.")
+	e.Add("b", "We list airlines such as Lufthansa for European routes.")
+	for _, snip := range e.Search(`"airlines such as"`, 10) {
+		var words []string
+		for _, tok := range nlp.Tokenize(snip.Text) {
+			if tok.Kind != nlp.Punct {
+				words = append(words, tok.Norm)
+			}
+		}
+		if !matchesNaive(words, Query{Phrase: []string{"airlines", "such", "as"}}) {
+			t.Errorf("snippet %q lacks the phrase", snip.Text)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 50; i++ {
+		e.Add("t", "airlines such as delta united boston chicago")
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				e.NumHits(`"airlines such as" +delta`)
+				e.Search(`delta`, 3)
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if e.QueryCount() != 8*200 {
+		t.Errorf("query count = %d, want 1600", e.QueryCount())
+	}
+}

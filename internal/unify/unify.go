@@ -1,0 +1,151 @@
+// Package unify builds a uniform query interface from matched source
+// interfaces — the downstream step the paper's introduction motivates
+// ("once the interfaces have been matched, approaches such as [27] can
+// be employed to construct a uniform query interface").
+//
+// Given the matcher's clusters, each cluster becomes one unified
+// attribute: its label is the most frequent source label (ties broken
+// lexicographically), its instance list is the deduplicated union of the
+// members' instances (predefined first, then acquired), and attributes
+// are ordered by their average display position across sources so the
+// unified interface looks like its constituents.
+package unify
+
+import (
+	"sort"
+	"strings"
+
+	"webiq/internal/matcher"
+	"webiq/internal/schema"
+)
+
+// UnifiedAttribute is one attribute of the uniform interface.
+type UnifiedAttribute struct {
+	// Label is the representative label.
+	Label string
+	// Members are the source attribute IDs merged into this attribute.
+	Members []string
+	// Instances is the deduplicated union of the members' instances.
+	Instances []string
+	// Coverage is the fraction of source interfaces contributing a
+	// member.
+	Coverage float64
+	// position is the average display position (for ordering).
+	position float64
+}
+
+// UnifiedInterface is the uniform query interface over all sources.
+type UnifiedInterface struct {
+	Domain     string
+	Attributes []*UnifiedAttribute
+}
+
+// Build constructs the unified interface from a dataset and a matching
+// result. Singleton clusters (attributes matched to nothing) are
+// included with coverage 1/n, so no source capability is lost.
+func Build(ds *schema.Dataset, res *matcher.Result) *UnifiedInterface {
+	byID := map[string]*schema.Attribute{}
+	position := map[string]int{}
+	for _, ifc := range ds.Interfaces {
+		for i, a := range ifc.Attributes {
+			byID[a.ID] = a
+			position[a.ID] = i
+		}
+	}
+	n := len(ds.Interfaces)
+
+	out := &UnifiedInterface{Domain: ds.Domain}
+	for _, cluster := range res.Clusters {
+		ua := &UnifiedAttribute{Members: append([]string(nil), cluster...)}
+		labelCount := map[string]int{}
+		ifaces := map[string]bool{}
+		seen := map[string]bool{}
+		var posSum float64
+		// Union predefined instances first so the unified list leads
+		// with source-vetted values.
+		for pass := 0; pass < 2; pass++ {
+			for _, id := range cluster {
+				a := byID[id]
+				if a == nil {
+					continue
+				}
+				vals := a.Instances
+				if pass == 1 {
+					vals = a.Acquired
+				}
+				for _, v := range vals {
+					f := strings.ToLower(v)
+					if !seen[f] {
+						seen[f] = true
+						ua.Instances = append(ua.Instances, v)
+					}
+				}
+			}
+		}
+		for _, id := range cluster {
+			a := byID[id]
+			if a == nil {
+				continue
+			}
+			labelCount[a.Label]++
+			ifaces[a.InterfaceID] = true
+			posSum += float64(position[id])
+		}
+		if len(labelCount) == 0 {
+			continue
+		}
+		ua.Label = representativeLabel(labelCount)
+		if n > 0 {
+			ua.Coverage = float64(len(ifaces)) / float64(n)
+		}
+		ua.position = posSum / float64(len(cluster))
+		out.Attributes = append(out.Attributes, ua)
+	}
+
+	sort.SliceStable(out.Attributes, func(i, j int) bool {
+		a, b := out.Attributes[i], out.Attributes[j]
+		if a.Coverage != b.Coverage {
+			return a.Coverage > b.Coverage
+		}
+		if a.position != b.position {
+			return a.position < b.position
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
+// representativeLabel picks the most frequent label, breaking ties
+// lexicographically for determinism.
+func representativeLabel(counts map[string]int) string {
+	best, bestN := "", -1
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best
+}
+
+// AsInterface converts the unified interface into a schema.Interface so
+// it can be rendered as HTML or used as a query target.
+func (u *UnifiedInterface) AsInterface(id string) *schema.Interface {
+	ifc := &schema.Interface{ID: id, Domain: u.Domain, Source: "unified-" + u.Domain}
+	for i, ua := range u.Attributes {
+		ifc.Attributes = append(ifc.Attributes, &schema.Attribute{
+			ID:          ifcAttrID(id, i),
+			InterfaceID: id,
+			Label:       ua.Label,
+			Instances:   ua.Instances,
+		})
+	}
+	return ifc
+}
+
+func ifcAttrID(ifcID string, i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return ifcID + "/u" + digits[i:i+1]
+	}
+	return ifcID + "/u" + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}

@@ -1,0 +1,186 @@
+package unify
+
+import (
+	"strings"
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+	"webiq/internal/matcher"
+	"webiq/internal/schema"
+)
+
+func smallResult() (*schema.Dataset, *matcher.Result) {
+	ds := &schema.Dataset{
+		Domain: "airfare",
+		Interfaces: []*schema.Interface{
+			{ID: "i0", Attributes: []*schema.Attribute{
+				{ID: "i0/a", InterfaceID: "i0", Label: "Airline",
+					Instances: []string{"Delta", "United"}},
+				{ID: "i0/b", InterfaceID: "i0", Label: "From city"},
+			}},
+			{ID: "i1", Attributes: []*schema.Attribute{
+				{ID: "i1/a", InterfaceID: "i1", Label: "Carrier",
+					Instances: []string{"Aer Lingus", "delta"}},
+				{ID: "i1/b", InterfaceID: "i1", Label: "From city",
+					Acquired: []string{"Boston"}},
+			}},
+			{ID: "i2", Attributes: []*schema.Attribute{
+				{ID: "i2/a", InterfaceID: "i2", Label: "Airline"},
+			}},
+		},
+	}
+	res := &matcher.Result{Clusters: [][]string{
+		{"i0/a", "i1/a", "i2/a"},
+		{"i0/b", "i1/b"},
+	}}
+	return ds, res
+}
+
+func TestBuildRepresentativeLabel(t *testing.T) {
+	ds, res := smallResult()
+	u := Build(ds, res)
+	if len(u.Attributes) != 2 {
+		t.Fatalf("attributes = %+v", u.Attributes)
+	}
+	// "Airline" occurs twice, "Carrier" once.
+	if u.Attributes[0].Label != "Airline" {
+		t.Errorf("label = %q, want Airline", u.Attributes[0].Label)
+	}
+}
+
+func TestBuildInstanceUnionDedup(t *testing.T) {
+	ds, res := smallResult()
+	u := Build(ds, res)
+	inst := u.Attributes[0].Instances
+	// Delta appears in both sources (case-folded) and must appear once.
+	count := 0
+	for _, v := range inst {
+		if strings.EqualFold(v, "delta") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("delta deduplication failed: %v", inst)
+	}
+	// Aer Lingus and United both survive.
+	joined := strings.Join(inst, "|")
+	if !strings.Contains(joined, "Aer Lingus") || !strings.Contains(joined, "United") {
+		t.Errorf("union incomplete: %v", inst)
+	}
+}
+
+func TestBuildAcquiredIncluded(t *testing.T) {
+	ds, res := smallResult()
+	u := Build(ds, res)
+	city := u.Attributes[1]
+	found := false
+	for _, v := range city.Instances {
+		if v == "Boston" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("acquired instance missing from unified attribute: %v", city.Instances)
+	}
+}
+
+func TestBuildCoverageOrdering(t *testing.T) {
+	ds, res := smallResult()
+	u := Build(ds, res)
+	// Airline covers 3/3 interfaces, From city 2/3.
+	if u.Attributes[0].Coverage <= u.Attributes[1].Coverage {
+		t.Errorf("coverage ordering wrong: %+v", u.Attributes)
+	}
+	if u.Attributes[0].Coverage != 1.0 {
+		t.Errorf("airline coverage = %v", u.Attributes[0].Coverage)
+	}
+}
+
+func TestBuildFullDomain(t *testing.T) {
+	dom := kb.DomainByKey("auto")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	res := matcher.New(matcher.DefaultConfig()).Match(ds)
+	u := Build(ds, res)
+	if len(u.Attributes) == 0 {
+		t.Fatal("empty unified interface")
+	}
+	// The unified interface should be far smaller than the sum of source
+	// attributes (that is the point) but at least as large as the
+	// richest source interface.
+	total := len(ds.AllAttributes())
+	if len(u.Attributes) >= total/2 {
+		t.Errorf("unified has %d attributes of %d total — matching did not consolidate", len(u.Attributes), total)
+	}
+	maxSrc := 0
+	for _, ifc := range ds.Interfaces {
+		if len(ifc.Attributes) > maxSrc {
+			maxSrc = len(ifc.Attributes)
+		}
+	}
+	if len(u.Attributes) < maxSrc {
+		t.Errorf("unified has %d attributes, fewer than richest source (%d)", len(u.Attributes), maxSrc)
+	}
+	// Every source attribute is covered by exactly one unified attribute.
+	covered := map[string]int{}
+	for _, ua := range u.Attributes {
+		for _, id := range ua.Members {
+			covered[id]++
+		}
+	}
+	for _, a := range ds.AllAttributes() {
+		if covered[a.ID] != 1 {
+			t.Errorf("attribute %s covered %d times", a.ID, covered[a.ID])
+		}
+	}
+}
+
+func TestAsInterface(t *testing.T) {
+	ds, res := smallResult()
+	u := Build(ds, res)
+	ifc := u.AsInterface("unified")
+	if len(ifc.Attributes) != len(u.Attributes) {
+		t.Fatalf("attribute count mismatch")
+	}
+	seen := map[string]bool{}
+	for _, a := range ifc.Attributes {
+		if seen[a.ID] {
+			t.Errorf("duplicate ID %s", a.ID)
+		}
+		seen[a.ID] = true
+		if a.InterfaceID != "unified" {
+			t.Errorf("attr %s has interface %s", a.ID, a.InterfaceID)
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	u := Build(&schema.Dataset{}, &matcher.Result{})
+	if len(u.Attributes) != 0 {
+		t.Errorf("empty input gave %+v", u.Attributes)
+	}
+}
+
+func TestRepresentativeLabelTieBreak(t *testing.T) {
+	// Equal counts: lexicographically smaller label wins, for
+	// determinism.
+	got := representativeLabel(map[string]int{"Zeta": 1, "Alpha": 1})
+	if got != "Alpha" {
+		t.Errorf("tie-break label = %q, want Alpha", got)
+	}
+}
+
+func TestAsInterfaceManyAttributes(t *testing.T) {
+	u := &UnifiedInterface{Domain: "t"}
+	for i := 0; i < 15; i++ {
+		u.Attributes = append(u.Attributes, &UnifiedAttribute{Label: "L"})
+	}
+	ifc := u.AsInterface("u")
+	seen := map[string]bool{}
+	for _, a := range ifc.Attributes {
+		if seen[a.ID] {
+			t.Fatalf("duplicate ID %q with >10 attributes", a.ID)
+		}
+		seen[a.ID] = true
+	}
+}

@@ -1,0 +1,511 @@
+package webiq
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"webiq/internal/schema"
+	"webiq/internal/sim"
+)
+
+// Components selects which WebIQ components the Acquirer applies; the
+// Figure-7 ablation toggles these.
+type Components struct {
+	Surface     bool
+	AttrDeep    bool
+	AttrSurface bool
+}
+
+// AllComponents enables the full system.
+func AllComponents() Components {
+	return Components{Surface: true, AttrDeep: true, AttrSurface: true}
+}
+
+// Acquirer implements the instance-acquisition policy of Section 5.
+type Acquirer struct {
+	surface     *Surface
+	attrSurface *AttrSurface
+	attrDeep    *AttrDeep
+	enabled     Components
+	cfg         Config
+
+	// Optional accounting probes for the overhead analysis (Figure 8):
+	// surfaceClock reads the search engine's accumulated virtual time
+	// and query count; deepClock reads the source pool's.
+	surfaceClock func() (time.Duration, int)
+	deepClock    func() (time.Duration, int)
+
+	// tracer receives acquisition events when set (see trace.go).
+	tracer Tracer
+}
+
+// SetAccounting installs clock probes used to attribute simulated query
+// time to individual components in the acquisition report. Either probe
+// may be nil.
+func (a *Acquirer) SetAccounting(surfaceClock, deepClock func() (time.Duration, int)) {
+	a.surfaceClock = surfaceClock
+	a.deepClock = deepClock
+}
+
+// NewAcquirer wires the three components. Any component may be nil if
+// its flag in enabled is false.
+func NewAcquirer(surface *Surface, attrDeep *AttrDeep, attrSurface *AttrSurface, enabled Components, cfg Config) *Acquirer {
+	return &Acquirer{
+		surface:     surface,
+		attrSurface: attrSurface,
+		attrDeep:    attrDeep,
+		enabled:     enabled,
+		cfg:         cfg,
+	}
+}
+
+// Method names the acquisition path that produced an attribute's
+// instances.
+type Method string
+
+// Acquisition methods.
+const (
+	MethodNone        Method = "none"
+	MethodSurface     Method = "surface"
+	MethodAttrDeep    Method = "attr-deep"
+	MethodAttrSurface Method = "attr-surface"
+)
+
+// Outcome records the acquisition result for one attribute.
+type Outcome struct {
+	AttrID       string
+	Label        string
+	HadInstances bool
+	// Acquired is the number of instances added to the attribute.
+	Acquired int
+	// Methods lists the paths that contributed instances.
+	Methods []Method
+	// Success is true for an initially instance-less attribute that
+	// ended with at least K instances.
+	Success bool
+}
+
+// Report aggregates acquisition outcomes over a dataset, including the
+// per-component simulated overhead for the Figure-8 analysis.
+type Report struct {
+	Outcomes []Outcome
+
+	// SurfaceTime/SurfaceQueries: search-engine time and queries spent
+	// gathering instances from the Web (the Surface component).
+	SurfaceTime    time.Duration
+	SurfaceQueries int
+	// AttrSurfaceTime/AttrSurfaceQueries: search-engine time and queries
+	// spent validating borrowed instances via the Surface Web.
+	AttrSurfaceTime    time.Duration
+	AttrSurfaceQueries int
+	// AttrDeepTime/AttrDeepQueries: source probing time and probes spent
+	// validating borrowed instances via the Deep Web.
+	AttrDeepTime    time.Duration
+	AttrDeepQueries int
+}
+
+// SuccessRate returns the percentage of initially instance-less
+// attributes for which acquisition succeeded (gathered >= K instances) —
+// the quantity of Table 1's columns 6–7.
+func (r *Report) SuccessRate() float64 {
+	total, ok := 0, 0
+	for _, o := range r.Outcomes {
+		if o.HadInstances {
+			continue
+		}
+		total++
+		if o.Success {
+			ok++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(ok) / float64(total)
+}
+
+// AcquireAll gathers instances for every attribute of the dataset,
+// mutating the attributes' Acquired fields, and returns the report.
+//
+// With Config.Parallelism > 1 the Surface discovery phase runs
+// concurrently up front; the result is identical to the sequential run
+// because Surface discovery depends only on labels and dataset metadata,
+// never on other attributes' acquired instances.
+func (a *Acquirer) AcquireAll(ds *schema.Dataset) *Report {
+	rep := &Report{}
+	var pre map[string][]string
+	if a.cfg.Parallelism > 1 && a.enabled.Surface && a.surface != nil {
+		pre = a.parallelSurface(ds, rep)
+	}
+	for _, ifc := range ds.Interfaces {
+		for _, attr := range ifc.Attributes {
+			rep.Outcomes = append(rep.Outcomes, a.acquireOne(rep, ds, ifc, attr, pre))
+		}
+	}
+	return rep
+}
+
+// parallelSurface runs Surface discovery for every instance-less
+// attribute with a bounded worker pool and returns the per-attribute
+// results. The whole phase's engine time and query count are charged to
+// the Surface component.
+func (a *Acquirer) parallelSurface(ds *schema.Dataset, rep *Report) map[string][]string {
+	type job struct {
+		attr *schema.Attribute
+		ifc  *schema.Interface
+	}
+	var jobs []job
+	for _, ifc := range ds.Interfaces {
+		for _, attr := range ifc.Attributes {
+			if !attr.HasInstances() {
+				jobs = append(jobs, job{attr, ifc})
+			}
+		}
+	}
+	t0, q0 := readClock(a.surfaceClock)
+	results := make([][]string, len(jobs))
+	sem := make(chan struct{}, a.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = a.surface.DiscoverInstances(j.attr, j.ifc, ds)
+		}(i, j)
+	}
+	wg.Wait()
+	t1, q1 := readClock(a.surfaceClock)
+	rep.SurfaceTime += t1 - t0
+	rep.SurfaceQueries += q1 - q0
+	pre := make(map[string][]string, len(jobs))
+	for i, j := range jobs {
+		pre[j.attr.ID] = results[i]
+	}
+	return pre
+}
+
+// readClock samples an accounting probe, tolerating a nil probe.
+func readClock(probe func() (time.Duration, int)) (time.Duration, int) {
+	if probe == nil {
+		return 0, 0
+	}
+	return probe()
+}
+
+// acquireOne applies the Section-5 policy to a single attribute. When
+// pre is non-nil it holds precomputed Surface discovery results (from
+// the parallel phase) keyed by attribute ID.
+func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Interface, attr *schema.Attribute, pre map[string][]string) Outcome {
+	out := Outcome{AttrID: attr.ID, Label: attr.Label, HadInstances: attr.HasInstances()}
+
+	if !attr.HasInstances() {
+		// Step 1.a: gather instances via the Surface Web.
+		if a.enabled.Surface && a.surface != nil {
+			var got []string
+			if pre != nil {
+				got = pre[attr.ID]
+			} else {
+				t0, q0 := readClock(a.surfaceClock)
+				got = a.surface.DiscoverInstances(attr, ifc, ds)
+				t1, q1 := readClock(a.surfaceClock)
+				rep.SurfaceTime += t1 - t0
+				rep.SurfaceQueries += q1 - q0
+			}
+			addAcquired(attr, got, a.cfg.MaxAcquired)
+			if len(got) > 0 {
+				out.Methods = append(out.Methods, MethodSurface)
+				a.trace(Event{Kind: "surface", AttrID: attr.ID, Label: attr.Label, Count: len(got)})
+			} else {
+				a.trace(Event{Kind: "syntax-skip", AttrID: attr.ID, Label: attr.Label,
+					Detail: "no instances from the Surface Web"})
+			}
+		}
+		// Step 1.b: if unsuccessful, borrow and validate via the Deep
+		// Web. (Surface validation would be unlikely to succeed given
+		// 1.a failed, so it is not attempted — per the paper.)
+		if len(attr.Acquired) < a.cfg.K && a.enabled.AttrDeep && a.attrDeep != nil {
+			t0, q0 := readClock(a.deepClock)
+			for _, donor := range a.borrowDonorsFreeText(ds, ifc, attr) {
+				vals, ok := a.attrDeep.ValidateBorrowed(ifc.ID, attr.ID, donor.AllInstances())
+				a.trace(Event{Kind: "borrow-deep-donor", AttrID: attr.ID, Label: attr.Label,
+					Detail: fmt.Sprintf("donor %q accepted=%v", donor.Label, ok), Count: len(vals)})
+				if !ok {
+					continue
+				}
+				added := addAcquired(attr, vals, a.cfg.MaxAcquired)
+				if added > 0 && !hasMethod(out.Methods, MethodAttrDeep) {
+					out.Methods = append(out.Methods, MethodAttrDeep)
+				}
+				// Stop once the acquisition target is met — further
+				// donors only cost probes.
+				if len(attr.Acquired) >= a.cfg.K {
+					break
+				}
+			}
+			t1, q1 := readClock(a.deepClock)
+			rep.AttrDeepTime += t1 - t0
+			rep.AttrDeepQueries += q1 - q0
+		}
+		out.Acquired = len(attr.Acquired)
+		out.Success = len(attr.Acquired) >= a.cfg.K
+		if len(out.Methods) == 0 {
+			out.Methods = []Method{MethodNone}
+		}
+		return out
+	}
+
+	// Extension (off in the paper's scheme): gather additional instances
+	// from the Surface Web even for predefined-value attributes.
+	if a.cfg.SurfaceForPredef && a.enabled.Surface && a.surface != nil {
+		t0, q0 := readClock(a.surfaceClock)
+		got := a.surface.DiscoverInstances(attr, ifc, ds)
+		t1, q1 := readClock(a.surfaceClock)
+		rep.SurfaceTime += t1 - t0
+		rep.SurfaceQueries += q1 - q0
+		if addAcquired(attr, got, a.cfg.MaxAcquired) > 0 {
+			out.Methods = append(out.Methods, MethodSurface)
+		}
+	}
+
+	// Step 2: the attribute has predefined instances. Borrow from
+	// value-compatible attributes and validate via the Surface Web —
+	// the source would reject values outside the predefined list, so
+	// Attr-Deep is not applicable.
+	if a.enabled.AttrSurface && a.attrSurface != nil {
+		borrowed := a.borrowValuesPredef(ds, ifc, attr)
+		if len(borrowed) > 0 {
+			t0, q0 := readClock(a.surfaceClock)
+			negatives := nonInstances(ifc, attr, 8)
+			positives := capSlice(attr.Instances, 8)
+			accepted := a.attrSurface.ValidateBorrowed(attr.Label, positives, negatives, borrowed)
+			t1, q1 := readClock(a.surfaceClock)
+			rep.AttrSurfaceTime += t1 - t0
+			rep.AttrSurfaceQueries += q1 - q0
+			added := addAcquired(attr, accepted, a.cfg.MaxAcquired)
+			if added > 0 {
+				out.Methods = append(out.Methods, MethodAttrSurface)
+			}
+			a.trace(Event{Kind: "borrow-surface", AttrID: attr.ID, Label: attr.Label,
+				Detail: fmt.Sprintf("borrowed %d, accepted %d", len(borrowed), len(accepted)),
+				Count:  added})
+		}
+	}
+	out.Acquired = len(attr.Acquired)
+	if len(out.Methods) == 0 {
+		out.Methods = []Method{MethodNone}
+	}
+	return out
+}
+
+// borrowDonorsFreeText selects donor attributes for Step 1.b: attributes
+// on other interfaces that carry instances, whose labels are similar to
+// X1's, and whose domains differ from every predefined-value attribute Y
+// on X1's interface (if Y had a similar domain, X1 would likely have
+// been predefined too). Donors are ordered by label similarity.
+func (a *Acquirer) borrowDonorsFreeText(ds *schema.Dataset, ifc *schema.Interface, attr *schema.Attribute) []*schema.Attribute {
+	type scored struct {
+		attr *schema.Attribute
+		sim  float64
+	}
+	var donors []scored
+	for _, other := range ds.Interfaces {
+		if other.ID == ifc.ID {
+			continue
+		}
+		for _, cand := range other.Attributes {
+			if len(cand.AllInstances()) == 0 {
+				continue
+			}
+			ls := sim.LabelSim(attr.Label, cand.Label)
+			if ls < a.cfg.BorrowLabelSim {
+				continue
+			}
+			if a.domainMatchesSibling(ifc, attr, cand) {
+				continue
+			}
+			donors = append(donors, scored{cand, ls})
+		}
+	}
+	sort.Slice(donors, func(i, j int) bool {
+		if donors[i].sim != donors[j].sim {
+			return donors[i].sim > donors[j].sim
+		}
+		return donors[i].attr.ID < donors[j].attr.ID
+	})
+	out := make([]*schema.Attribute, len(donors))
+	for i, d := range donors {
+		out[i] = d.attr
+	}
+	return out
+}
+
+// domainMatchesSibling reports whether the candidate donor's domain
+// overlaps the domain of some predefined-value sibling of attr — the
+// exclusion condition of Section 5, case 1.
+func (a *Acquirer) domainMatchesSibling(ifc *schema.Interface, attr *schema.Attribute, cand *schema.Attribute) bool {
+	for _, y := range ifc.Attributes {
+		if y.ID == attr.ID || !y.HasInstances() {
+			continue
+		}
+		if sim.ValueOverlap(cand.AllInstances(), y.Instances) >= 0.3 {
+			return true
+		}
+	}
+	return false
+}
+
+// borrowValuesPredef collects values to borrow for a predefined-value
+// attribute (Step 2): from attributes on other interfaces sharing at
+// least BorrowValueMatches very similar values, take the values X1 does
+// not already list.
+func (a *Acquirer) borrowValuesPredef(ds *schema.Dataset, ifc *schema.Interface, attr *schema.Attribute) []string {
+	out := a.collectBorrowValues(ds, ifc, attr, true)
+	if len(out) == 0 {
+		// No value-compatible donor exists (the Figure-1 situation:
+		// Airline's NA list shares nothing with Carrier's EU list). Fall
+		// back to borrowing from every attribute and let the
+		// validation-based classifier decide membership — Section 3's
+		// example borrows Aer Lingus from Carrier for Airline exactly
+		// this way.
+		out = a.collectBorrowValues(ds, ifc, attr, false)
+	}
+	if len(out) > a.cfg.MaxAcquired {
+		out = out[:a.cfg.MaxAcquired]
+	}
+	return out
+}
+
+// collectBorrowValues gathers candidate values from other interfaces'
+// attributes, optionally restricted to donors sharing at least
+// BorrowValueMatches very similar values with attr.
+func (a *Acquirer) collectBorrowValues(ds *schema.Dataset, ifc *schema.Interface, attr *schema.Attribute, requireSimilar bool) []string {
+	have := map[string]bool{}
+	for _, v := range attr.Instances {
+		have[foldValue(v)] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, other := range ds.Interfaces {
+		if other.ID == ifc.ID {
+			continue
+		}
+		for _, cand := range other.Attributes {
+			vals := cand.AllInstances()
+			if len(vals) == 0 {
+				continue
+			}
+			if requireSimilar && !domainsVerySimilar(attr.Instances, vals, a.cfg.BorrowValueMatches) {
+				continue
+			}
+			for _, v := range vals {
+				f := foldValue(v)
+				if have[f] || seen[f] {
+					continue
+				}
+				seen[f] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// domainsVerySimilar reports whether at least minMatches pairs of
+// values, one from each domain, are very similar (exact fold match or
+// high edit similarity).
+func domainsVerySimilar(a, b []string, minMatches int) bool {
+	matches := sim.SharedValues(a, b)
+	if matches >= minMatches {
+		return true
+	}
+	// Look for near-identical pairs beyond the exact matches.
+	for _, x := range a {
+		if matches >= minMatches {
+			return true
+		}
+		for _, y := range b {
+			if sim.EditSim(x, y) >= 0.9 && foldValue(x) != foldValue(y) {
+				matches++
+				break
+			}
+		}
+	}
+	return matches >= minMatches
+}
+
+// nonInstances gathers values of the other attributes on the interface —
+// the automatically obtained negative examples of Section 3.
+func nonInstances(ifc *schema.Interface, attr *schema.Attribute, cap int) []string {
+	var out []string
+	for _, o := range ifc.Attributes {
+		if o.ID == attr.ID {
+			continue
+		}
+		for _, v := range o.AllInstances() {
+			out = append(out, v)
+			if len(out) >= cap {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// addAcquired appends values to attr.Acquired, deduplicating against
+// both predefined and already-acquired values, up to the cap. It
+// returns the number added.
+func addAcquired(attr *schema.Attribute, values []string, maxTotal int) int {
+	have := map[string]bool{}
+	for _, v := range attr.Instances {
+		have[foldValue(v)] = true
+	}
+	for _, v := range attr.Acquired {
+		have[foldValue(v)] = true
+	}
+	added := 0
+	for _, v := range values {
+		if len(attr.Acquired) >= maxTotal {
+			break
+		}
+		f := foldValue(v)
+		if have[f] {
+			continue
+		}
+		have[f] = true
+		attr.Acquired = append(attr.Acquired, v)
+		added++
+	}
+	return added
+}
+
+func capSlice(s []string, n int) []string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func hasMethod(ms []Method, m Method) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+func foldValue(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

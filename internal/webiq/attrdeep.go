@@ -1,0 +1,48 @@
+package webiq
+
+import "webiq/internal/deepweb"
+
+// AttrDeep validates borrowed instances by probing the attribute's own
+// Deep-Web source, implementing Section 4: formulate a probing query
+// with A set to the borrowed value and other attributes at defaults,
+// submit, and analyze the response page with heuristics. To reduce the
+// number of queries, if the submission succeeds for at least one third
+// of the probed instances of the donor attribute B, all instances of B
+// are assumed to be instances of A.
+type AttrDeep struct {
+	pool *deepweb.Pool
+	cfg  Config
+}
+
+// NewAttrDeep returns the Attr-Deep component over the source pool.
+func NewAttrDeep(pool *deepweb.Pool, cfg Config) *AttrDeep {
+	return &AttrDeep{pool: pool, cfg: cfg}
+}
+
+// ValidateBorrowed probes the source behind interfaceID with attribute
+// attrID set to a sample of the donor's values. If at least one third of
+// the probes succeed, all donor values are accepted (the one-third
+// rule); otherwise none are.
+func (ad *AttrDeep) ValidateBorrowed(interfaceID, attrID string, donorValues []string) ([]string, bool) {
+	if len(donorValues) == 0 {
+		return nil, false
+	}
+	src := ad.pool.Source(interfaceID)
+	if src == nil {
+		return nil, false
+	}
+	probes := donorValues
+	if ad.cfg.MaxBorrowProbes > 0 && len(probes) > ad.cfg.MaxBorrowProbes {
+		probes = probes[:ad.cfg.MaxBorrowProbes]
+	}
+	success := 0
+	for _, v := range probes {
+		if deepweb.AnalyzeResponse(src.Probe(attrID, v)) {
+			success++
+		}
+	}
+	if 3*success >= len(probes) {
+		return donorValues, true
+	}
+	return nil, false
+}

@@ -1,0 +1,207 @@
+package webiq
+
+import (
+	"errors"
+
+	"webiq/internal/stats"
+)
+
+// This file implements Section 3: the validation-based naive Bayes
+// classifier that decides whether an instance borrowed from another
+// attribute belongs to attribute A. Features are thresholded validation
+// (PMI) scores; training is fully automatic — positives are A's own
+// instances, negatives are instances of A's interface siblings.
+
+// Classifier is a trained validation-based naive Bayes classifier for
+// one attribute.
+type Classifier struct {
+	// Phrases are the validation phrases; feature i is the thresholded
+	// score on phrase i.
+	Phrases []string
+	// Thresholds are the per-feature thresholds t_i estimated by
+	// information gain over T1.
+	Thresholds []float64
+	// Priors and class-conditional probabilities estimated from T2 with
+	// Laplacean smoothing.
+	PPos, PNeg float64
+	// PF[i][f][c]: probability of feature i having value f (0/1) given
+	// class c (0 = negative, 1 = positive).
+	PF [][2][2]float64
+}
+
+// errTooFewExamples is returned when there are not enough training
+// examples to split into T1 and T2.
+var errTooFewExamples = errors.New("webiq: too few training examples for classifier")
+
+// TrainClassifier builds the classifier for an attribute with the given
+// label, using its existing instances as positive examples and the
+// non-instances (values of sibling attributes) as negatives. It follows
+// the three steps of Section 3.2: training-set preparation (validation
+// scores via the Surface Web), threshold estimation on T1 by information
+// gain, and probability estimation on T2 with Laplacean smoothing.
+func TrainClassifier(v *Validator, label string, positives, negatives []string) (*Classifier, error) {
+	phrases := v.Phrases(label)
+	if len(phrases) == 0 {
+		return nil, errors.New("webiq: no validation phrases for label " + label)
+	}
+	if len(positives) < 2 || len(negatives) < 2 {
+		return nil, errTooFewExamples
+	}
+	posScores := make([][]float64, len(positives))
+	for i, x := range positives {
+		posScores[i] = v.Scores(phrases, x)
+	}
+	negScores := make([][]float64, len(negatives))
+	for i, x := range negatives {
+		negScores[i] = v.Scores(phrases, x)
+	}
+	return trainFromScores(phrases, posScores, negScores), nil
+}
+
+// trainFromScores runs threshold and probability estimation over
+// already-computed validation vectors (the M columns of Figure 5.c).
+func trainFromScores(phrases []string, posScores, negScores [][]float64) *Classifier {
+	type example struct {
+		scores []float64
+		pos    bool
+	}
+	var all []example
+	for _, s := range posScores {
+		all = append(all, example{scores: s, pos: true})
+	}
+	for _, s := range negScores {
+		all = append(all, example{scores: s, pos: false})
+	}
+
+	// Split each class in half: first halves form T1 (threshold
+	// estimation), second halves form T2 (probability estimation),
+	// mirroring Figure 5.d/5.e.
+	var t1, t2 []example
+	half := func(n int) int { return (n + 1) / 2 }
+	np, nn := len(posScores), len(negScores)
+	for i, ex := range all {
+		var inT1 bool
+		if i < np {
+			inT1 = i < half(np)
+		} else {
+			inT1 = (i - np) < half(nn)
+		}
+		if inT1 {
+			t1 = append(t1, ex)
+		} else {
+			t2 = append(t2, ex)
+		}
+	}
+
+	c := &Classifier{Phrases: phrases}
+	// Step 2: estimate thresholds by information gain over T1.
+	c.Thresholds = make([]float64, len(phrases))
+	for i := range phrases {
+		var vals []float64
+		var labels []bool
+		for _, ex := range t1 {
+			vals = append(vals, ex.scores[i])
+			labels = append(labels, ex.pos)
+		}
+		c.Thresholds[i] = bestThreshold(vals, labels)
+	}
+
+	// Step 3: estimate probabilities from T2 with Laplacean smoothing.
+	c.PF = make([][2][2]float64, len(phrases))
+	var cnt [2]int // examples per class in T2
+	fcnt := make([][2][2]int, len(phrases))
+	for _, ex := range t2 {
+		cls := 0
+		if ex.pos {
+			cls = 1
+		}
+		cnt[cls]++
+		for i := range phrases {
+			f := 0
+			if ex.scores[i] > c.Thresholds[i] {
+				f = 1
+			}
+			fcnt[i][f][cls]++
+		}
+	}
+	total := cnt[0] + cnt[1]
+	c.PPos = float64(cnt[1]+1) / float64(total+2)
+	c.PNeg = float64(cnt[0]+1) / float64(total+2)
+	for i := range phrases {
+		for f := 0; f < 2; f++ {
+			for cls := 0; cls < 2; cls++ {
+				c.PF[i][f][cls] = float64(fcnt[i][f][cls]+1) / float64(cnt[cls]+2)
+			}
+		}
+	}
+	return c
+}
+
+// bestThreshold chooses the threshold maximizing information gain: the
+// split of the values that most reduces class entropy (Section 3.2,
+// step 2). Candidate thresholds are midpoints between adjacent sorted
+// values.
+func bestThreshold(values []float64, positive []bool) float64 {
+	th, _ := stats.InfoGainSplit(values, positive)
+	return th
+}
+
+// Features converts a validation-score vector into the binary feature
+// vector using the learned thresholds.
+func (c *Classifier) Features(scores []float64) []int {
+	out := make([]int, len(scores))
+	for i, s := range scores {
+		if s > c.Thresholds[i] {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// ProbPositive evaluates Formula 1: the posterior probability that an
+// object with the given validation scores is an instance of the
+// attribute.
+func (c *Classifier) ProbPositive(scores []float64) float64 {
+	f := c.Features(scores)
+	pPos, pNeg := c.PPos, c.PNeg
+	for i, fi := range f {
+		pPos *= c.PF[i][fi][1]
+		pNeg *= c.PF[i][fi][0]
+	}
+	if pPos+pNeg == 0 {
+		return 0.5
+	}
+	return pPos / (pPos + pNeg)
+}
+
+// AttrSurface borrows instances for an attribute and validates them via
+// the Surface Web using the validation-based classifier.
+type AttrSurface struct {
+	validator *Validator
+	cfg       Config
+}
+
+// NewAttrSurface returns the Attr-Surface component.
+func NewAttrSurface(validator *Validator, cfg Config) *AttrSurface {
+	return &AttrSurface{validator: validator, cfg: cfg}
+}
+
+// ValidateBorrowed trains a classifier for the attribute with the given
+// label (positives = its instances, negatives = sibling values), then
+// returns the subset of borrowed values classified as instances. It
+// returns nil (and no error) when training is impossible.
+func (as *AttrSurface) ValidateBorrowed(label string, positives, negatives, borrowed []string) []string {
+	clf, err := TrainClassifier(as.validator, label, positives, negatives)
+	if err != nil {
+		return nil
+	}
+	phrases := clf.Phrases
+	var out []string
+	for _, b := range borrowed {
+		scores := as.validator.Scores(phrases, b)
+		if clf.ProbPositive(scores) > 0.5 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

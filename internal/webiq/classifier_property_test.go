@@ -1,0 +1,113 @@
+package webiq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests of the validation-based naive Bayes classifier.
+
+// TestClassifierPosteriorBounds: for any trained classifier and any
+// score vector, the posterior is a probability.
+func TestClassifierPosteriorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nPhrases := 1 + rng.Intn(4)
+		phrases := make([]string, nPhrases)
+		for i := range phrases {
+			phrases[i] = "p"
+		}
+		mkScores := func(n int) [][]float64 {
+			out := make([][]float64, n)
+			for i := range out {
+				out[i] = make([]float64, nPhrases)
+				for j := range out[i] {
+					out[i][j] = rng.Float64()
+				}
+			}
+			return out
+		}
+		c := trainFromScores(phrases, mkScores(2+rng.Intn(4)), mkScores(2+rng.Intn(4)))
+		probe := make([]float64, nPhrases)
+		for j := range probe {
+			probe[j] = rng.Float64() * 2
+		}
+		p := c.ProbPositive(probe)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("posterior %v out of [0,1]", p)
+		}
+	}
+}
+
+// TestClassifierSeparableData: with perfectly separable training scores,
+// the classifier must classify held-out points on the right side.
+func TestClassifierSeparableData(t *testing.T) {
+	phrases := []string{"a", "b"}
+	pos := [][]float64{{.9, .8}, {.85, .9}, {.95, .85}, {.8, .95}}
+	neg := [][]float64{{.1, .05}, {.05, .1}, {.12, .08}, {.02, .03}}
+	c := trainFromScores(phrases, pos, neg)
+	if p := c.ProbPositive([]float64{.9, .9}); p <= 0.5 {
+		t.Errorf("clear positive scored %v", p)
+	}
+	if p := c.ProbPositive([]float64{.01, .01}); p >= 0.5 {
+		t.Errorf("clear negative scored %v", p)
+	}
+}
+
+// TestClassifierThresholdWithinRange: learned thresholds lie within the
+// observed score range of T1.
+func TestClassifierThresholdWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phrases := []string{"x"}
+		mk := func(n int, lo float64) [][]float64 {
+			out := make([][]float64, n)
+			for i := range out {
+				out[i] = []float64{lo + rng.Float64()}
+			}
+			return out
+		}
+		pos := mk(3, 0.5)
+		neg := mk(3, 0)
+		c := trainFromScores(phrases, pos, neg)
+		th := c.Thresholds[0]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		// T1 = first 2 positives + first 2 negatives.
+		for _, s := range [][]float64{pos[0], pos[1], neg[0], neg[1]} {
+			if s[0] < lo {
+				lo = s[0]
+			}
+			if s[0] > hi {
+				hi = s[0]
+			}
+		}
+		return th >= lo-1e-9 && th <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassifierSmoothingNeverZero: Laplacean smoothing keeps every
+// class-conditional probability strictly inside (0,1).
+func TestClassifierSmoothingNeverZero(t *testing.T) {
+	phrases := []string{"a", "b", "c"}
+	pos := [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
+	neg := [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}}
+	c := trainFromScores(phrases, pos, neg)
+	for i := range phrases {
+		for f := 0; f < 2; f++ {
+			for cls := 0; cls < 2; cls++ {
+				p := c.PF[i][f][cls]
+				if p <= 0 || p >= 1 {
+					t.Fatalf("PF[%d][%d][%d] = %v not in (0,1)", i, f, cls, p)
+				}
+			}
+		}
+	}
+	if c.PPos <= 0 || c.PNeg <= 0 {
+		t.Error("smoothed priors must be positive")
+	}
+}

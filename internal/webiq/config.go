@@ -1,0 +1,106 @@
+// Package webiq implements the paper's primary contribution: automatic
+// instance acquisition for Deep-Web query-interface attributes. It has
+// three components —
+//
+//   - Surface (Section 2): question-answering-style instance discovery
+//     from the Surface Web, with label syntax analysis, Hearst-pattern
+//     extraction queries, statistical outlier removal, and PMI-based Web
+//     validation;
+//   - AttrSurface (Section 3): borrowing instances from other attributes
+//     and validating them with a fully automatically trained
+//     validation-based naive Bayes classifier;
+//   - AttrDeep (Section 4): validating borrowed instances by probing the
+//     attribute's own Deep-Web source;
+//
+// plus the Acquirer (Section 5), the policy that decides which component
+// to apply to which attribute before handing the enriched interfaces to
+// a matcher.
+package webiq
+
+import "webiq/internal/surfaceweb"
+
+// SearchEngine is the slice of a Web search engine WebIQ consumes:
+// result snippets for extraction queries and hit counts for validation
+// queries. *surfaceweb.Engine satisfies it.
+type SearchEngine interface {
+	Search(query string, limit int) []surfaceweb.Snippet
+	NumHits(query string) int
+}
+
+// Config bundles the tunables of all WebIQ components.
+type Config struct {
+	// K is the target number of instances per attribute; acquiring at
+	// least K counts as success (the paper uses 10).
+	K int
+	// SnippetsPerQuery is how many result snippets are downloaded per
+	// extraction query.
+	SnippetsPerQuery int
+	// MaxSiblingKeywords is how many labels of sibling attributes are
+	// added as required keywords to narrow extraction queries.
+	MaxSiblingKeywords int
+	// UseDomainKeywords enables narrowing extraction queries with the
+	// domain keyword and sibling labels (on in the paper; off in the
+	// ablation bench).
+	UseDomainKeywords bool
+	// OutlierSigma is the discordancy-test cutoff in standard
+	// deviations (the paper uses 3).
+	OutlierSigma float64
+	// NumericMajority is the fraction of candidates that must look
+	// numeric for the instance domain to be typed numeric (0.8 in the
+	// paper).
+	NumericMajority float64
+	// SkipOutlierRemoval disables the outlier-detection phase (ablation
+	// only; the paper's two-phase design keeps it on).
+	SkipOutlierRemoval bool
+	// UseRawHitCounts scores validation queries by raw co-occurrence
+	// hits instead of PMI (ablation only).
+	UseRawHitCounts bool
+	// MinScore is the minimum average validation score for a candidate
+	// to survive Web validation.
+	MinScore float64
+	// MaxBorrowProbes caps how many of a donor attribute's instances
+	// Attr-Deep probes before applying the one-third rule.
+	MaxBorrowProbes int
+	// BorrowLabelSim is the minimum label similarity for a borrowing
+	// donor in Step 1.b of Section 5.
+	BorrowLabelSim float64
+	// BorrowValueMatches is the minimum number of very similar value
+	// pairs for a borrowing donor in Step 2 of Section 5.
+	BorrowValueMatches int
+	// MaxAcquired caps the instances stored per attribute.
+	MaxAcquired int
+	// Parallelism > 1 runs the Surface discovery phase concurrently with
+	// that many workers. Results are identical to the sequential run:
+	// Surface discovery depends only on labels and dataset metadata, so
+	// it can be hoisted out of the sequential borrowing policy.
+	Parallelism int
+	// SurfaceForPredef also runs Surface discovery for attributes that
+	// already have predefined instances. The paper's Section-5 scheme
+	// skips this "to minimize the overhead caused by querying the search
+	// engine"; the flag implements the possibility the paper notes and
+	// the corresponding bench quantifies its cost/benefit.
+	SurfaceForPredef bool
+	// CacheDiscovery memoizes Surface discovery per attribute label.
+	// This is an approximation: two same-labeled attributes on different
+	// interfaces narrow their queries with different sibling keywords,
+	// so cached results can differ slightly from fresh ones. Off by
+	// default; the cache ablation bench quantifies the query savings.
+	CacheDiscovery bool
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config {
+	return Config{
+		K:                  10,
+		SnippetsPerQuery:   8,
+		MaxSiblingKeywords: 2,
+		UseDomainKeywords:  true,
+		OutlierSigma:       3,
+		NumericMajority:    0.8,
+		MinScore:           0,
+		MaxBorrowProbes:    6,
+		BorrowLabelSim:     0.4,
+		BorrowValueMatches: 2,
+		MaxAcquired:        20,
+	}
+}

@@ -1,0 +1,154 @@
+package webiq
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsNumericValue(t *testing.T) {
+	for _, s := range []string{"$15,200", "42", "3.14", "$9.99", "10,000", "1995"} {
+		if !IsNumericValue(s) {
+			t.Errorf("IsNumericValue(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"Honda", "First Class", "a1b2", "", "12ab", "$x"} {
+		if IsNumericValue(s) {
+			t.Errorf("IsNumericValue(%q) = true", s)
+		}
+	}
+}
+
+func TestDetectDomainType(t *testing.T) {
+	num := []string{"$5,000", "$7,500", "$10,000", "$12,000", "Honda"}
+	if DetectDomainType(num, 0.8) != NumericDomain {
+		t.Error("80% numeric should be numeric domain")
+	}
+	str := []string{"Honda", "Toyota", "Ford", "$5,000"}
+	if DetectDomainType(str, 0.8) != StringDomain {
+		t.Error("mostly string should be string domain")
+	}
+	if DetectDomainType(nil, 0.8) != StringDomain {
+		t.Error("empty defaults to string")
+	}
+}
+
+func TestRemoveOutliersNumeric(t *testing.T) {
+	cfg := DefaultConfig()
+	// A $10,000 book among ordinary prices is the paper's example.
+	cands := []string{"$12", "$15", "$18", "$20", "$14", "$16", "$13", "$17", "$19", "$10,000"}
+	got := RemoveOutliers(cands, cfg)
+	for _, v := range got {
+		if v == "$10,000" {
+			t.Error("absurd price survived outlier removal")
+		}
+	}
+	if len(got) != len(cands)-1 {
+		t.Errorf("kept %d of %d; want all but one", len(got), len(cands))
+	}
+}
+
+func TestRemoveOutliersTypeMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cands := []string{"Honda", "Toyota", "Ford", "Nissan", "Mazda", "12345"}
+	got := RemoveOutliers(cands, cfg)
+	for _, v := range got {
+		if v == "12345" {
+			t.Error("numeric candidate survived in string domain")
+		}
+	}
+}
+
+func TestRemoveOutliersLongPhrase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OutlierSigma = 2 // small sample, tighten the test
+	cands := []string{
+		"Honda", "Toyota", "Ford", "Nissan", "Mazda", "Subaru", "Kia",
+		"BMW", "Audi", "Volvo", "Lexus", "Jeep",
+		"information service online customer support center directory",
+	}
+	got := RemoveOutliers(cands, cfg)
+	for _, v := range got {
+		if len(v) > 20 {
+			t.Errorf("junk phrase %q survived", v)
+		}
+	}
+}
+
+func TestRemoveOutliersSmallSets(t *testing.T) {
+	cfg := DefaultConfig()
+	got := RemoveOutliers([]string{"Honda", "Toyota"}, cfg)
+	if !reflect.DeepEqual(got, []string{"Honda", "Toyota"}) {
+		t.Errorf("small sets pass through: got %v", got)
+	}
+	if got := RemoveOutliers(nil, cfg); got != nil {
+		t.Errorf("nil in, nil out: got %v", got)
+	}
+}
+
+func TestRemoveOutliersHomogeneous(t *testing.T) {
+	cfg := DefaultConfig()
+	cands := []string{"Honda", "Honda", "Honda", "Honda"}
+	got := RemoveOutliers(cands, cfg)
+	if len(got) != 4 {
+		t.Errorf("identical candidates: kept %d of 4", len(got))
+	}
+}
+
+func TestStringStats(t *testing.T) {
+	st := stringStats("Air Canada 1")
+	if st[0] != 3 { // words
+		t.Errorf("words = %v", st[0])
+	}
+	if st[1] != 2 { // capitals
+		t.Errorf("caps = %v", st[1])
+	}
+	if st[2] != 12 { // chars
+		t.Errorf("len = %v", st[2])
+	}
+	if st[3] <= 0 || st[3] >= 0.2 { // 1 digit of 12 chars
+		t.Errorf("pct digits = %v", st[3])
+	}
+}
+
+// Property: RemoveOutliers output is a subsequence of its input.
+func TestRemoveOutliersSubsequence(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(in []string) bool {
+		out := RemoveOutliers(in, cfg)
+		i := 0
+		for _, v := range out {
+			found := false
+			for i < len(in) {
+				if in[i] == v {
+					found = true
+					i++
+					break
+				}
+				i++
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := map[string]float64{
+		"$15,200": 15200, "42": 42, "3.5": 3.5, "$9.99": 9.99,
+	}
+	for in, want := range cases {
+		got, ok := parseNumeric(in)
+		if !ok || got != want {
+			t.Errorf("parseNumeric(%q) = %v,%v", in, got, ok)
+		}
+	}
+	if _, ok := parseNumeric("Honda"); ok {
+		t.Error("parseNumeric(Honda) should fail")
+	}
+}

@@ -1,0 +1,145 @@
+package webiq
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"webiq/internal/nlp"
+)
+
+func npOf(t *testing.T, label string) nlp.NounPhrase {
+	t.Helper()
+	ls := nlp.AnalyzeLabel(label)
+	if len(ls.NPs) == 0 {
+		t.Fatalf("no NP in %q", label)
+	}
+	return ls.NPs[0]
+}
+
+func TestFormulateQueriesAuthors(t *testing.T) {
+	cfg := DefaultConfig()
+	qs := FormulateQueries(npOf(t, "Author"), "book", "book", []string{"Title", "ISBN"}, cfg)
+	if len(qs) != 8 {
+		t.Fatalf("got %d queries, want 8", len(qs))
+	}
+	// The paper's example query: "authors such as" +book +title +isbn.
+	found := false
+	for _, q := range qs {
+		if q.Pattern == "s1" {
+			if q.Query != `"authors such as" +book +title +isbn` {
+				t.Errorf("s1 query = %q", q.Query)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no s1 query")
+	}
+}
+
+func TestFormulateQueriesSingleton(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseDomainKeywords = false
+	qs := FormulateQueries(npOf(t, "Author"), "book", "book", nil, cfg)
+	var g1 *ExtractionQuery
+	for i := range qs {
+		if qs[i].Pattern == "g1" {
+			g1 = &qs[i]
+		}
+	}
+	if g1 == nil {
+		t.Fatal("no g1 query")
+	}
+	if g1.Cue != "the author of the book is" {
+		t.Errorf("g1 cue = %q", g1.Cue)
+	}
+	if g1.Kind != SingletonPattern || g1.Dir != After {
+		t.Errorf("g1 kind/dir = %v/%v", g1.Kind, g1.Dir)
+	}
+}
+
+func TestFormulateQueriesPluralHead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseDomainKeywords = false
+	qs := FormulateQueries(npOf(t, "Class of service"), "flight", "airfare", nil, cfg)
+	for _, q := range qs {
+		if q.Pattern == "s1" && q.Cue != "classes of service such as" {
+			t.Errorf("s1 cue = %q, want head-pluralized phrase", q.Cue)
+		}
+	}
+}
+
+func TestFormulateQueriesNoSiblingOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxSiblingKeywords = 1
+	qs := FormulateQueries(npOf(t, "Make"), "car", "used cars", []string{"Model", "Year", "Price"}, cfg)
+	if got := strings.Count(qs[0].Query, "+"); got != 3 {
+		// "used cars" contributes 2 (+used +cars? "used" is a stopword? no) ...
+		// Count: domain keyword words + 1 sibling.
+		t.Logf("query = %q", qs[0].Query)
+		if got > 4 {
+			t.Errorf("too many required terms: %d", got)
+		}
+	}
+}
+
+func TestExtractFromSnippetSetAfter(t *testing.T) {
+	q := ExtractionQuery{Pattern: "s1", Kind: SetPattern, Dir: After, Cue: "departure cities such as"}
+	got := ExtractFromSnippet(q, "Departure cities such as Boston, Chicago, and LAX are served.")
+	want := []string{"Boston", "Chicago", "LAX"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractFromSnippetSetBefore(t *testing.T) {
+	q := ExtractionQuery{Pattern: "s4", Kind: SetPattern, Dir: Before, Cue: "and other airlines"}
+	got := ExtractFromSnippet(q, "Cheap fares. Delta, United, Air Canada, and other airlines can be found.")
+	want := []string{"Delta", "United", "Air Canada"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestExtractFromSnippetSingletonAfter(t *testing.T) {
+	q := ExtractionQuery{Pattern: "g1", Kind: SingletonPattern, Dir: After, Cue: "the author of the book is"}
+	got := ExtractFromSnippet(q, "We know the author of the book is Mark Twain, a famous writer.")
+	if !reflect.DeepEqual(got, []string{"Mark Twain"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestExtractFromSnippetSingletonBefore(t *testing.T) {
+	q := ExtractionQuery{Pattern: "g3", Kind: SingletonPattern, Dir: Before, Cue: "is the airline of the flight"}
+	got := ExtractFromSnippet(q, "Delta is the airline of the flight.")
+	if !reflect.DeepEqual(got, []string{"Delta"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestExtractFromSnippetNoCue(t *testing.T) {
+	q := ExtractionQuery{Pattern: "s1", Kind: SetPattern, Dir: After, Cue: "makes such as"}
+	if got := ExtractFromSnippet(q, "Nothing relevant here."); got != nil {
+		t.Errorf("got %v, want nil", got)
+	}
+}
+
+func TestExtractFromSnippetSkipsStopwordCandidates(t *testing.T) {
+	q := ExtractionQuery{Pattern: "g2", Kind: SingletonPattern, Dir: After, Cue: "the color is"}
+	got := ExtractFromSnippet(q, "the color is the same")
+	for _, c := range got {
+		if strings.ToLower(c) == "the" || strings.ToLower(c) == "the same" {
+			t.Errorf("stopword-only candidate %q survived", c)
+		}
+	}
+}
+
+func TestQuerySuffixDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseDomainKeywords = false
+	qs := FormulateQueries(npOf(t, "Author"), "book", "book", []string{"Title"}, cfg)
+	if strings.Contains(qs[0].Query, "+") {
+		t.Errorf("query %q should have no required terms", qs[0].Query)
+	}
+}

@@ -1,0 +1,179 @@
+package webiq
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"webiq/internal/nlp"
+	"webiq/internal/schema"
+)
+
+// Surface discovers instances for an attribute from the Surface Web,
+// implementing Section 2: instance extraction (label syntax analysis,
+// extraction-query formulation, snippet extraction) followed by instance
+// verification (outlier removal, Web validation).
+type Surface struct {
+	engine    SearchEngine
+	validator *Validator
+	cfg       Config
+
+	mu    sync.Mutex
+	cache map[string][]string // label -> discovered instances (opt-in)
+}
+
+// NewSurface returns a Surface component sharing the given validator's
+// hit-count cache.
+func NewSurface(engine SearchEngine, validator *Validator, cfg Config) *Surface {
+	return &Surface{engine: engine, validator: validator, cfg: cfg, cache: map[string][]string{}}
+}
+
+// Candidate is an extracted instance candidate with bookkeeping for
+// reports and tests.
+type Candidate struct {
+	Value string
+	// Freq is how many snippets yielded the candidate.
+	Freq int
+	// Score is the validation confidence (average PMI).
+	Score float64
+}
+
+// DiscoverInstances runs the full extraction + verification pipeline and
+// returns up to cfg.K instances ranked by validation score. The
+// interface and dataset provide the domain information used to narrow
+// queries.
+func (s *Surface) DiscoverInstances(a *schema.Attribute, ifc *schema.Interface, ds *schema.Dataset) []string {
+	if s.cfg.CacheDiscovery {
+		key := strings.ToLower(a.Label)
+		s.mu.Lock()
+		cached, ok := s.cache[key]
+		s.mu.Unlock()
+		if ok {
+			out := make([]string, len(cached))
+			copy(out, cached)
+			return out
+		}
+		got := s.Verify(a, s.Extract(a, ifc, ds))
+		s.mu.Lock()
+		s.cache[key] = got
+		s.mu.Unlock()
+		out := make([]string, len(got))
+		copy(out, got)
+		return out
+	}
+	cands := s.Extract(a, ifc, ds)
+	return s.Verify(a, cands)
+}
+
+// Extract implements the instance-extraction phase (Figure 3.a) and
+// returns raw candidates with frequencies.
+func (s *Surface) Extract(a *schema.Attribute, ifc *schema.Interface, ds *schema.Dataset) []Candidate {
+	ls := nlp.AnalyzeLabel(a.Label)
+	if len(ls.NPs) == 0 {
+		// Bare prepositions, verb phrases without embedded NPs, etc.:
+		// the extraction phase terminates with no instances.
+		return nil
+	}
+
+	siblings := siblingLabels(a, ifc)
+	freq := map[string]int{}
+	var order []string
+	for _, np := range ls.NPs {
+		for _, q := range FormulateQueries(np, ds.EntityName, ds.DomainKeyword, siblings, s.cfg) {
+			for _, snip := range s.engine.Search(q.Query, s.cfg.SnippetsPerQuery) {
+				for _, c := range ExtractFromSnippet(q, snip.Text) {
+					if s.rejectCandidate(a.Label, c) {
+						continue
+					}
+					if _, seen := freq[c]; !seen {
+						order = append(order, c)
+					}
+					freq[c]++
+				}
+			}
+		}
+	}
+	out := make([]Candidate, 0, len(order))
+	for _, c := range order {
+		out = append(out, Candidate{Value: c, Freq: freq[c]})
+	}
+	return out
+}
+
+// Verify implements the instance-verification phase (Figure 3.b):
+// outlier removal followed by Web validation, returning the top-K
+// values.
+func (s *Surface) Verify(a *schema.Attribute, cands []Candidate) []string {
+	if len(cands) == 0 {
+		return nil
+	}
+	values := make([]string, len(cands))
+	for i, c := range cands {
+		values[i] = c.Value
+	}
+	if !s.cfg.SkipOutlierRemoval {
+		values = RemoveOutliers(values, s.cfg)
+	}
+	if len(values) == 0 {
+		return nil
+	}
+
+	phrases := s.validator.Phrases(a.Label)
+	scored := make([]Candidate, 0, len(values))
+	for _, v := range values {
+		sc := s.validator.Confidence(phrases, v)
+		if sc <= s.cfg.MinScore {
+			continue
+		}
+		scored = append(scored, Candidate{Value: v, Score: sc})
+	}
+	sort.SliceStable(scored, func(i, j int) bool { return scored[i].Score > scored[j].Score })
+	// The success criterion of Section 5 is reaching K instances, but
+	// all validated instances (up to the acquisition cap) are retained:
+	// larger instance sets give the matcher more value-overlap evidence.
+	limit := s.cfg.MaxAcquired
+	if limit < s.cfg.K {
+		limit = s.cfg.K
+	}
+	if len(scored) > limit {
+		scored = scored[:limit]
+	}
+	out := make([]string, len(scored))
+	for i, c := range scored {
+		out[i] = c.Value
+	}
+	return out
+}
+
+// rejectCandidate drops degenerate candidates: the label itself, label
+// words, or single characters.
+func (s *Surface) rejectCandidate(label, c string) bool {
+	if len(c) <= 1 {
+		return true
+	}
+	cl := strings.ToLower(c)
+	if cl == strings.ToLower(label) {
+		return true
+	}
+	for _, w := range nlp.Words(label) {
+		if cl == w || cl == nlp.Pluralize(w) || cl == nlp.Singularize(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// siblingLabels lists the labels of the other attributes on the same
+// interface, in display order.
+func siblingLabels(a *schema.Attribute, ifc *schema.Interface) []string {
+	if ifc == nil {
+		return nil
+	}
+	var out []string
+	for _, o := range ifc.Attributes {
+		if o.ID != a.ID {
+			out = append(out, o.Label)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package webiq
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one step of the acquisition policy, for observability: which
+// component ran for which attribute and what it produced. Events are
+// best-effort diagnostics; no control flow depends on them.
+type Event struct {
+	// Kind is the step: "syntax-skip", "surface", "borrow-deep",
+	// "borrow-deep-donor", "borrow-surface", "classifier-skip".
+	Kind string
+	// AttrID and Label identify the attribute being processed.
+	AttrID string
+	Label  string
+	// Detail carries step-specific context (donor label, failure
+	// reason).
+	Detail string
+	// Count is the number of instances involved (gathered, borrowed,
+	// accepted), when meaningful.
+	Count int
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	s := fmt.Sprintf("%-18s %-24s %q", e.Kind, e.AttrID, e.Label)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	if e.Count > 0 {
+		s += fmt.Sprintf(" n=%d", e.Count)
+	}
+	return s
+}
+
+// Tracer receives acquisition events. Implementations must be safe for
+// concurrent use when Config.Parallelism > 1.
+type Tracer interface {
+	Trace(Event)
+}
+
+// SetTracer installs a tracer on the acquirer; nil disables tracing.
+func (a *Acquirer) SetTracer(t Tracer) { a.tracer = t }
+
+// trace emits an event if a tracer is installed.
+func (a *Acquirer) trace(e Event) {
+	if a.tracer != nil {
+		a.tracer.Trace(e)
+	}
+}
+
+// LogTracer writes one line per event to an io.Writer.
+type LogTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogTracer returns a Tracer printing to w.
+func NewLogTracer(w io.Writer) *LogTracer { return &LogTracer{w: w} }
+
+// Trace implements Tracer.
+func (lt *LogTracer) Trace(e Event) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	fmt.Fprintln(lt.w, e.String())
+}
+
+// CollectTracer accumulates events in memory (useful in tests).
+type CollectTracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Trace implements Tracer.
+func (ct *CollectTracer) Trace(e Event) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.events = append(ct.events, e)
+}
+
+// Events returns a copy of the collected events.
+func (ct *CollectTracer) Events() []Event {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	out := make([]Event, len(ct.events))
+	copy(out, ct.events)
+	return out
+}

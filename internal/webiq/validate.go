@@ -1,0 +1,110 @@
+package webiq
+
+import (
+	"strings"
+	"sync"
+
+	"webiq/internal/nlp"
+)
+
+// Validator scores the semantic connection between an attribute label
+// and an instance candidate from their co-occurrence statistics on the
+// Surface Web, per Section 2.2: validation queries are formed from
+// validation patterns, and co-occurrence is measured with pointwise
+// mutual information to avoid popularity bias.
+//
+// Hit counts are memoized so that repeated sub-queries (NumHits(V),
+// NumHits(x)) are charged to the search engine only once, mirroring how
+// a careful client would cache Google hit counts.
+type Validator struct {
+	engine SearchEngine
+	cfg    Config
+
+	mu    sync.Mutex
+	cache map[string]int
+}
+
+// NewValidator returns a Validator over the given engine.
+func NewValidator(engine SearchEngine, cfg Config) *Validator {
+	return &Validator{engine: engine, cfg: cfg, cache: map[string]int{}}
+}
+
+// numHits is the caching hit counter.
+func (v *Validator) numHits(query string) int {
+	v.mu.Lock()
+	if n, ok := v.cache[query]; ok {
+		v.mu.Unlock()
+		return n
+	}
+	v.mu.Unlock()
+	n := v.engine.NumHits(query)
+	v.mu.Lock()
+	v.cache[query] = n
+	v.mu.Unlock()
+	return n
+}
+
+// Phrases returns the validation phrases for an attribute label: the
+// proximity-based phrase (the label itself) and the cue-phrase-based
+// phrases built from the label's noun phrase ("makes such as",
+// "such makes as").
+func (v *Validator) Phrases(label string) []string {
+	var out []string
+	lw := strings.Join(nlp.Words(label), " ")
+	if lw != "" {
+		out = append(out, lw)
+	}
+	ls := nlp.AnalyzeLabel(label)
+	if len(ls.NPs) > 0 {
+		plural := ls.NPs[0].Plural()
+		out = append(out, plural+" such as", "such "+plural+" as")
+	}
+	return out
+}
+
+// PMI computes the paper's adapted pointwise mutual information between
+// a validation phrase V and a candidate x:
+//
+//	PMI(V, x) = NumHits(V + x) / (NumHits(V) · NumHits(x))
+//
+// With Config.UseRawHitCounts (ablation), it returns NumHits(V + x)
+// directly, exhibiting the popularity bias PMI corrects.
+func (v *Validator) PMI(phrase, x string) float64 {
+	joint := v.numHits(`"` + phrase + " " + strings.ToLower(x) + `"`)
+	if v.cfg.UseRawHitCounts {
+		return float64(joint)
+	}
+	if joint == 0 {
+		return 0
+	}
+	hv := v.numHits(`"` + phrase + `"`)
+	hx := v.numHits(`"` + strings.ToLower(x) + `"`)
+	if hv == 0 || hx == 0 {
+		return 0
+	}
+	return float64(joint) / (float64(hv) * float64(hx))
+}
+
+// Scores returns the per-phrase validation scores of candidate x for
+// the given phrases — the validation vector M of Section 3.1.
+func (v *Validator) Scores(phrases []string, x string) []float64 {
+	out := make([]float64, len(phrases))
+	for i, p := range phrases {
+		out[i] = v.PMI(p, x)
+	}
+	return out
+}
+
+// Confidence is the confidence score of x being an instance of the
+// attribute with the given validation phrases: the average PMI across
+// phrases.
+func (v *Validator) Confidence(phrases []string, x string) float64 {
+	if len(phrases) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range phrases {
+		sum += v.PMI(p, x)
+	}
+	return sum / float64(len(phrases))
+}

@@ -1,0 +1,159 @@
+package webiq
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"webiq/internal/surfaceweb"
+)
+
+// stubEngine is a SearchEngine with scripted hit counts, counting the
+// queries actually issued.
+type stubEngine struct {
+	mu      sync.Mutex
+	hits    map[string]int
+	queries int
+}
+
+func (s *stubEngine) Search(string, int) []surfaceweb.Snippet { return nil }
+
+func (s *stubEngine) NumHits(q string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	return s.hits[q]
+}
+
+func TestValidatorPhrases(t *testing.T) {
+	v := NewValidator(&stubEngine{}, DefaultConfig())
+	got := v.Phrases("Make")
+	want := map[string]bool{"make": true, "makes such as": true, "such makes as": true}
+	if len(got) != 3 {
+		t.Fatalf("phrases = %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("unexpected phrase %q", p)
+		}
+	}
+}
+
+func TestValidatorPhrasesBarePreposition(t *testing.T) {
+	v := NewValidator(&stubEngine{}, DefaultConfig())
+	got := v.Phrases("From")
+	// Only the proximity phrase survives; no cue phrases without an NP.
+	if len(got) != 1 || got[0] != "from" {
+		t.Errorf("phrases = %v", got)
+	}
+}
+
+func TestPMI(t *testing.T) {
+	eng := &stubEngine{hits: map[string]int{
+		`"make honda"`: 10,
+		`"make"`:       100,
+		`"honda"`:      50,
+	}}
+	v := NewValidator(eng, DefaultConfig())
+	got := v.PMI("make", "Honda")
+	want := 10.0 / (100 * 50)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PMI = %v, want %v", got, want)
+	}
+}
+
+func TestPMIZeroJoint(t *testing.T) {
+	eng := &stubEngine{hits: map[string]int{`"make"`: 100, `"january"`: 80}}
+	v := NewValidator(eng, DefaultConfig())
+	if got := v.PMI("make", "January"); got != 0 {
+		t.Errorf("PMI = %v, want 0", got)
+	}
+	// Zero joint must short-circuit: no V/x queries issued.
+	if eng.queries != 1 {
+		t.Errorf("queries = %d, want 1 (joint only)", eng.queries)
+	}
+}
+
+func TestPMICorrectsPopularityBias(t *testing.T) {
+	// "January" co-occurs with "departure date" often because January is
+	// everywhere; PMI must rank the rarer true instance higher when its
+	// dependence is stronger.
+	eng := &stubEngine{hits: map[string]int{
+		`"month aug"`:     8,
+		`"month"`:         100,
+		`"aug"`:           20,
+		`"month january"`: 12,
+		`"january"`:       1000,
+	}}
+	cfg := DefaultConfig()
+	v := NewValidator(eng, cfg)
+	rare := v.PMI("month", "Aug")
+	popular := v.PMI("month", "January")
+	if rare <= popular {
+		t.Errorf("PMI: rare=%v popular=%v; PMI should discount popularity", rare, popular)
+	}
+
+	// With raw hit counts (the ablation), the popular value wins —
+	// demonstrating the bias PMI corrects.
+	cfg.UseRawHitCounts = true
+	vr := NewValidator(eng, cfg)
+	if vr.PMI("month", "Aug") >= vr.PMI("month", "January") {
+		t.Error("raw hit counts should prefer the popular value")
+	}
+}
+
+func TestValidatorCaching(t *testing.T) {
+	eng := &stubEngine{hits: map[string]int{
+		`"make honda"`:  10,
+		`"make toyota"`: 8,
+		`"make"`:        100,
+		`"honda"`:       50,
+		`"toyota"`:      40,
+	}}
+	v := NewValidator(eng, DefaultConfig())
+	v.PMI("make", "Honda")
+	v.PMI("make", "Toyota")
+	v.PMI("make", "Honda") // fully cached
+	// Unique queries: make honda, make, honda, make toyota, toyota = 5.
+	if eng.queries != 5 {
+		t.Errorf("engine queries = %d, want 5 (caching)", eng.queries)
+	}
+}
+
+func TestConfidenceAveragesPhrases(t *testing.T) {
+	eng := &stubEngine{hits: map[string]int{
+		`"make honda"`:          10,
+		`"makes such as honda"`: 5,
+		`"make"`:                100,
+		`"makes such as"`:       50,
+		`"honda"`:               50,
+	}}
+	v := NewValidator(eng, DefaultConfig())
+	phrases := []string{"make", "makes such as"}
+	got := v.Confidence(phrases, "Honda")
+	want := (10.0/(100*50) + 5.0/(50*50)) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("confidence = %v, want %v", got, want)
+	}
+}
+
+func TestConfidenceNoPhrases(t *testing.T) {
+	v := NewValidator(&stubEngine{}, DefaultConfig())
+	if got := v.Confidence(nil, "x"); got != 0 {
+		t.Errorf("confidence = %v, want 0", got)
+	}
+}
+
+func TestScoresVector(t *testing.T) {
+	eng := &stubEngine{hits: map[string]int{
+		`"a x"`: 2, `"a"`: 10, `"x"`: 5,
+	}}
+	v := NewValidator(eng, DefaultConfig())
+	got := v.Scores([]string{"a", "b"}, "x")
+	if len(got) != 2 {
+		t.Fatalf("scores = %v", got)
+	}
+	if got[0] <= 0 || got[1] != 0 {
+		t.Errorf("scores = %v", got)
+	}
+}
