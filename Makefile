@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment sweeps are CPU-heavy; under the race detector they need
+# more than the default 10m package timeout.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+check: vet test race

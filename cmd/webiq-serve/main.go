@@ -5,13 +5,22 @@
 //
 //	webiq-serve -addr :8080
 //
-// Then visit http://localhost:8080/ for the source index.
+// Then visit http://localhost:8080/ for the source index. Metrics are
+// exposed in Prometheus text format at /metrics; passing -pprof mounts
+// the net/http/pprof profiling handlers under /debug/pprof/. On SIGINT
+// or SIGTERM the server stops accepting connections and drains in-flight
+// requests for up to the -drain duration before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"webiq/internal/server"
@@ -23,18 +32,53 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "random seed for all generators")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	drain := flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	start := time.Now()
 	srv := server.New(*seed)
+
+	var handler http.Handler = srv
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	log.Printf("substrates ready in %v; listening on %s", time.Since(start).Round(time.Millisecond), *addr)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := httpSrv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills us
+		log.Printf("signal received; draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("bye")
 	}
 }

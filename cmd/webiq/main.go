@@ -6,6 +6,16 @@
 // Usage:
 //
 //	webiq -domain airfare [-seed 1] [-tau 0.1] [-components surface,deep,attr] [-json out.json] [-v]
+//
+// Observability:
+//
+//	-trace spans.ndjson   write the span log (one JSON object per span or
+//	                      event) to a file; per-component span totals
+//	                      reproduce the report's overhead numbers
+//	-metrics              print the final metrics snapshot in Prometheus
+//	                      text format to stdout after the run
+//	-events               stream acquisition events to stderr as they
+//	                      happen (one line per event)
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"webiq/internal/deepweb"
 	"webiq/internal/kb"
 	"webiq/internal/matcher"
+	"webiq/internal/obs"
 	"webiq/internal/schema"
 	"webiq/internal/surfaceweb"
 	"webiq/internal/webiq"
@@ -36,7 +47,9 @@ func main() {
 	jsonIn := flag.String("dataset", "", "load the dataset from this JSON file instead of generating it")
 	jsonOut := flag.String("json", "", "write the acquired dataset as JSON to this file")
 	verbose := flag.Bool("v", false, "print per-attribute acquisition outcomes")
-	trace := flag.Bool("trace", false, "stream acquisition events as they happen")
+	events := flag.Bool("events", false, "stream acquisition events to stderr as they happen")
+	traceFile := flag.String("trace", "", "write the NDJSON span log to this file")
+	metricsDump := flag.Bool("metrics", false, "print the final metrics snapshot (Prometheus text format) to stdout")
 	learn := flag.Int("learn-tau", 0, "learn the threshold interactively with this question budget (0 = use -tau)")
 	flag.Parse()
 
@@ -96,8 +109,36 @@ func main() {
 		func() (time.Duration, int) { return engine.VirtualTime(), engine.QueryCount() },
 		func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
 	)
-	if *trace {
-		acq.SetTracer(webiq.NewLogTracer(os.Stderr))
+
+	var reg *obs.Registry
+	if *metricsDump {
+		reg = obs.NewRegistry()
+		engine.Instrument(reg)
+		pool.Instrument(reg)
+		acq.SetObserver(reg)
+	}
+	var spanFile *os.File
+	var spans *obs.Tracer
+	if *traceFile != "" {
+		var err error
+		spanFile, err = os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spans = obs.NewTracer(spanFile)
+		acq.SetSpanTracer(spans)
+	}
+	var tracers []webiq.Tracer
+	if *events {
+		tracers = append(tracers, webiq.NewLogTracer(os.Stderr))
+	}
+	if spans != nil {
+		// Acquisition events also land in the span log as zero-duration
+		// records, interleaved with the component spans.
+		tracers = append(tracers, webiq.NewObsEventTracer(spans))
+	}
+	if len(tracers) > 0 {
+		acq.SetTracer(webiq.MultiTracer(tracers...))
 	}
 
 	fmt.Println("Acquiring instances...")
@@ -127,7 +168,9 @@ func main() {
 	}
 
 	for _, th := range []float64{0, *tau} {
-		res := matcher.New(matcher.Config{Alpha: 0.6, Beta: 0.4, Threshold: th}).Match(ds)
+		mm := matcher.New(matcher.Config{Alpha: 0.6, Beta: 0.4, Threshold: th})
+		mm.Instrument(reg)
+		res := mm.Match(ds)
 		m := matcher.Evaluate(res.Pairs, ds.GoldPairs())
 		fmt.Printf("Matching (tau=%.2f): P=%.3f R=%.3f F1=%.3f (%d clusters, %d pairs)\n",
 			th, m.Precision, m.Recall, m.F1, len(res.Clusters), m.Predicted)
@@ -146,6 +189,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nAcquired dataset written to %s\n", *jsonOut)
+	}
+
+	if spanFile != nil {
+		if err := spanFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nSpan log written to %s:\n", *traceFile)
+		for _, tot := range spans.TotalsByName() {
+			fmt.Printf("  %-18s spans=%-4d wall=%-12v virtual=%-12v queries=%d\n",
+				tot.Name, tot.Spans, tot.Wall.Round(time.Microsecond), tot.Virtual, tot.Queries)
+		}
+	}
+	if reg != nil {
+		fmt.Println("\n# Final metrics snapshot")
+		reg.WritePrometheus(os.Stdout)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"webiq/internal/htmlform"
 	"webiq/internal/kb"
+	"webiq/internal/obs"
 	"webiq/internal/schema"
 )
 
@@ -64,6 +65,25 @@ type Pool struct {
 	cfg         Config
 	queries     int
 	virtualTime time.Duration
+
+	// Optional metrics; nil-safe no-ops when Instrument was not called.
+	mProbes  *obs.CounterVec // labelled by source interface ID
+	mLatency *obs.Histogram
+}
+
+// Instrument registers the pool's metrics on r:
+//
+//	webiq_pool_probes_total{source}     probes served per source
+//	webiq_pool_probe_virtual_seconds    per-probe simulated round trip
+//
+// Pools for several domains may share one registry: the families are
+// registered once and the per-source label keeps them apart. Passing
+// nil leaves the pool uninstrumented (the default).
+func (p *Pool) Instrument(r *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mProbes = r.CounterVec("webiq_pool_probes_total", "Deep-Web probe queries served, by source.", "source")
+	p.mLatency = r.Histogram("webiq_pool_probe_virtual_seconds", "Simulated per-probe round-trip latency in seconds.", nil)
 }
 
 // BuildPool constructs sources for every interface in the dataset.
@@ -119,16 +139,17 @@ func (p *Pool) ResetAccounting() {
 	p.virtualTime = 0
 }
 
-func (p *Pool) charge(key string) {
+func (p *Pool) charge(sourceID, key string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.queries++
-	span := p.cfg.MaxLatency - p.cfg.MinLatency
-	if span <= 0 {
-		p.virtualTime += p.cfg.MinLatency
-		return
+	lat := p.cfg.MinLatency
+	if span := p.cfg.MaxLatency - p.cfg.MinLatency; span > 0 {
+		lat += time.Duration(int64(hash32(key)) % int64(span))
 	}
-	p.virtualTime += p.cfg.MinLatency + time.Duration(int64(hash32(key))%int64(span))
+	p.virtualTime += lat
+	p.mProbes.With(sourceID).Inc()
+	p.mLatency.Observe(lat.Seconds())
 }
 
 // generateTable samples Records rows; each row assigns every attribute a
@@ -168,7 +189,7 @@ func generateTable(ifc *schema.Interface, concepts map[string]*kb.Concept, n int
 // response page. It implements the "Formulate and Submit a Query" step
 // of Section 4.
 func (s *Source) Probe(attrID, value string) string {
-	s.pool.charge(s.ifc.ID + "|" + attrID + "|" + value)
+	s.pool.charge(s.ifc.ID, s.ifc.ID+"|"+attrID+"|"+value)
 
 	attr := s.ifc.AttributeByID(attrID)
 	if attr == nil {

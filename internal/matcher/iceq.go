@@ -2,7 +2,9 @@ package matcher
 
 import (
 	"sort"
+	"time"
 
+	"webiq/internal/obs"
 	"webiq/internal/schema"
 	"webiq/internal/sim"
 )
@@ -56,6 +58,11 @@ func DefaultConfig() Config {
 // Matcher is an IceQ-style interface matcher.
 type Matcher struct {
 	cfg Config
+
+	// Optional metrics; nil-safe no-ops when Instrument was not called.
+	mPairs    *obs.Counter
+	mMerges   *obs.Counter
+	mDuration *obs.Histogram
 }
 
 // New returns a Matcher with the given configuration.
@@ -63,9 +70,23 @@ func New(cfg Config) *Matcher {
 	return &Matcher{cfg: cfg}
 }
 
+// Instrument registers the matcher's metrics on r:
+//
+//	webiq_matcher_pairs_scored_total  attribute pairs scored with Sim
+//	webiq_matcher_merges_total        cluster merges performed
+//	webiq_matcher_match_seconds       wall-clock duration of Match runs
+//
+// Passing nil leaves the matcher uninstrumented (the default).
+func (m *Matcher) Instrument(r *obs.Registry) {
+	m.mPairs = r.Counter("webiq_matcher_pairs_scored_total", "Attribute pairs scored by the similarity measure.")
+	m.mMerges = r.Counter("webiq_matcher_merges_total", "Agglomerative cluster merges performed.")
+	m.mDuration = r.Histogram("webiq_matcher_match_seconds", "Wall-clock duration of full Match runs in seconds.", nil)
+}
+
 // AttrSim computes Sim(A,B) = α·LabelSim + β·DomSim over labels and all
 // (predefined + acquired) instances.
 func (m *Matcher) AttrSim(a, b *schema.Attribute) float64 {
+	m.mPairs.Inc()
 	ls := sim.LabelSim(a.Label, b.Label)
 	dsim := DomSim(a.AllInstances(), b.AllInstances())
 	return m.cfg.Alpha*ls + m.cfg.Beta*dsim
@@ -88,6 +109,10 @@ type Result struct {
 // paper's τ = 0 setting, any two attributes with positive similarity may
 // end up matched; τ = .1 prunes the weak links.
 func (m *Matcher) Match(ds *schema.Dataset) *Result {
+	if m.mDuration != nil {
+		start := time.Now()
+		defer func() { m.mDuration.Observe(time.Since(start).Seconds()) }()
+	}
 	attrs := ds.AllAttributes()
 	n := len(attrs)
 
@@ -155,6 +180,7 @@ func (m *Matcher) Match(ds *schema.Dataset) *Result {
 			break
 		}
 		mergeSims = append(mergeSims, best)
+		m.mMerges.Inc()
 		// Merge bj into bi; update cluster similarities per the linkage
 		// (Lance–Williams updates).
 		ni := float64(len(clusters[bi].members))

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler serves the registry in Prometheus text exposition format —
+// mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// HTTPMetrics holds the server-side HTTP instruments; one set is
+// shared across routes (the route is a label). A nil *HTTPMetrics
+// no-ops, so handlers can be wrapped unconditionally.
+type HTTPMetrics struct {
+	reg      *Registry
+	requests *CounterVec // route, class
+	inFlight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP metric families:
+//
+//	webiq_http_requests_total{route,class}  requests by status class
+//	webiq_http_request_seconds{route}       latency histogram per route
+//	webiq_http_in_flight                    requests currently served
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	if r == nil {
+		return nil
+	}
+	return &HTTPMetrics{
+		reg:      r,
+		requests: r.CounterVec("webiq_http_requests_total", "HTTP requests served, by route and status class.", "route", "class"),
+		inFlight: r.Gauge("webiq_http_in_flight", "HTTP requests currently in flight."),
+	}
+}
+
+// histogramFor returns the per-route latency histogram; Wrap resolves
+// it once per route at wiring time, not per request.
+func (m *HTTPMetrics) histogramFor(route string) *Histogram {
+	return m.reg.HistogramVec("webiq_http_request_seconds",
+		"HTTP request latency in seconds, by route.", nil, "route").With(route)
+}
+
+// Wrap instruments a handler under the given route label.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	if m == nil {
+		return next
+	}
+	hist := m.histogramFor(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		m.inFlight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, req)
+		hist.Observe(time.Since(start).Seconds())
+		m.requests.With(route, statusClass(sw.code)).Inc()
+		m.inFlight.Dec()
+	})
+}
+
+// WrapFunc is Wrap for http.HandlerFunc.
+func (m *HTTPMetrics) WrapFunc(route string, next func(http.ResponseWriter, *http.Request)) http.Handler {
+	return m.Wrap(route, http.HandlerFunc(next))
+}
+
+// statusWriter captures the response status code.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass buckets a status code into "1xx".."5xx".
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return fmt.Sprintf("%dxx", code/100)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	fam *family
+}
+
+// HistogramVec registers (or fetches) a labelled histogram family with
+// the given bucket bounds (nil means DefSecondsBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefSecondsBuckets
+	}
+	return &HistogramVec{fam: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.fam.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.fam.name, len(v.fam.labels), len(values)))
+	}
+	return v.fam.get(values, func() metric { return newHistogram(v.fam.buckets) }).(*Histogram)
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPMiddleware(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r)
+	h := m.WrapFunc("demo", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("fail") != "" {
+			http.Error(w, "nope", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/demo", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/demo?fail=1", nil))
+	if rec.Code != 404 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`webiq_http_requests_total{route="demo",class="2xx"} 3`,
+		`webiq_http_requests_total{route="demo",class="4xx"} 1`,
+		`webiq_http_request_seconds_count{route="demo"} 4`,
+		"webiq_http_in_flight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPMiddlewareNil(t *testing.T) {
+	var m *HTTPMetrics
+	called := false
+	h := m.WrapFunc("demo", func(w http.ResponseWriter, req *http.Request) { called = true })
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !called {
+		t.Fatal("nil middleware must pass through")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_handler_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_handler_total 1") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}

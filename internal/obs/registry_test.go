@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	// Scrape concurrently with the increments: must be race-free.
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("counter = %v, want 16000", got)
+	}
+}
+
+func TestCounterVecSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_requests_total", "requests", "route", "class")
+	v.With("stats", "2xx").Add(3)
+	v.With("stats", "5xx").Inc()
+	v.With("index", "2xx").Inc()
+	// Same label values resolve to the same series.
+	v.With("stats", "2xx").Inc()
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_requests_total requests",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{route="stats",class="2xx"} 4`,
+		`test_requests_total{route="stats",class="5xx"} 1`,
+		`test_requests_total{route="index",class="2xx"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_in_flight", "in flight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %v, want 1", got)
+	}
+	g.Set(7.5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "test_in_flight 7.5") {
+		t.Errorf("exposition:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "# TYPE test_in_flight gauge") {
+		t.Errorf("missing gauge TYPE line:\n%s", sb.String())
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.3, 0.3, 0.9, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got < 5.54 || got > 5.56 {
+		t.Fatalf("sum = %v, want 5.55", got)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="0.5"} 3`,
+		`test_seconds_bucket{le="1"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_sum 5.55",
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "latency", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(0.2)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	if got := h.Sum(); got < 799.9 || got > 800.1 {
+		t.Fatalf("sum = %v, want 800", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every instrument obtained from a nil registry must no-op rather
+	// than panic — this is the "no registry installed" fast path.
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Counter("x", "").Add(2)
+	r.Gauge("x", "").Set(1)
+	r.Gauge("x", "").Dec()
+	r.Histogram("x", "", nil).Observe(1)
+	r.CounterVec("x", "", "l").With("v").Inc()
+	r.HistogramVec("x", "", nil, "l").With("v").Observe(1)
+	r.WritePrometheus(&strings.Builder{})
+	if r.Counter("x", "").Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+}
+
+func TestReRegisterReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_same_total", "")
+	b := r.Counter("test_same_total", "")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counters not shared")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "", "v").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `test_esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span (or instantaneous event) as exported
+// to the NDJSON log. Durations are nanoseconds; StartNS is relative to
+// the tracer's construction so runs are comparable regardless of wall
+// clock.
+type SpanRecord struct {
+	// Name identifies the operation ("surface", "attr-deep", "match",
+	// or an event kind like "borrow-deep").
+	Name string `json:"name"`
+	// Labels carries low-cardinality span context (attr, label,
+	// interface, detail).
+	Labels map[string]string `json:"labels,omitempty"`
+	// StartNS is the span start, nanoseconds since tracer creation.
+	StartNS int64 `json:"start_ns"`
+	// WallNS is the real elapsed time; zero for instantaneous events.
+	WallNS int64 `json:"wall_ns"`
+	// VirtualNS is the simulated time attributed to the span (search
+	// engine / source pool virtual clocks), when known.
+	VirtualNS int64 `json:"virtual_ns,omitempty"`
+	// Queries is the number of substrate queries attributed to the
+	// span, when known.
+	Queries int `json:"queries,omitempty"`
+	// Count carries an event's instance count, when meaningful.
+	Count int `json:"count,omitempty"`
+}
+
+// Tracer records spans and events, optionally streaming each finished
+// record as one NDJSON line to a writer. All methods are safe for
+// concurrent use and nil-safe, so instrumented code can call through a
+// nil *Tracer at the cost of a branch.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	enc     *json.Encoder
+	records []SpanRecord
+}
+
+// NewTracer returns a tracer. If w is non-nil every finished span is
+// written to it as one JSON object per line; records are also retained
+// in memory for Records/Totals.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{epoch: time.Now()}
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	}
+	return t
+}
+
+// Span is an in-flight operation started by Tracer.Span. Methods on a
+// nil *Span no-op.
+type Span struct {
+	tracer  *Tracer
+	rec     SpanRecord
+	started time.Time
+
+	mu sync.Mutex
+}
+
+// Span starts a span with the given name.
+func (t *Tracer) Span(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Span{
+		tracer:  t,
+		started: now,
+		rec:     SpanRecord{Name: name, StartNS: now.Sub(t.epoch).Nanoseconds()},
+	}
+}
+
+// Label attaches a key/value to the span and returns it for chaining.
+// Empty values are dropped.
+func (s *Span) Label(k, v string) *Span {
+	if s == nil || v == "" {
+		return s
+	}
+	s.mu.Lock()
+	if s.rec.Labels == nil {
+		s.rec.Labels = map[string]string{}
+	}
+	s.rec.Labels[k] = v
+	s.mu.Unlock()
+	return s
+}
+
+// AddVirtual attributes simulated time to the span.
+func (s *Span) AddVirtual(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.VirtualNS += d.Nanoseconds()
+	s.mu.Unlock()
+}
+
+// AddQueries attributes substrate queries to the span.
+func (s *Span) AddQueries(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Queries += n
+	s.mu.Unlock()
+}
+
+// End finishes the span and hands it to the tracer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.WallNS = time.Since(s.started).Nanoseconds()
+	rec := s.rec
+	s.mu.Unlock()
+	s.tracer.emit(rec)
+}
+
+// Event records an instantaneous occurrence (wall duration zero) —
+// the span-log form of the acquisition events of webiq's Tracer.
+func (t *Tracer) Event(name string, labels map[string]string, count int) {
+	if t == nil {
+		return
+	}
+	t.emit(SpanRecord{
+		Name:    name,
+		Labels:  labels,
+		StartNS: time.Since(t.epoch).Nanoseconds(),
+		Count:   count,
+	})
+}
+
+func (t *Tracer) emit(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.records = append(t.records, rec)
+	if t.enc != nil {
+		// Encode errors are deliberately swallowed: tracing is
+		// best-effort and must never fail the pipeline.
+		_ = t.enc.Encode(rec)
+	}
+}
+
+// Records returns a copy of all finished records in emission order.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.records))
+	copy(out, t.records)
+	return out
+}
+
+// Totals aggregates the records per span name.
+type Totals struct {
+	Name    string
+	Spans   int
+	Wall    time.Duration
+	Virtual time.Duration
+	Queries int
+}
+
+// TotalsByName sums wall/virtual durations and query counts per span
+// name, sorted by name — the per-component totals the Figure-8
+// overhead report is checked against.
+func (t *Tracer) TotalsByName() []Totals {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	byName := map[string]*Totals{}
+	for _, r := range t.records {
+		tot := byName[r.Name]
+		if tot == nil {
+			tot = &Totals{Name: r.Name}
+			byName[r.Name] = tot
+		}
+		tot.Spans++
+		tot.Wall += time.Duration(r.WallNS)
+		tot.Virtual += time.Duration(r.VirtualNS)
+		tot.Queries += r.Queries
+	}
+	t.mu.Unlock()
+	out := make([]Totals, 0, len(byName))
+	for _, tot := range byName {
+		out = append(out, *tot)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

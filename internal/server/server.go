@@ -15,6 +15,11 @@
 //	GET /unified/{domain}/search?attr=L&value=V
 //	                          translated query fan-out to all sources
 //	GET /stats                substrate usage counters (JSON)
+//	GET /metrics              Prometheus text-format metrics
+//
+// Every route is instrumented (request counters by status class, a
+// latency histogram, an in-flight gauge), and the substrate and
+// pipeline metrics of internal/obs are exposed on /metrics.
 package server
 
 import (
@@ -24,12 +29,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"webiq/internal/dataset"
 	"webiq/internal/deepweb"
 	"webiq/internal/htmlform"
 	"webiq/internal/kb"
 	"webiq/internal/matcher"
+	"webiq/internal/obs"
 	"webiq/internal/schema"
 	"webiq/internal/surfaceweb"
 	"webiq/internal/translate"
@@ -42,6 +49,7 @@ type Server struct {
 	mux     *http.ServeMux
 	domains []*kb.Domain
 	engine  *surfaceweb.Engine
+	reg     *obs.Registry
 
 	mu          sync.Mutex
 	datasets    map[string]*schema.Dataset
@@ -58,11 +66,13 @@ func New(seed int64) *Server {
 		mux:         http.NewServeMux(),
 		domains:     kb.Domains(),
 		engine:      surfaceweb.NewEngine(),
+		reg:         obs.NewRegistry(),
 		datasets:    map[string]*schema.Dataset{},
 		pools:       map[string]*deepweb.Pool{},
 		unified:     map[string]*unify.UnifiedInterface{},
 		translators: map[string]*translate.Translator{},
 	}
+	s.engine.Instrument(s.reg)
 	corpusCfg := surfaceweb.DefaultCorpusConfig()
 	corpusCfg.Seed = seed
 	surfaceweb.BuildCorpus(s.engine, s.domains, corpusCfg)
@@ -74,16 +84,24 @@ func New(seed int64) *Server {
 	for _, dom := range s.domains {
 		ds := dataset.Generate(dom, dataCfg)
 		s.datasets[dom.Key] = ds
-		s.pools[dom.Key] = deepweb.BuildPool(ds, dom, deepCfg)
+		pool := deepweb.BuildPool(ds, dom, deepCfg)
+		pool.Instrument(s.reg)
+		s.pools[dom.Key] = pool
 	}
 
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/sources", s.handleSources)
-	s.mux.HandleFunc("/source/", s.handleSource)
-	s.mux.HandleFunc("/unified/", s.handleUnified)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	httpm := obs.NewHTTPMetrics(s.reg)
+	s.mux.Handle("/", httpm.WrapFunc("index", s.handleIndex))
+	s.mux.Handle("/sources", httpm.WrapFunc("sources", s.handleSources))
+	s.mux.Handle("/source/", httpm.WrapFunc("source", s.handleSource))
+	s.mux.Handle("/unified/", httpm.WrapFunc("unified", s.handleUnified))
+	s.mux.Handle("/stats", httpm.WrapFunc("stats", s.handleStats))
+	s.mux.Handle("/metrics", httpm.Wrap("metrics", s.reg.Handler()))
 	return s
 }
+
+// Registry exposes the server's metric registry (e.g. for tests or for
+// mounting extra instruments).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -266,30 +284,44 @@ func (s *Server) unifiedFor(domain string) (*unify.UnifiedInterface, error) {
 		iq.NewAttrDeep(pool, cfg),
 		iq.NewAttrSurface(v, cfg),
 		iq.AllComponents(), cfg)
+	acq.SetObserver(s.reg)
+	acq.SetAccounting(
+		func() (time.Duration, int) { return s.engine.VirtualTime(), s.engine.QueryCount() },
+		func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
+	)
 	acq.AcquireAll(ds)
-	res := matcher.New(matcher.DefaultConfig()).Match(ds)
+	m := matcher.New(matcher.DefaultConfig())
+	m.Instrument(s.reg)
+	res := m.Match(ds)
 	u := unify.Build(ds, res)
 	s.unified[domain] = u
 	s.translators[domain] = translate.New(u, ds, pool)
 	return u, nil
 }
 
-// statsInfo is the /stats JSON shape.
+// statsInfo is the /stats JSON shape. Virtual seconds are the simulated
+// substrate time of the Figure-8 overhead accounting — the other half
+// of the signal next to raw query counts.
 type statsInfo struct {
-	CorpusPages   int            `json:"corpus_pages"`
-	SearchQueries int            `json:"search_queries"`
-	ProbesByPool  map[string]int `json:"probes_by_domain"`
+	CorpusPages          int                `json:"corpus_pages"`
+	SearchQueries        int                `json:"search_queries"`
+	SearchVirtualSeconds float64            `json:"search_virtual_seconds"`
+	ProbesByPool         map[string]int     `json:"probes_by_domain"`
+	ProbeVirtualByPool   map[string]float64 `json:"probe_virtual_seconds_by_domain"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	info := statsInfo{
-		CorpusPages:   s.engine.NumDocs(),
-		SearchQueries: s.engine.QueryCount(),
-		ProbesByPool:  map[string]int{},
+		CorpusPages:          s.engine.NumDocs(),
+		SearchQueries:        s.engine.QueryCount(),
+		SearchVirtualSeconds: s.engine.VirtualTime().Seconds(),
+		ProbesByPool:         map[string]int{},
+		ProbeVirtualByPool:   map[string]float64{},
 	}
 	s.mu.Lock()
 	for k, p := range s.pools {
 		info.ProbesByPool[k] = p.QueryCount()
+		info.ProbeVirtualByPool[k] = p.VirtualTime().Seconds()
 	}
 	s.mu.Unlock()
 	writeJSON(w, info)

@@ -115,6 +115,10 @@ func TestSearchEmptySubmission(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	s := testServer(t)
+	// Issue at least one search and one probe so the virtual clocks
+	// have something to report.
+	get(t, s, "/source/airfare/if00/search?f0=Boston")
+	s.engine.NumHits(`"boston"`)
 	code, body := get(t, s, "/stats")
 	if code != 200 {
 		t.Fatalf("status = %d", code)
@@ -128,6 +132,89 @@ func TestStats(t *testing.T) {
 	}
 	if len(info.ProbesByPool) != 5 {
 		t.Errorf("pools = %d", len(info.ProbesByPool))
+	}
+	if len(info.ProbeVirtualByPool) != 5 {
+		t.Errorf("probe virtual pools = %d", len(info.ProbeVirtualByPool))
+	}
+	if info.SearchVirtualSeconds <= 0 {
+		t.Errorf("search virtual seconds = %v, want > 0", info.SearchVirtualSeconds)
+	}
+	if info.ProbeVirtualByPool["airfare"] <= 0 {
+		t.Errorf("airfare probe virtual seconds = %v, want > 0", info.ProbeVirtualByPool["airfare"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	// Generate some traffic first so HTTP and substrate series exist.
+	get(t, s, "/")
+	get(t, s, "/sources")
+	get(t, s, "/source/airfare/if00/search?f0=Boston")
+	get(t, s, "/source/airfare/if99") // 404: exercises the status classes
+	code, body := get(t, s, "/metrics")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	// Valid Prometheus text exposition: every non-comment line is
+	// "name{labels} value" and every family has a TYPE line.
+	types := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("bad TYPE line: %q", line)
+				continue
+			}
+			types[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("bad sample line: %q", line)
+		}
+	}
+	for _, fam := range []string{
+		"webiq_http_requests_total",
+		"webiq_http_request_seconds",
+		"webiq_http_in_flight",
+		"webiq_engine_queries_total",
+		"webiq_engine_corpus_docs",
+		"webiq_pool_probes_total",
+	} {
+		if !types[fam] {
+			t.Errorf("metrics missing family %q:\n%.400s", fam, body)
+		}
+	}
+	for _, want := range []string{
+		`webiq_http_requests_total{route="source",class="4xx"}`,
+		`webiq_pool_probes_total{source="airfare/if00"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing series %q", want)
+		}
+	}
+}
+
+// TestMetricsCoverAcquisition asserts the acquirer and matcher families
+// appear after a unified-interface build (the full pipeline run).
+func TestMetricsCoverAcquisition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unified endpoint runs acquisition; skipped with -short")
+	}
+	s := testServer(t)
+	get(t, s, "/unified/book")
+	_, body := get(t, s, "/metrics")
+	for _, fam := range []string{
+		"webiq_acquire_attributes_total",
+		"webiq_acquire_component_queries_total",
+		"webiq_matcher_pairs_scored_total",
+		"webiq_matcher_match_seconds",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("metrics missing family %q after acquisition", fam)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"webiq/internal/nlp"
+	"webiq/internal/obs"
 )
 
 // Document is one Surface-Web page.
@@ -85,11 +86,32 @@ type Engine struct {
 	queries     int
 	virtualTime time.Duration
 
+	// Optional metrics; nil-safe no-ops when Instrument was not called.
+	mQueries *obs.Counter
+	mLatency *obs.Histogram
+	mDocs    *obs.Gauge
+
 	// Latency bounds for the simulated per-query retrieval time.
 	MinLatency, MaxLatency time.Duration
 	// SnippetRadius is the number of tokens of context on each side of a
 	// phrase match in a snippet.
 	SnippetRadius int
+}
+
+// Instrument registers the engine's metrics on r:
+//
+//	webiq_engine_queries_total          search queries served
+//	webiq_engine_query_virtual_seconds  per-query simulated latency
+//	webiq_engine_corpus_docs            corpus size in pages
+//
+// Passing nil leaves the engine uninstrumented (the default).
+func (e *Engine) Instrument(r *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mQueries = r.Counter("webiq_engine_queries_total", "Search-engine queries served.")
+	e.mLatency = r.Histogram("webiq_engine_query_virtual_seconds", "Simulated per-query retrieval latency in seconds.", nil)
+	e.mDocs = r.Gauge("webiq_engine_corpus_docs", "Pages indexed in the synthetic Surface-Web corpus.")
+	e.mDocs.Set(float64(len(e.docs)))
 }
 
 type indexedDoc struct {
@@ -129,6 +151,7 @@ func (e *Engine) Add(title, text string) int {
 		}
 		p[id] = append(p[id], pos)
 	}
+	e.mDocs.Set(float64(len(e.docs)))
 	return id
 }
 
@@ -165,13 +188,13 @@ func (e *Engine) ResetAccounting() {
 // is deterministic in the query string so runs are reproducible.
 func (e *Engine) chargeLocked(q string) {
 	e.queries++
-	span := e.MaxLatency - e.MinLatency
-	if span <= 0 {
-		e.virtualTime += e.MinLatency
-		return
+	lat := e.MinLatency
+	if span := e.MaxLatency - e.MinLatency; span > 0 {
+		lat += time.Duration(int64(hash32(q)) % int64(span))
 	}
-	h := int64(hash32(q))
-	e.virtualTime += e.MinLatency + time.Duration(h%int64(span))
+	e.virtualTime += lat
+	e.mQueries.Inc()
+	e.mLatency.Observe(lat.Seconds())
 }
 
 // NumHits returns the number of documents matching the query.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"webiq/internal/obs"
 	"webiq/internal/schema"
 	"webiq/internal/sim"
 )
@@ -39,6 +40,16 @@ type Acquirer struct {
 
 	// tracer receives acquisition events when set (see trace.go).
 	tracer Tracer
+
+	// Optional observability (see obs.go): metric handles are nil-safe
+	// no-ops until SetObserver installs them; spans is nil until
+	// SetSpanTracer installs a tracer.
+	mAttrs       *obs.CounterVec // result: success, failed, predefined
+	mInstances   *obs.CounterVec // component
+	mBorrowed    *obs.CounterVec // component
+	mCompVirtual *obs.CounterVec // component
+	mCompQueries *obs.CounterVec // component
+	spans        *obs.Tracer
 }
 
 // SetAccounting installs clock probes used to attribute simulated query
@@ -134,6 +145,7 @@ func (r *Report) SuccessRate() float64 {
 // because Surface discovery depends only on labels and dataset metadata,
 // never on other attributes' acquired instances.
 func (a *Acquirer) AcquireAll(ds *schema.Dataset) *Report {
+	all := a.spans.Span("acquire-all").Label("domain", ds.Domain)
 	rep := &Report{}
 	var pre map[string][]string
 	if a.cfg.Parallelism > 1 && a.enabled.Surface && a.surface != nil {
@@ -141,9 +153,21 @@ func (a *Acquirer) AcquireAll(ds *schema.Dataset) *Report {
 	}
 	for _, ifc := range ds.Interfaces {
 		for _, attr := range ifc.Attributes {
-			rep.Outcomes = append(rep.Outcomes, a.acquireOne(rep, ds, ifc, attr, pre))
+			out := a.acquireOne(rep, ds, ifc, attr, pre)
+			rep.Outcomes = append(rep.Outcomes, out)
+			switch {
+			case out.HadInstances:
+				a.mAttrs.With("predefined").Inc()
+			case out.Success:
+				a.mAttrs.With("success").Inc()
+			default:
+				a.mAttrs.With("failed").Inc()
+			}
 		}
 	}
+	all.AddVirtual(rep.SurfaceTime + rep.AttrSurfaceTime + rep.AttrDeepTime)
+	all.AddQueries(rep.SurfaceQueries + rep.AttrSurfaceQueries + rep.AttrDeepQueries)
+	all.End()
 	return rep
 }
 
@@ -164,6 +188,7 @@ func (a *Acquirer) parallelSurface(ds *schema.Dataset, rep *Report) map[string][
 			}
 		}
 	}
+	sp := a.spans.Span("surface").Label("phase", "parallel")
 	t0, q0 := readClock(a.surfaceClock)
 	results := make([][]string, len(jobs))
 	sem := make(chan struct{}, a.cfg.Parallelism)
@@ -181,6 +206,7 @@ func (a *Acquirer) parallelSurface(ds *schema.Dataset, rep *Report) map[string][
 	t1, q1 := readClock(a.surfaceClock)
 	rep.SurfaceTime += t1 - t0
 	rep.SurfaceQueries += q1 - q0
+	a.endComponent(sp, "surface", t1-t0, q1-q0)
 	pre := make(map[string][]string, len(jobs))
 	for i, j := range jobs {
 		pre[j.attr.ID] = results[i]
@@ -209,15 +235,18 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 			if pre != nil {
 				got = pre[attr.ID]
 			} else {
+				sp := a.componentSpan("surface", attr.ID, attr.Label)
 				t0, q0 := readClock(a.surfaceClock)
 				got = a.surface.DiscoverInstances(attr, ifc, ds)
 				t1, q1 := readClock(a.surfaceClock)
 				rep.SurfaceTime += t1 - t0
 				rep.SurfaceQueries += q1 - q0
+				a.endComponent(sp, "surface", t1-t0, q1-q0)
 			}
-			addAcquired(attr, got, a.cfg.MaxAcquired)
+			added := addAcquired(attr, got, a.cfg.MaxAcquired)
 			if len(got) > 0 {
 				out.Methods = append(out.Methods, MethodSurface)
+				a.mInstances.With("surface").Add(float64(added))
 				a.trace(Event{Kind: "surface", AttrID: attr.ID, Label: attr.Label, Count: len(got)})
 			} else {
 				a.trace(Event{Kind: "syntax-skip", AttrID: attr.ID, Label: attr.Label,
@@ -228,15 +257,22 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 		// Web. (Surface validation would be unlikely to succeed given
 		// 1.a failed, so it is not attempted — per the paper.)
 		if len(attr.Acquired) < a.cfg.K && a.enabled.AttrDeep && a.attrDeep != nil {
+			sp := a.componentSpan("attr-deep", attr.ID, attr.Label)
 			t0, q0 := readClock(a.deepClock)
-			for _, donor := range a.borrowDonorsFreeText(ds, ifc, attr) {
-				vals, ok := a.attrDeep.ValidateBorrowed(ifc.ID, attr.ID, donor.AllInstances())
+			donors := a.borrowDonorsFreeText(ds, ifc, attr)
+			a.trace(Event{Kind: "borrow-deep", AttrID: attr.ID, Label: attr.Label,
+				Detail: fmt.Sprintf("%d candidate donors", len(donors)), Count: len(donors)})
+			for _, donor := range donors {
+				borrowed := donor.AllInstances()
+				a.mBorrowed.With("attr-deep").Add(float64(len(borrowed)))
+				vals, ok := a.attrDeep.ValidateBorrowed(ifc.ID, attr.ID, borrowed)
 				a.trace(Event{Kind: "borrow-deep-donor", AttrID: attr.ID, Label: attr.Label,
 					Detail: fmt.Sprintf("donor %q accepted=%v", donor.Label, ok), Count: len(vals)})
 				if !ok {
 					continue
 				}
 				added := addAcquired(attr, vals, a.cfg.MaxAcquired)
+				a.mInstances.With("attr-deep").Add(float64(added))
 				if added > 0 && !hasMethod(out.Methods, MethodAttrDeep) {
 					out.Methods = append(out.Methods, MethodAttrDeep)
 				}
@@ -249,6 +285,7 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 			t1, q1 := readClock(a.deepClock)
 			rep.AttrDeepTime += t1 - t0
 			rep.AttrDeepQueries += q1 - q0
+			a.endComponent(sp, "attr-deep", t1-t0, q1-q0)
 		}
 		out.Acquired = len(attr.Acquired)
 		out.Success = len(attr.Acquired) >= a.cfg.K
@@ -261,13 +298,16 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 	// Extension (off in the paper's scheme): gather additional instances
 	// from the Surface Web even for predefined-value attributes.
 	if a.cfg.SurfaceForPredef && a.enabled.Surface && a.surface != nil {
+		sp := a.componentSpan("surface", attr.ID, attr.Label)
 		t0, q0 := readClock(a.surfaceClock)
 		got := a.surface.DiscoverInstances(attr, ifc, ds)
 		t1, q1 := readClock(a.surfaceClock)
 		rep.SurfaceTime += t1 - t0
 		rep.SurfaceQueries += q1 - q0
-		if addAcquired(attr, got, a.cfg.MaxAcquired) > 0 {
+		a.endComponent(sp, "surface", t1-t0, q1-q0)
+		if added := addAcquired(attr, got, a.cfg.MaxAcquired); added > 0 {
 			out.Methods = append(out.Methods, MethodSurface)
+			a.mInstances.With("surface").Add(float64(added))
 		}
 	}
 
@@ -278,20 +318,29 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 	if a.enabled.AttrSurface && a.attrSurface != nil {
 		borrowed := a.borrowValuesPredef(ds, ifc, attr)
 		if len(borrowed) > 0 {
+			a.mBorrowed.With("attr-surface").Add(float64(len(borrowed)))
+			sp := a.componentSpan("attr-surface", attr.ID, attr.Label)
 			t0, q0 := readClock(a.surfaceClock)
 			negatives := nonInstances(ifc, attr, 8)
 			positives := capSlice(attr.Instances, 8)
-			accepted := a.attrSurface.ValidateBorrowed(attr.Label, positives, negatives, borrowed)
+			accepted, trained := a.attrSurface.ValidateBorrowedChecked(attr.Label, positives, negatives, borrowed)
 			t1, q1 := readClock(a.surfaceClock)
 			rep.AttrSurfaceTime += t1 - t0
 			rep.AttrSurfaceQueries += q1 - q0
+			a.endComponent(sp, "attr-surface", t1-t0, q1-q0)
 			added := addAcquired(attr, accepted, a.cfg.MaxAcquired)
+			a.mInstances.With("attr-surface").Add(float64(added))
 			if added > 0 {
 				out.Methods = append(out.Methods, MethodAttrSurface)
 			}
-			a.trace(Event{Kind: "borrow-surface", AttrID: attr.ID, Label: attr.Label,
-				Detail: fmt.Sprintf("borrowed %d, accepted %d", len(borrowed), len(accepted)),
-				Count:  added})
+			if !trained {
+				a.trace(Event{Kind: "classifier-skip", AttrID: attr.ID, Label: attr.Label,
+					Detail: "validation-based classifier could not be trained", Count: len(borrowed)})
+			} else {
+				a.trace(Event{Kind: "borrow-surface", AttrID: attr.ID, Label: attr.Label,
+					Detail: fmt.Sprintf("borrowed %d, accepted %d", len(borrowed), len(accepted)),
+					Count:  added})
+			}
 		}
 	}
 	out.Acquired = len(attr.Acquired)

@@ -3,6 +3,7 @@ package webiq
 import (
 	"errors"
 
+	"webiq/internal/obs"
 	"webiq/internal/stats"
 )
 
@@ -179,6 +180,10 @@ func (c *Classifier) ProbPositive(scores []float64) float64 {
 type AttrSurface struct {
 	validator *Validator
 	cfg       Config
+
+	// Optional classifier-decision metrics; nil-safe no-ops when
+	// Instrument was not called.
+	mDecisions *obs.CounterVec // decision: accept, reject, skip
 }
 
 // NewAttrSurface returns the Attr-Surface component.
@@ -186,22 +191,44 @@ func NewAttrSurface(validator *Validator, cfg Config) *AttrSurface {
 	return &AttrSurface{validator: validator, cfg: cfg}
 }
 
+// Instrument registers the classifier decision counter on r:
+//
+//	webiq_classifier_decisions_total{decision}
+//
+// decision is "accept" or "reject" per borrowed value classified, and
+// "skip" per borrowed value dropped because training was impossible.
+func (as *AttrSurface) Instrument(r *obs.Registry) {
+	as.mDecisions = r.CounterVec("webiq_classifier_decisions_total", "Validation-based classifier decisions on borrowed values.", "decision")
+}
+
 // ValidateBorrowed trains a classifier for the attribute with the given
 // label (positives = its instances, negatives = sibling values), then
 // returns the subset of borrowed values classified as instances. It
 // returns nil (and no error) when training is impossible.
 func (as *AttrSurface) ValidateBorrowed(label string, positives, negatives, borrowed []string) []string {
+	out, _ := as.ValidateBorrowedChecked(label, positives, negatives, borrowed)
+	return out
+}
+
+// ValidateBorrowedChecked is ValidateBorrowed plus a report of whether
+// the classifier could be trained at all: trained is false when there
+// were too few examples or no validation phrases, which callers surface
+// as a "classifier-skip" event rather than a unanimous rejection.
+func (as *AttrSurface) ValidateBorrowedChecked(label string, positives, negatives, borrowed []string) (accepted []string, trained bool) {
 	clf, err := TrainClassifier(as.validator, label, positives, negatives)
 	if err != nil {
-		return nil
+		as.mDecisions.With("skip").Add(float64(len(borrowed)))
+		return nil, false
 	}
 	phrases := clf.Phrases
-	var out []string
 	for _, b := range borrowed {
 		scores := as.validator.Scores(phrases, b)
 		if clf.ProbPositive(scores) > 0.5 {
-			out = append(out, b)
+			accepted = append(accepted, b)
+			as.mDecisions.With("accept").Inc()
+		} else {
+			as.mDecisions.With("reject").Inc()
 		}
 	}
-	return out
+	return accepted, true
 }

@@ -1,0 +1,84 @@
+package webiq
+
+import (
+	"time"
+
+	"webiq/internal/obs"
+)
+
+// This file wires the Acquirer into the obs layer: metric counters for
+// the acquisition policy and per-component spans carrying the same
+// wall/virtual durations and query counts as the Report's Figure-8
+// overhead fields. Everything is nil-safe: without SetObserver /
+// SetSpanTracer the hot path pays only nil-check branches.
+
+// SetObserver registers the acquirer's metrics on r and cascades to the
+// Attr-Surface component's classifier counters:
+//
+//	webiq_acquire_attributes_total{result}            attributes processed
+//	webiq_acquire_instances_total{component}          instances accepted
+//	webiq_acquire_borrowed_total{component}           candidates borrowed
+//	webiq_acquire_component_virtual_seconds_total{component}
+//	webiq_acquire_component_queries_total{component}  substrate queries
+//	webiq_classifier_decisions_total{decision}        accept/reject/skip
+//
+// The component label matches the Method names ("surface", "attr-deep",
+// "attr-surface"); the per-component virtual seconds and queries
+// reconcile exactly with the Report's SurfaceTime/SurfaceQueries (etc.)
+// fields for a single AcquireAll run. Passing nil uninstalls nothing
+// and leaves the acquirer uninstrumented.
+func (a *Acquirer) SetObserver(r *obs.Registry) {
+	a.mAttrs = r.CounterVec("webiq_acquire_attributes_total", "Attributes processed by the acquisition policy, by result.", "result")
+	a.mInstances = r.CounterVec("webiq_acquire_instances_total", "Instances accepted into attributes, by acquisition component.", "component")
+	a.mBorrowed = r.CounterVec("webiq_acquire_borrowed_total", "Candidate instances borrowed for validation, by component.", "component")
+	a.mCompVirtual = r.CounterVec("webiq_acquire_component_virtual_seconds_total", "Simulated substrate time attributed to each component, in seconds.", "component")
+	a.mCompQueries = r.CounterVec("webiq_acquire_component_queries_total", "Substrate queries attributed to each component.", "component")
+	if a.attrSurface != nil {
+		a.attrSurface.Instrument(r)
+	}
+}
+
+// SetSpanTracer installs a span tracer: AcquireAll emits one
+// "acquire-all" span per run and one span per component invocation
+// ("surface", "attr-deep", "attr-surface"), each carrying the wall
+// time, the virtual substrate time, and the query count attributed to
+// that invocation. Summing a component's spans reproduces the Report's
+// overhead fields. nil disables span tracing.
+func (a *Acquirer) SetSpanTracer(t *obs.Tracer) { a.spans = t }
+
+// chargeComponent accounts one component invocation in the metrics.
+func (a *Acquirer) chargeComponent(component string, virtual time.Duration, queries int) {
+	a.mCompVirtual.With(component).Add(virtual.Seconds())
+	a.mCompQueries.With(component).Add(float64(queries))
+}
+
+// componentSpan starts a span for one component invocation on an
+// attribute; returns nil (safely) when no tracer is installed.
+func (a *Acquirer) componentSpan(component, attrID, label string) *obs.Span {
+	return a.spans.Span(component).Label("attr", attrID).Label("label", label)
+}
+
+// endComponent finishes a component invocation: closes the span with
+// its virtual/query attribution and bumps the component counters.
+func (a *Acquirer) endComponent(sp *obs.Span, component string, virtual time.Duration, queries int) {
+	sp.AddVirtual(virtual)
+	sp.AddQueries(queries)
+	sp.End()
+	a.chargeComponent(component, virtual, queries)
+}
+
+// NewObsEventTracer adapts an obs.Tracer into a webiq.Tracer, so the
+// acquisition events (surface, borrow-deep, classifier-skip, ...) land
+// in the same NDJSON log as the component spans.
+func NewObsEventTracer(t *obs.Tracer) Tracer { return obsEventTracer{t} }
+
+type obsEventTracer struct{ t *obs.Tracer }
+
+// Trace implements Tracer.
+func (o obsEventTracer) Trace(e Event) {
+	labels := map[string]string{"attr": e.AttrID, "label": e.Label}
+	if e.Detail != "" {
+		labels["detail"] = e.Detail
+	}
+	o.t.Event(e.Kind, labels, e.Count)
+}

@@ -10,8 +10,13 @@ import (
 // component ran for which attribute and what it produced. Events are
 // best-effort diagnostics; no control flow depends on them.
 type Event struct {
-	// Kind is the step: "syntax-skip", "surface", "borrow-deep",
-	// "borrow-deep-donor", "borrow-surface", "classifier-skip".
+	// Kind is the step: "syntax-skip" (no usable label / no Surface
+	// results), "surface" (instances gathered from the Surface Web),
+	// "borrow-deep" (step 1.b entered; Count is the donor count),
+	// "borrow-deep-donor" (one donor probed via the Deep Web),
+	// "borrow-surface" (borrowed values validated via the Surface Web),
+	// "classifier-skip" (the validation-based classifier could not be
+	// trained, so the borrowed values were dropped).
 	Kind string
 	// AttrID and Label identify the attribute being processed.
 	AttrID string
@@ -66,6 +71,21 @@ func (lt *LogTracer) Trace(e Event) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	fmt.Fprintln(lt.w, e.String())
+}
+
+// MultiTracer fans every event out to several tracers (e.g. a LogTracer
+// on stderr plus an NDJSON span log). nil elements are skipped.
+func MultiTracer(ts ...Tracer) Tracer { return multiTracer(ts) }
+
+type multiTracer []Tracer
+
+// Trace implements Tracer.
+func (m multiTracer) Trace(e Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Trace(e)
+		}
+	}
 }
 
 // CollectTracer accumulates events in memory (useful in tests).
