@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,10 @@ race:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+# Machine-readable snapshot of the pipeline benchmark (seed path vs
+# cached+parallel path), committed as BENCH_pipeline.json.
+bench-json:
+	$(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 
 check: vet test race

@@ -39,14 +39,22 @@ func benchEnvironment(b *testing.B) *experiments.Env {
 }
 
 // acquireDomain runs a full acquisition over a fresh dataset of the
-// domain with the given components, returning the report.
+// domain with the given components, returning the report. It queries
+// the raw engine — the seed path every optimized variant is measured
+// against.
 func acquireDomain(env *experiments.Env, key string, comps iq.Components, cfg iq.Config) (*iq.Report, *schema.Dataset) {
+	return acquireDomainOn(env.Engine, env, key, comps, cfg)
+}
+
+// acquireDomainOn is acquireDomain querying through se (e.g. a
+// surfaceweb.CachedEngine wrapping the environment's engine).
+func acquireDomainOn(se iq.SearchEngine, env *experiments.Env, key string, comps iq.Components, cfg iq.Config) (*iq.Report, *schema.Dataset) {
 	dom := kb.DomainByKey(key)
 	ds := dataset.Generate(dom, env.DataCfg)
 	pool := deepweb.BuildPool(ds, dom, env.DeepCfg)
-	v := iq.NewValidator(env.Engine, cfg)
+	v := iq.NewValidator(se, cfg)
 	acq := iq.NewAcquirer(
-		iq.NewSurface(env.Engine, v, cfg),
+		iq.NewSurface(se, v, cfg),
 		iq.NewAttrDeep(pool, cfg),
 		iq.NewAttrSurface(v, cfg),
 		comps, cfg)
@@ -55,6 +63,41 @@ func acquireDomain(env *experiments.Env, key string, comps iq.Components, cfg iq
 		func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
 	)
 	return acq.AcquireAll(ds), ds
+}
+
+// BenchmarkPipeline measures the multi-condition acquisition pipeline —
+// the workload of Table 1 and Figure 7, where one domain is re-acquired
+// under several component configurations — on the seed path (raw
+// engine, sequential validation) and on the optimized path (sharded
+// query cache shared across conditions, 8 validation workers). The
+// acquired instances are identical; only the cost changes.
+func BenchmarkPipeline(b *testing.B) {
+	conditions := []iq.Components{
+		{Surface: true},
+		{Surface: true, AttrDeep: true},
+		iq.AllComponents(),
+	}
+	run := func(se iq.SearchEngine, env *experiments.Env, cfg iq.Config) {
+		for _, comps := range conditions {
+			acquireDomainOn(se, env, "book", comps, cfg)
+		}
+	}
+	b.Run("seed", func(b *testing.B) {
+		env := benchEnvironment(b)
+		for i := 0; i < b.N; i++ {
+			run(env.Engine, env, env.WebIQCfg)
+		}
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		env := benchEnvironment(b)
+		cfg := env.WebIQCfg
+		cfg.Parallelism = 8
+		cache := surfaceweb.NewCachedEngine(env.Engine, surfaceweb.DefaultCacheShards)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(cache, env, cfg)
+		}
+	})
 }
 
 // BenchmarkTable1Acquisition regenerates Table 1's acquisition columns:

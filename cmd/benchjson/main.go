@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a stable JSON document, so benchmark runs can be committed and
+// diffed. Each benchmark line becomes one record with its iteration
+// count and every reported (value, unit) pair — standard units like
+// ns/op and B/op as well as custom b.ReportMetric units.
+//
+// Usage:
+//
+//	go test -run='^$' -bench BenchmarkPipeline -benchmem . | benchjson > BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Run is the parsed form of one benchmark result line.
+type Run struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document: the environment header go test prints
+// plus every benchmark line, in input order.
+type Report struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Runs   []Run  `json:"runs"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	rep := Report{Runs: []Run{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			run, ok := parseBenchLine(line)
+			if ok {
+				rep.Runs = append(rep.Runs, run)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Runs) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   3   980585804 ns/op   123 B/op   45 allocs/op
+//
+// into a Run; value/unit pairs follow the iteration count.
+func parseBenchLine(line string) (Run, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Run{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Run{}, false
+	}
+	run := Run{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Run{}, false
+		}
+		run.Metrics[fields[i+1]] = v
+	}
+	if len(run.Metrics) == 0 {
+		return Run{}, false
+	}
+	return run, true
+}

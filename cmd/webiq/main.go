@@ -51,6 +51,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write the NDJSON span log to this file")
 	metricsDump := flag.Bool("metrics", false, "print the final metrics snapshot (Prometheus text format) to stdout")
 	learn := flag.Int("learn-tau", 0, "learn the threshold interactively with this question budget (0 = use -tau)")
+	queryCache := flag.Bool("query-cache", true, "deduplicate repeated search-engine queries through the sharded query cache (results are identical; raw and deduplicated costs are both reported)")
+	workers := flag.Int("workers", 0, "worker-pool size for the parallel acquisition phases and the matcher's similarity matrix (0 = sequential acquisition, GOMAXPROCS matcher)")
 	flag.Parse()
 
 	dom := kb.DomainByKey(*domainFlag)
@@ -99,9 +101,16 @@ func main() {
 	fmt.Printf("Corpus: %d pages indexed\n\n", engine.NumDocs())
 
 	cfg := webiq.DefaultConfig()
-	v := webiq.NewValidator(engine, cfg)
+	cfg.Parallelism = *workers
+	var se webiq.SearchEngine = engine
+	var cache *surfaceweb.CachedEngine
+	if *queryCache {
+		cache = surfaceweb.NewCachedEngine(engine, surfaceweb.DefaultCacheShards)
+		se = cache
+	}
+	v := webiq.NewValidator(se, cfg)
 	acq := webiq.NewAcquirer(
-		webiq.NewSurface(engine, v, cfg),
+		webiq.NewSurface(se, v, cfg),
 		webiq.NewAttrDeep(pool, cfg),
 		webiq.NewAttrSurface(v, cfg),
 		comps, cfg)
@@ -114,6 +123,9 @@ func main() {
 	if *metricsDump {
 		reg = obs.NewRegistry()
 		engine.Instrument(reg)
+		if cache != nil {
+			cache.Instrument(reg)
+		}
 		pool.Instrument(reg)
 		acq.SetObserver(reg)
 	}
@@ -148,6 +160,15 @@ func main() {
 		time.Since(start).Round(time.Millisecond),
 		engine.QueryCount(), engine.VirtualTime().Minutes(),
 		pool.QueryCount(), pool.VirtualTime().Minutes())
+	if cache != nil {
+		raw := cache.RawQueryCount()
+		hitRate := 0.0
+		if raw > 0 {
+			hitRate = 100 * float64(cache.Hits()) / float64(raw)
+		}
+		fmt.Printf("Query cache: %d raw queries, %d answered from cache (%.1f%% hit rate); a cacheless client would have spent %.1f simulated minutes\n",
+			raw, cache.Hits(), hitRate, cache.RawVirtualTime().Minutes())
+	}
 	fmt.Printf("Acquisition success rate on instance-less attributes: %.1f%%\n\n", rep.SuccessRate())
 
 	if *verbose {
@@ -168,7 +189,7 @@ func main() {
 	}
 
 	for _, th := range []float64{0, *tau} {
-		mm := matcher.New(matcher.Config{Alpha: 0.6, Beta: 0.4, Threshold: th})
+		mm := matcher.New(matcher.Config{Alpha: 0.6, Beta: 0.4, Threshold: th, Workers: *workers})
 		mm.Instrument(reg)
 		res := mm.Match(ds)
 		m := matcher.Evaluate(res.Pairs, ds.GoldPairs())

@@ -140,12 +140,16 @@ func (r Fig8Row) Total() time.Duration {
 }
 
 // Figure8 runs the overhead analysis: a full acquisition + matching run
-// per domain with component-attributed virtual time.
+// per domain with component-attributed virtual time. It always queries
+// the raw engine — the experiment measures what acquisition costs when
+// every query pays the search engine's price, so the query cache must
+// not absorb repeats here (and the paper's numbers are reproduced
+// exactly, whatever UseQueryCache says).
 func (e *Env) Figure8() []Fig8Row {
 	var rows []Fig8Row
 	for _, dom := range e.Domains {
 		ds := e.freshDataset(dom)
-		acq, _ := e.acquirer(ds, dom, webiq.AllComponents())
+		acq, _ := e.acquirerUncached(ds, dom, webiq.AllComponents())
 		rep := acq.AcquireAll(ds)
 
 		// Matching cost: simulated per-pair cost over all attribute

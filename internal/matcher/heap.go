@@ -1,0 +1,87 @@
+package matcher
+
+import (
+	"runtime"
+	"sync"
+)
+
+// defaultWorkers is the worker count used when Config.Workers is 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// pairEntry is a candidate cluster pair in the merge heap, keyed by the
+// cluster-similarity value it was pushed with; a popped entry whose
+// value no longer matches the live matrix is a stale duplicate.
+type pairEntry struct {
+	sim  float64
+	i, j int // cluster indices, i < j
+}
+
+// pairHeap is a max-heap of candidate pairs ordered (sim desc, i asc,
+// j asc) — the selection order of a full best-pair rescan that accepts
+// only strictly greater similarities.
+type pairHeap []pairEntry
+
+func (h pairHeap) Len() int { return len(h) }
+
+func (h pairHeap) Less(a, b int) bool {
+	if h[a].sim != h[b].sim {
+		return h[a].sim > h[b].sim
+	}
+	if h[a].i != h[b].i {
+		return h[a].i < h[b].i
+	}
+	return h[a].j < h[b].j
+}
+
+func (h pairHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+
+func (h *pairHeap) Push(x any) { *h = append(*h, x.(pairEntry)) }
+
+func (h *pairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// parallelRows runs f(i) for every row i in [0, n) on up to workers
+// goroutines (workers <= 0 means GOMAXPROCS), blocking until all rows
+// are done. Rows are handed out dynamically, which balances the
+// triangular row costs of a pairwise matrix build.
+func parallelRows(n, workers int, f func(int)) {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next struct {
+		sync.Mutex
+		i int
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := next.i
+				next.i++
+				next.Unlock()
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package matcher
 
 import (
+	"container/heap"
 	"sort"
 	"time"
 
@@ -48,6 +49,10 @@ type Config struct {
 	Threshold float64
 	// Linkage selects the agglomerative linkage (default SingleLink).
 	Linkage Linkage
+	// Workers bounds the goroutines used to build the pairwise
+	// similarity matrix; 0 means GOMAXPROCS. The matrix is identical for
+	// any worker count — each pair is scored once into its own slot.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's parameters with no thresholding.
@@ -108,6 +113,12 @@ type Result struct {
 // interface, while the best similarity exceeds the threshold. With the
 // paper's τ = 0 setting, any two attributes with positive similarity may
 // end up matched; τ = .1 prunes the weak links.
+//
+// The similarity matrix is built in parallel (Config.Workers) and the
+// merge loop selects each best pair from a lazy-deletion max-heap, so a
+// full run costs O(n² log n) instead of the naive O(n³) rescan; the
+// Result is identical either way (the heap reproduces the scan's
+// strictly-greater, lowest-(i,j)-wins tie-break exactly).
 func (m *Matcher) Match(ds *schema.Dataset) *Result {
 	if m.mDuration != nil {
 		start := time.Now()
@@ -116,16 +127,27 @@ func (m *Matcher) Match(ds *schema.Dataset) *Result {
 	attrs := ds.AllAttributes()
 	n := len(attrs)
 
-	// Pairwise attribute similarities.
+	// Pairwise attribute similarities, one row per worker at a time.
+	// Per-attribute derivations (type inference, value folding, label
+	// vectors) are profiled once up front instead of per pair, and every
+	// pair is scored exactly once into its own slot, so the matrix (and
+	// the pairs-scored counter, which is atomic) is bitwise identical to
+	// a sequential build of AttrSim calls.
+	profiles, labelSims := buildProfiles(attrs, m.cfg.Workers)
 	simMat := make([][]float64, n)
 	for i := range simMat {
 		simMat[i] = make([]float64, n)
 	}
+	parallelRows(n, m.cfg.Workers, func(i int) {
+		for j := i + 1; j < n; j++ {
+			m.mPairs.Inc()
+			ls := labelSims[profiles[i].labelID][profiles[j].labelID]
+			simMat[i][j] = m.cfg.Alpha*ls + m.cfg.Beta*domSim(&profiles[i], &profiles[j])
+		}
+	})
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			s := m.AttrSim(attrs[i], attrs[j])
-			simMat[i][j] = s
-			simMat[j][i] = s
+			simMat[j][i] = simMat[i][j]
 		}
 	}
 
@@ -159,32 +181,44 @@ func (m *Matcher) Match(ds *schema.Dataset) *Result {
 		return false
 	}
 
-	for {
-		// Find the best mergeable pair.
-		bi, bj, best := -1, -1, m.cfg.Threshold
-		for i := 0; i < n; i++ {
-			if !clusters[i].alive {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if !clusters[j].alive || cs[i][j] <= best {
-					continue
-				}
-				if conflict(clusters[i], clusters[j]) {
-					continue
-				}
-				bi, bj, best = i, j, cs[i][j]
+	// Candidate pairs live in a max-heap keyed (sim desc, i asc, j asc) —
+	// exactly the order the former full rescan selected them in (it took
+	// strictly greater similarities only, so among ties the earliest
+	// (i,j) won). Entries are deleted lazily: a popped entry is acted on
+	// only if both clusters are alive and cs still holds the entry's
+	// value; anything else is a superseded duplicate. Conflicting pairs
+	// are dropped for good — interface sets only grow, so a conflict
+	// never clears.
+	h := make(pairHeap, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cs[i][j] > m.cfg.Threshold && attrs[i].InterfaceID != attrs[j].InterfaceID {
+				h = append(h, pairEntry{sim: cs[i][j], i: i, j: j})
 			}
 		}
-		if bi < 0 {
-			break
+	}
+	heap.Init(&h)
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(pairEntry)
+		if !clusters[e.i].alive || !clusters[e.j].alive || cs[e.i][e.j] != e.sim {
+			continue
 		}
+		if conflict(clusters[e.i], clusters[e.j]) {
+			continue
+		}
+		bi, bj, best := e.i, e.j, e.sim
 		mergeSims = append(mergeSims, best)
 		m.mMerges.Inc()
 		// Merge bj into bi; update cluster similarities per the linkage
-		// (Lance–Williams updates).
+		// (Lance–Williams updates) and push the refreshed pairs.
 		ni := float64(len(clusters[bi].members))
 		nj := float64(len(clusters[bj].members))
+		clusters[bi].members = append(clusters[bi].members, clusters[bj].members...)
+		for ifc := range clusters[bj].ifaces {
+			clusters[bi].ifaces[ifc] = true
+		}
+		clusters[bj].alive = false
 		for k := 0; k < n; k++ {
 			if k == bi || k == bj || !clusters[k].alive {
 				continue
@@ -206,12 +240,14 @@ func (m *Matcher) Match(ds *schema.Dataset) *Result {
 			}
 			cs[bi][k] = v
 			cs[k][bi] = v
+			if v > m.cfg.Threshold && !conflict(clusters[bi], clusters[k]) {
+				lo, hi := bi, k
+				if k < bi {
+					lo, hi = k, bi
+				}
+				heap.Push(&h, pairEntry{sim: v, i: lo, j: hi})
+			}
 		}
-		clusters[bi].members = append(clusters[bi].members, clusters[bj].members...)
-		for ifc := range clusters[bj].ifaces {
-			clusters[bi].ifaces[ifc] = true
-		}
-		clusters[bj].alive = false
 	}
 
 	res := &Result{Pairs: map[schema.MatchPair]bool{}, MergeSims: mergeSims}

@@ -1,0 +1,209 @@
+package matcher
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+	"webiq/internal/schema"
+)
+
+// referenceMatch is the original O(n³) Match: it rescans every cluster
+// pair to find the best merge. It is kept verbatim (modulo the extracted
+// matrix build) as the executable specification the heap-based Match
+// must reproduce byte for byte.
+func (m *Matcher) referenceMatch(ds *schema.Dataset) *Result {
+	attrs := ds.AllAttributes()
+	n := len(attrs)
+
+	simMat := make([][]float64, n)
+	for i := range simMat {
+		simMat[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := m.AttrSim(attrs[i], attrs[j])
+			simMat[i][j] = s
+			simMat[j][i] = s
+		}
+	}
+
+	type cluster struct {
+		members []int
+		ifaces  map[string]bool
+		alive   bool
+	}
+	clusters := make([]*cluster, n)
+	cs := make([][]float64, n)
+	for i := range clusters {
+		clusters[i] = &cluster{
+			members: []int{i},
+			ifaces:  map[string]bool{attrs[i].InterfaceID: true},
+			alive:   true,
+		}
+		cs[i] = make([]float64, n)
+		copy(cs[i], simMat[i])
+	}
+
+	var mergeSims []float64
+	conflict := func(a, b *cluster) bool {
+		for ifc := range b.ifaces {
+			if a.ifaces[ifc] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for {
+		bi, bj, best := -1, -1, m.cfg.Threshold
+		for i := 0; i < n; i++ {
+			if !clusters[i].alive {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !clusters[j].alive || cs[i][j] <= best {
+					continue
+				}
+				if conflict(clusters[i], clusters[j]) {
+					continue
+				}
+				bi, bj, best = i, j, cs[i][j]
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		mergeSims = append(mergeSims, best)
+		ni := float64(len(clusters[bi].members))
+		nj := float64(len(clusters[bj].members))
+		for k := 0; k < n; k++ {
+			if k == bi || k == bj || !clusters[k].alive {
+				continue
+			}
+			var v float64
+			switch m.cfg.Linkage {
+			case AverageLink:
+				v = (ni*cs[bi][k] + nj*cs[bj][k]) / (ni + nj)
+			case CompleteLink:
+				v = cs[bi][k]
+				if cs[bj][k] < v {
+					v = cs[bj][k]
+				}
+			default: // SingleLink
+				v = cs[bi][k]
+				if cs[bj][k] > v {
+					v = cs[bj][k]
+				}
+			}
+			cs[bi][k] = v
+			cs[k][bi] = v
+		}
+		clusters[bi].members = append(clusters[bi].members, clusters[bj].members...)
+		for ifc := range clusters[bj].ifaces {
+			clusters[bi].ifaces[ifc] = true
+		}
+		clusters[bj].alive = false
+	}
+
+	res := &Result{Pairs: map[schema.MatchPair]bool{}, MergeSims: mergeSims}
+	for _, c := range clusters {
+		if !c.alive {
+			continue
+		}
+		ids := make([]string, len(c.members))
+		for k, idx := range c.members {
+			ids[k] = attrs[idx].ID
+		}
+		sort.Strings(ids)
+		res.Clusters = append(res.Clusters, ids)
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				res.Pairs[schema.NewMatchPair(ids[x], ids[y])] = true
+			}
+		}
+	}
+	sort.Slice(res.Clusters, func(i, j int) bool {
+		return res.Clusters[i][0] < res.Clusters[j][0]
+	})
+	return res
+}
+
+// TestMatchEquivalentToReference pins the heap-based Match against the
+// O(n³) reference over every domain, linkage, and both paper thresholds,
+// on datasets whose predefined values exercise real merge cascades.
+func TestMatchEquivalentToReference(t *testing.T) {
+	for _, dom := range kb.Domains() {
+		ds := dataset.Generate(dom, dataset.DefaultConfig())
+		for _, linkage := range []Linkage{SingleLink, AverageLink, CompleteLink} {
+			for _, tau := range []float64{0, 0.1} {
+				cfg := DefaultConfig()
+				cfg.Linkage = linkage
+				cfg.Threshold = tau
+				m := New(cfg)
+				want := m.referenceMatch(ds)
+				got := m.Match(ds)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s linkage=%s tau=%v: heap Match diverges from reference\nwant clusters: %v\ngot clusters:  %v\nwant sims: %v\ngot sims:  %v",
+						dom.Key, linkage, tau, want.Clusters, got.Clusters, want.MergeSims, got.MergeSims)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchEquivalenceAcrossSeeds varies the dataset seed so cluster
+// sizes, interface conflicts, and tie patterns differ from the default
+// fixture.
+func TestMatchEquivalenceAcrossSeeds(t *testing.T) {
+	dom := kb.DomainByKey("airfare")
+	for _, seed := range []int64{7, 21, 99} {
+		cfg := dataset.DefaultConfig()
+		cfg.Seed = seed
+		ds := dataset.Generate(dom, cfg)
+		m := New(DefaultConfig())
+		want := m.referenceMatch(ds)
+		got := m.Match(ds)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("seed %d: heap Match diverges from reference", seed)
+		}
+	}
+}
+
+// BenchmarkReferenceMatch is the O(n³) reference on the synthetic
+// merge-cascade dataset; compare with BenchmarkMatchMergeLoop to see
+// the heap's effect isolated from the shared matrix-build cost.
+func BenchmarkReferenceMatch(b *testing.B) {
+	for _, size := range []struct{ ifaces, attrs int }{
+		{20, 8}, {40, 8}, {80, 8},
+	} {
+		n := size.ifaces * size.attrs
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := syntheticDataset(size.ifaces, size.attrs)
+			m := New(DefaultConfig())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.referenceMatch(ds)
+			}
+		})
+	}
+}
+
+// TestMatchWorkerCountInvariant pins that the worker count only affects
+// wall clock, never the Result.
+func TestMatchWorkerCountInvariant(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	base := New(DefaultConfig()).Match(ds)
+	for _, workers := range []int{1, 2, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		got := New(cfg).Match(ds)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: Result differs", workers)
+		}
+	}
+}

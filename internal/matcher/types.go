@@ -143,6 +143,11 @@ func DomSim(a, b []string) float64 {
 func rangeOverlap(a, b []string) float64 {
 	loA, hiA, okA := valueRange(a)
 	loB, hiB, okB := valueRange(b)
+	return boundsOverlap(loA, hiA, okA, loB, hiB, okB)
+}
+
+// boundsOverlap is rangeOverlap over already-extracted value ranges.
+func boundsOverlap(loA, hiA float64, okA bool, loB, hiB float64, okB bool) float64 {
 	if !okA || !okB {
 		return 0
 	}

@@ -14,9 +14,23 @@ import (
 // LabelSim is the cosine similarity between the content-word vectors of
 // two labels — Cos(A⃗, B⃗) in the paper's LabelSim.
 func LabelSim(a, b string) float64 {
-	va := wordVector(a)
-	vb := wordVector(b)
-	return cosine(va, vb)
+	return LabelVector(a).Cosine(LabelVector(b))
+}
+
+// Vector is a label's stemmed content-word vector. Callers that compare
+// many label pairs (the matcher's similarity matrix) precompute one
+// Vector per distinct label and take pairwise Cosines;
+// LabelVector(a).Cosine(LabelVector(b)) is exactly LabelSim(a, b).
+type Vector map[string]float64
+
+// LabelVector builds the content-word vector LabelSim uses for a label.
+func LabelVector(label string) Vector {
+	return wordVector(label)
+}
+
+// Cosine is the cosine similarity between two precomputed vectors.
+func (v Vector) Cosine(o Vector) float64 {
+	return cosine(v, o)
 }
 
 func wordVector(label string) map[string]float64 {
@@ -72,24 +86,37 @@ func ValueOverlap(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	setA := map[string]bool{}
-	for _, v := range a {
-		setA[fold(v)] = true
+	return OverlapSets(FoldSet(a), FoldSet(b))
+}
+
+// FoldSet returns the distinct case-folded values of vs, the form
+// OverlapSets consumes. Callers comparing one value set against many
+// (the matcher) fold each set once instead of per pair.
+func FoldSet(vs []string) map[string]bool {
+	set := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		set[fold(v)] = true
+	}
+	return set
+}
+
+// OverlapSets is ValueOverlap over already-folded sets: shared distinct
+// values divided by the size of the smaller set, 0 if either is empty.
+func OverlapSets(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
 	}
 	shared := 0
-	seen := map[string]bool{}
-	for _, v := range b {
-		f := fold(v)
-		if setA[f] && !seen[f] {
+	for v := range small {
+		if large[v] {
 			shared++
-			seen[f] = true
 		}
 	}
-	denom := len(setA)
-	if n := len(dedup(b)); n < denom {
-		denom = n
-	}
-	return float64(shared) / float64(denom)
+	return float64(shared) / float64(len(small))
 }
 
 // SharedValues counts distinct case-folded values present in both sets.
@@ -159,16 +186,3 @@ func min3(a, b, c int) int {
 }
 
 func fold(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
-
-func dedup(vs []string) []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, v := range vs {
-		f := fold(v)
-		if !seen[f] {
-			seen[f] = true
-			out = append(out, v)
-		}
-	}
-	return out
-}

@@ -1,0 +1,143 @@
+package surfaceweb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"webiq/internal/obs"
+)
+
+// TestConcurrentQueryStress drives NumHits/Search/accessor traffic from
+// many goroutines against one engine (and a cache over it). Run under
+// -race it pins the lock-split design: the read path must never race
+// with accounting, metrics, or snapshot reads.
+func TestConcurrentQueryStress(t *testing.T) {
+	e := cacheFixture()
+	r := obs.NewRegistry()
+	e.Instrument(r)
+	c := NewCachedEngine(e, 4)
+	c.Instrument(r)
+
+	queries := []string{
+		`"makes such as"`, `"authors such as"`, `"honda"`, `"toyota"`,
+		`"makes such as" +honda`, `"authors such as" +king`, `"missing term xyzzy"`,
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(g*7+i)%len(queries)]
+				switch i % 4 {
+				case 0:
+					e.NumHits(q)
+				case 1:
+					e.Search(q, 3)
+				case 2:
+					c.NumHits(q)
+				default:
+					c.Search(q, 3)
+				}
+				if i%10 == 0 {
+					e.QueryCount()
+					e.VirtualTime()
+					e.NumDocs()
+					e.Vocabulary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every query the engine executed is visible in both accountings.
+	direct := goroutines * 50 / 2 // cases 0 and 1 bypass the cache
+	if got := e.QueryCount(); got < direct {
+		t.Errorf("engine query count %d < %d direct queries", got, direct)
+	}
+	if e.VirtualTime() <= 0 {
+		t.Error("virtual time not accumulated")
+	}
+}
+
+// TestConcurrentAddAndQuery exercises writers (Add) against readers: the
+// RWMutex must serialize indexing with queries without corrupting either.
+func TestConcurrentAddAndQuery(t *testing.T) {
+	e := cacheFixture()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			e.Add("extra", "makes such as Subaru and Mazda round out the lot this month")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			e.NumHits(`"makes such as"`)
+		}
+	}()
+	wg.Wait()
+	if got := e.NumHits(`"makes such as" +subaru`); got != 50 {
+		t.Errorf("after concurrent adds, subaru pages = %d, want 50", got)
+	}
+}
+
+// TestResetAccountingKeepsMetrics pins the documented invariant: resetting
+// the per-run accounting leaves the cumulative obs counters untouched, so
+// metrics-vs-Report reconciliation must use per-run deltas, never the
+// absolute counter values after a reset.
+func TestResetAccountingKeepsMetrics(t *testing.T) {
+	e := cacheFixture()
+	r := obs.NewRegistry()
+	e.Instrument(r)
+
+	e.NumHits(`"makes such as"`)
+	e.NumHits(`"honda"`)
+	mQueries := r.Counter("webiq_engine_queries_total", "")
+	mLatency := r.Histogram("webiq_engine_query_virtual_seconds", "", nil)
+	if mQueries.Value() != 2 {
+		t.Fatalf("metric counter = %v, want 2", mQueries.Value())
+	}
+
+	e.ResetAccounting()
+	if e.QueryCount() != 0 || e.VirtualTime() != 0 {
+		t.Errorf("per-run accounting not reset: %d, %v", e.QueryCount(), e.VirtualTime())
+	}
+	if mQueries.Value() != 2 {
+		t.Errorf("obs counter reset to %v; must stay cumulative at 2", mQueries.Value())
+	}
+	if mLatency.Count() != 2 {
+		t.Errorf("obs histogram reset to %d; must stay cumulative at 2", mLatency.Count())
+	}
+
+	// After the reset both views advance in lockstep again: the drift is
+	// exactly the pre-reset totals.
+	e.NumHits(`"toyota"`)
+	if e.QueryCount() != 1 || mQueries.Value() != 3 {
+		t.Errorf("post-reset: per-run %d (want 1), cumulative %v (want 3)",
+			e.QueryCount(), mQueries.Value())
+	}
+	if drift := mLatency.Sum() - e.VirtualTime().Seconds(); drift <= 0 {
+		t.Errorf("cumulative virtual seconds should exceed per-run after reset, drift=%v", drift)
+	}
+}
+
+// TestQueryLatencyMatchesCharge pins QueryLatency as the exact amount a
+// served query adds to the virtual clock (cache layers rely on it).
+func TestQueryLatencyMatchesCharge(t *testing.T) {
+	e := cacheFixture()
+	e.ResetAccounting()
+	q := `"authors such as" +king`
+	e.NumHits(q)
+	if got, want := e.VirtualTime(), e.QueryLatency(q); got != want {
+		t.Errorf("charged %v, QueryLatency says %v", got, want)
+	}
+	if lat := e.QueryLatency(q); lat < e.MinLatency || lat >= e.MaxLatency {
+		t.Errorf("latency %v outside [%v, %v)", lat, e.MinLatency, e.MaxLatency)
+	}
+	var _ time.Duration = e.QueryLatency(q)
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webiq/internal/nlp"
@@ -77,21 +78,29 @@ func ParseQuery(q string) Query {
 type postings map[int][]int
 
 // Engine is the in-memory search engine.
+//
+// The index is effectively immutable once the corpus is built, so the
+// read path (NumHits, Search, and the other accessors) takes only a
+// read lock and concurrent queriers never serialize on each other; Add
+// takes the write lock. Query accounting lives in atomics so charging a
+// query needs no exclusive section either.
 type Engine struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	docs  map[int]*indexedDoc
 	index map[string]postings
 	next  int
 
-	queries     int
-	virtualTime time.Duration
+	queries     atomic.Int64
+	virtualTime atomic.Int64 // nanoseconds
 
 	// Optional metrics; nil-safe no-ops when Instrument was not called.
 	mQueries *obs.Counter
 	mLatency *obs.Histogram
 	mDocs    *obs.Gauge
 
-	// Latency bounds for the simulated per-query retrieval time.
+	// Latency bounds for the simulated per-query retrieval time. Set
+	// them before issuing queries: they are read without synchronization
+	// on the query path.
 	MinLatency, MaxLatency time.Duration
 	// SnippetRadius is the number of tokens of context on each side of a
 	// phrase match in a snippet.
@@ -157,51 +166,62 @@ func (e *Engine) Add(title, text string) int {
 
 // NumDocs returns the corpus size.
 func (e *Engine) NumDocs() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return len(e.docs)
 }
 
 // QueryCount returns the number of queries served so far.
 func (e *Engine) QueryCount() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.queries
+	return int(e.queries.Load())
 }
 
 // VirtualTime returns the accumulated simulated retrieval time.
 func (e *Engine) VirtualTime() time.Duration {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.virtualTime
+	return time.Duration(e.virtualTime.Load())
 }
 
 // ResetAccounting zeroes the query counter and virtual clock.
+//
+// It deliberately does NOT reset the obs registry counters
+// (webiq_engine_queries_total, webiq_engine_query_virtual_seconds):
+// Prometheus counters are cumulative over the process lifetime and must
+// stay monotonic for rate() to work, while QueryCount/VirtualTime are
+// per-run accounting that experiments reset between conditions. After a
+// reset the two therefore drift apart by exactly the pre-reset totals;
+// reconcile them per run with clock deltas, as the Acquirer does.
 func (e *Engine) ResetAccounting() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.queries = 0
-	e.virtualTime = 0
+	e.queries.Store(0)
+	e.virtualTime.Store(0)
 }
 
-// chargeLocked records one query and its simulated latency. The latency
-// is deterministic in the query string so runs are reproducible.
-func (e *Engine) chargeLocked(q string) {
-	e.queries++
+// QueryLatency returns the deterministic simulated latency of a query —
+// the amount charge adds to the virtual clock when the query is served.
+// Cache layers use it to account the virtual time a cache hit avoided.
+func (e *Engine) QueryLatency(q string) time.Duration {
 	lat := e.MinLatency
 	if span := e.MaxLatency - e.MinLatency; span > 0 {
 		lat += time.Duration(int64(hash32(q)) % int64(span))
 	}
-	e.virtualTime += lat
+	return lat
+}
+
+// charge records one query and its simulated latency. The latency is
+// deterministic in the query string so runs are reproducible. All
+// updates are atomic: charge is called from the read-locked query path.
+func (e *Engine) charge(q string) {
+	e.queries.Add(1)
+	lat := e.QueryLatency(q)
+	e.virtualTime.Add(int64(lat))
 	e.mQueries.Inc()
 	e.mLatency.Observe(lat.Seconds())
 }
 
 // NumHits returns the number of documents matching the query.
 func (e *Engine) NumHits(query string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.chargeLocked(query)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.charge(query)
 	return len(e.matchLocked(ParseQuery(query)))
 }
 
@@ -210,9 +230,9 @@ func (e *Engine) NumHits(query string) int {
 // term occurrences score higher, with document ID as a deterministic
 // tie-break.
 func (e *Engine) Search(query string, k int) []Snippet {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.chargeLocked(query)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.charge(query)
 	pq := ParseQuery(query)
 	ids := e.matchLocked(pq)
 	type scored struct {
@@ -266,43 +286,43 @@ func (e *Engine) relevanceLocked(id int, q Query) int {
 }
 
 // matchLocked returns the IDs of documents matching the parsed query.
+// Required terms are intersected directly against their posting lists,
+// starting from the smallest list, so the working set never exceeds the
+// rarest term's postings and no per-term candidate map is allocated.
 func (e *Engine) matchLocked(q Query) []int {
-	var candidates map[int]bool
-	restrict := func(ids map[int]bool) {
-		if candidates == nil {
-			candidates = ids
-			return
-		}
-		for id := range candidates {
-			if !ids[id] {
-				delete(candidates, id)
-			}
-		}
-	}
-
-	if len(q.Phrase) > 0 {
-		restrict(e.phraseDocsLocked(q.Phrase))
-	}
+	lists := make([]postings, 0, len(q.Required))
 	for _, term := range q.Required {
 		p, ok := e.index[term]
 		if !ok {
 			return nil
 		}
-		ids := make(map[int]bool, len(p))
-		for id := range p {
-			ids[id] = true
-		}
-		restrict(ids)
-		if len(candidates) == 0 {
-			return nil
-		}
+		lists = append(lists, p)
 	}
-	if candidates == nil {
-		return nil
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+
+	inAll := func(id int, from int) bool {
+		for _, p := range lists[from:] {
+			if _, ok := p[id]; !ok {
+				return false
+			}
+		}
+		return true
 	}
-	out := make([]int, 0, len(candidates))
-	for id := range candidates {
-		out = append(out, id)
+
+	var out []int
+	switch {
+	case len(q.Phrase) > 0:
+		for id := range e.phraseDocsLocked(q.Phrase) {
+			if inAll(id, 0) {
+				out = append(out, id)
+			}
+		}
+	case len(lists) > 0:
+		for id := range lists[0] {
+			if inAll(id, 1) {
+				out = append(out, id)
+			}
+		}
 	}
 	return out
 }

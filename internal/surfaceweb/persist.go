@@ -24,14 +24,14 @@ const snapshotVersion = 1
 
 // WriteSnapshot serializes the engine's corpus.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
-	e.mu.Lock()
+	e.mu.RLock()
 	snap := snapshot{Version: snapshotVersion, Docs: make([]Document, 0, len(e.docs))}
 	for id := 0; id < e.next; id++ {
 		if d, ok := e.docs[id]; ok {
 			snap.Docs = append(snap.Docs, d.doc)
 		}
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("surfaceweb: write snapshot: %w", err)
 	}
@@ -58,8 +58,8 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 // Vocabulary returns the number of distinct indexed terms — a cheap
 // sanity statistic for snapshots and corpus inspection.
 func (e *Engine) Vocabulary() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return len(e.index)
 }
 
@@ -70,7 +70,7 @@ func (e *Engine) TermFrequency(term string) int {
 	if ws := nlp.Words(term); len(ws) > 0 {
 		norm = ws[0]
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return len(e.index[norm])
 }

@@ -143,7 +143,12 @@ func (r *Report) SuccessRate() float64 {
 // With Config.Parallelism > 1 the Surface discovery phase runs
 // concurrently up front; the result is identical to the sequential run
 // because Surface discovery depends only on labels and dataset metadata,
-// never on other attributes' acquired instances.
+// never on other attributes' acquired instances. Outcomes, acquired
+// instances, and the run's total engine consumption are all identical;
+// only the Report's split between Surface and Attr-Surface charges can
+// shift, because a validation query needed by both phases is charged to
+// whichever issues it first (the validator memoizes it), and the
+// up-front phase runs all discovery before any Attr-Surface validation.
 func (a *Acquirer) AcquireAll(ds *schema.Dataset) *Report {
 	all := a.spans.Span("acquire-all").Label("domain", ds.Domain)
 	rep := &Report{}

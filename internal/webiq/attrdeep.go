@@ -23,6 +23,11 @@ func NewAttrDeep(pool *deepweb.Pool, cfg Config) *AttrDeep {
 // attrID set to a sample of the donor's values. If at least one third of
 // the probes succeed, all donor values are accepted (the one-third
 // rule); otherwise none are.
+//
+// With Config.Parallelism > 1 the probes run on a bounded worker pool.
+// Every probe is issued either way (the one-third rule needs the full
+// sample), so the probe count, the pool's virtual-time charge, and the
+// accept/reject decision are identical to the sequential run.
 func (ad *AttrDeep) ValidateBorrowed(interfaceID, attrID string, donorValues []string) ([]string, bool) {
 	if len(donorValues) == 0 {
 		return nil, false
@@ -35,9 +40,13 @@ func (ad *AttrDeep) ValidateBorrowed(interfaceID, attrID string, donorValues []s
 	if ad.cfg.MaxBorrowProbes > 0 && len(probes) > ad.cfg.MaxBorrowProbes {
 		probes = probes[:ad.cfg.MaxBorrowProbes]
 	}
+	oks := make([]bool, len(probes))
+	parallelFor(len(probes), ad.cfg.Parallelism, func(i int) {
+		oks[i] = deepweb.AnalyzeResponse(src.Probe(attrID, probes[i]))
+	})
 	success := 0
-	for _, v := range probes {
-		if deepweb.AnalyzeResponse(src.Probe(attrID, v)) {
+	for _, ok := range oks {
+		if ok {
 			success++
 		}
 	}

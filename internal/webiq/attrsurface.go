@@ -48,14 +48,20 @@ func TrainClassifier(v *Validator, label string, positives, negatives []string) 
 	if len(positives) < 2 || len(negatives) < 2 {
 		return nil, errTooFewExamples
 	}
+	// Score every training example's validation vector (the expensive,
+	// query-issuing part) on a bounded worker pool; each example writes
+	// its own slot, so the training matrix is identical to a sequential
+	// build and the validator's singleflight memo keeps the query count
+	// identical too.
 	posScores := make([][]float64, len(positives))
-	for i, x := range positives {
-		posScores[i] = v.Scores(phrases, x)
-	}
 	negScores := make([][]float64, len(negatives))
-	for i, x := range negatives {
-		negScores[i] = v.Scores(phrases, x)
-	}
+	parallelFor(len(positives)+len(negatives), v.cfg.Parallelism, func(i int) {
+		if i < len(positives) {
+			posScores[i] = v.Scores(phrases, positives[i])
+		} else {
+			negScores[i-len(positives)] = v.Scores(phrases, negatives[i-len(positives)])
+		}
+	})
 	return trainFromScores(phrases, posScores, negScores), nil
 }
 
@@ -221,9 +227,15 @@ func (as *AttrSurface) ValidateBorrowedChecked(label string, positives, negative
 		return nil, false
 	}
 	phrases := clf.Phrases
-	for _, b := range borrowed {
-		scores := as.validator.Scores(phrases, b)
-		if clf.ProbPositive(scores) > 0.5 {
+	// Scoring each borrowed value is independent; run it on a bounded
+	// worker pool and decide in index order, so accepted preserves the
+	// borrowed order exactly as the sequential loop did.
+	scores := make([][]float64, len(borrowed))
+	parallelFor(len(borrowed), as.cfg.Parallelism, func(i int) {
+		scores[i] = as.validator.Scores(phrases, borrowed[i])
+	})
+	for i, b := range borrowed {
+		if clf.ProbPositive(scores[i]) > 0.5 {
 			accepted = append(accepted, b)
 			as.mDecisions.With("accept").Inc()
 		} else {

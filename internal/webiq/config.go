@@ -69,10 +69,15 @@ type Config struct {
 	BorrowValueMatches int
 	// MaxAcquired caps the instances stored per attribute.
 	MaxAcquired int
-	// Parallelism > 1 runs the Surface discovery phase concurrently with
-	// that many workers. Results are identical to the sequential run:
-	// Surface discovery depends only on labels and dataset metadata, so
-	// it can be hoisted out of the sequential borrowing policy.
+	// Parallelism > 1 runs the query-heavy phases concurrently with that
+	// many workers: the Surface discovery phase across attributes, and —
+	// within each attribute — Attr-Surface classifier training and
+	// borrowed-value scoring, and Attr-Deep probing. Results and
+	// substrate query counts are identical to the sequential run:
+	// Surface discovery depends only on labels and dataset metadata, the
+	// per-attribute validations are independent per value and merged in
+	// index order, and the validator's singleflight memo keeps every
+	// engine query issued exactly once.
 	Parallelism int
 	// SurfaceForPredef also runs Surface discovery for attributes that
 	// already have predefined instances. The paper's Section-5 scheme

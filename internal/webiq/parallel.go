@@ -1,0 +1,44 @@
+package webiq
+
+import "sync"
+
+// parallelFor runs f(i) for every i in [0, n) on up to workers
+// goroutines, blocking until all calls return. With workers <= 1 (or a
+// trivial n) it degenerates to a plain loop on the calling goroutine.
+//
+// Callers write results into per-index slots, so the merge order is the
+// index order and the outcome is identical to the sequential loop
+// whenever each f(i) is independent of the others.
+func parallelFor(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next struct {
+		sync.Mutex
+		i int
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := next.i
+				next.i++
+				next.Unlock()
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

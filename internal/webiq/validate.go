@@ -15,33 +15,55 @@ import (
 //
 // Hit counts are memoized so that repeated sub-queries (NumHits(V),
 // NumHits(x)) are charged to the search engine only once, mirroring how
-// a careful client would cache Google hit counts.
+// a careful client would cache Google hit counts. The memo is
+// singleflight: when parallel validation workers miss on the same query
+// simultaneously, one goroutine queries the engine and the rest wait,
+// so the engine is charged exactly as often as in a sequential run.
 type Validator struct {
 	engine SearchEngine
 	cfg    Config
 
-	mu    sync.Mutex
-	cache map[string]int
+	mu       sync.Mutex
+	cache    map[string]int
+	inflight map[string]*hitsCall
+}
+
+// hitsCall is an in-progress engine query other workers wait on.
+type hitsCall struct {
+	done chan struct{}
+	n    int
 }
 
 // NewValidator returns a Validator over the given engine.
 func NewValidator(engine SearchEngine, cfg Config) *Validator {
-	return &Validator{engine: engine, cfg: cfg, cache: map[string]int{}}
+	return &Validator{engine: engine, cfg: cfg,
+		cache: map[string]int{}, inflight: map[string]*hitsCall{}}
 }
 
-// numHits is the caching hit counter.
+// numHits is the caching, singleflight hit counter.
 func (v *Validator) numHits(query string) int {
 	v.mu.Lock()
 	if n, ok := v.cache[query]; ok {
 		v.mu.Unlock()
 		return n
 	}
+	if c, ok := v.inflight[query]; ok {
+		v.mu.Unlock()
+		<-c.done
+		return c.n
+	}
+	c := &hitsCall{done: make(chan struct{})}
+	v.inflight[query] = c
 	v.mu.Unlock()
-	n := v.engine.NumHits(query)
+
+	c.n = v.engine.NumHits(query)
+
 	v.mu.Lock()
-	v.cache[query] = n
+	v.cache[query] = c.n
+	delete(v.inflight, query)
 	v.mu.Unlock()
-	return n
+	close(c.done)
+	return c.n
 }
 
 // Phrases returns the validation phrases for an attribute label: the
