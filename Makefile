@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json check
+.PHONY: build vet test race bench bench-json bench-gate check
 
 build:
 	$(GO) build ./...
@@ -23,5 +23,15 @@ bench:
 # cached+parallel path), committed as BENCH_pipeline.json.
 bench-json:
 	$(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+
+# Allocation-regression gate: rerun the pipeline benchmark and compare
+# allocs/op and B/op against the committed baseline. These two metrics
+# are deterministic enough for CI; ns/op is too noisy on shared
+# runners, so wall-clock regressions are reviewed via bench-json diffs
+# instead.
+bench-gate:
+	$(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json - \
+			-max-regress 10% -metrics allocs/op,B/op
 
 check: vet test race

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(name string, iters int64, metrics map[string]float64) Run {
+	return Run{Name: name, Iterations: iters, Metrics: metrics}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkPipeline/seed-8":     "BenchmarkPipeline/seed",
+		"BenchmarkPipeline/seed-16":    "BenchmarkPipeline/seed",
+		"BenchmarkPipeline/seed":       "BenchmarkPipeline/seed",
+		"BenchmarkCorpusScale/x10-4":   "BenchmarkCorpusScale/x10",
+		"BenchmarkCorpusScale/x10-ab":  "BenchmarkCorpusScale/x10-ab",
+		"BenchmarkFoo-":                "BenchmarkFoo-",
+		"BenchmarkScale/factor=1.5x-8": "BenchmarkScale/factor=1.5x",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseRegress(t *testing.T) {
+	for in, want := range map[string]float64{"10%": 0.1, "0.1": 0.1, "25 %": 0.25, "0": 0} {
+		got, err := parseRegress(in)
+		if err != nil || got != want {
+			t.Errorf("parseRegress(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "abc", "-5%"} {
+		if _, err := parseRegress(in); err == nil {
+			t.Errorf("parseRegress(%q): want error", in)
+		}
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	metrics := []string{"B/op", "allocs/op"}
+	old := Report{Runs: []Run{
+		run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1e9, "B/op": 1000, "allocs/op": 100}),
+		run("BenchmarkPipeline/cached-parallel-8", 3, map[string]float64{"ns/op": 4e8, "B/op": 2000, "allocs/op": 200}),
+	}}
+
+	t.Run("pass within threshold", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-16", 3, map[string]float64{"B/op": 1050, "allocs/op": 100}),
+			run("BenchmarkPipeline/cached-parallel-16", 3, map[string]float64{"B/op": 1500, "allocs/op": 190}),
+		}}
+		var sb strings.Builder
+		if !compareReports(&sb, old, new_, metrics, 0.1) {
+			t.Fatalf("want pass, got fail:\n%s", sb.String())
+		}
+	})
+
+	t.Run("fail beyond threshold", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"B/op": 1200, "allocs/op": 100}),
+			run("BenchmarkPipeline/cached-parallel-8", 3, map[string]float64{"B/op": 2000, "allocs/op": 200}),
+		}}
+		var sb strings.Builder
+		if compareReports(&sb, old, new_, metrics, 0.1) {
+			t.Fatal("want fail on 20% B/op regression, got pass")
+		}
+		if !strings.Contains(sb.String(), "REGRESSION") {
+			t.Errorf("output missing REGRESSION marker:\n%s", sb.String())
+		}
+	})
+
+	t.Run("fail on missing run", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"B/op": 1000, "allocs/op": 100}),
+		}}
+		var sb strings.Builder
+		if compareReports(&sb, old, new_, metrics, 0.1) {
+			t.Fatal("want fail when a baseline run is missing, got pass")
+		}
+	})
+
+	t.Run("fail on missing metric", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"B/op": 1000}),
+			run("BenchmarkPipeline/cached-parallel-8", 3, map[string]float64{"B/op": 2000, "allocs/op": 200}),
+		}}
+		var sb strings.Builder
+		if compareReports(&sb, old, new_, metrics, 0.1) {
+			t.Fatal("want fail when a gated metric is dropped, got pass")
+		}
+	})
+
+	t.Run("improvements never fail", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"B/op": 1, "allocs/op": 1}),
+			run("BenchmarkPipeline/cached-parallel-8", 3, map[string]float64{"B/op": 1, "allocs/op": 1}),
+		}}
+		var sb strings.Builder
+		if !compareReports(&sb, old, new_, metrics, 0) {
+			t.Fatalf("want pass on pure improvement even at 0 threshold:\n%s", sb.String())
+		}
+	})
+}
+
+func TestParseBenchText(t *testing.T) {
+	rep, err := parseBenchText(`
+goos: linux
+BenchmarkPipeline/seed-8   3   980585804 ns/op   123456 B/op   4567 allocs/op
+PASS
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(rep.Runs))
+	}
+	r := rep.Runs[0]
+	if r.Name != "BenchmarkPipeline/seed-8" || r.Metrics["allocs/op"] != 4567 {
+		t.Errorf("unexpected run: %+v", r)
+	}
+}

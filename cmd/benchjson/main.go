@@ -4,16 +4,31 @@
 // count and every reported (value, unit) pair — standard units like
 // ns/op and B/op as well as custom b.ReportMetric units.
 //
-// Usage:
+// It also compares two such documents, failing when any watched metric
+// regresses beyond a threshold — the allocation-regression gate run by
+// `make bench-gate`:
 //
 //	go test -run='^$' -bench BenchmarkPipeline -benchmem . | benchjson > BENCH_pipeline.json
+//	benchjson -compare old.json new.json -max-regress 10%
+//	... | benchjson > new.json && benchjson -compare BENCH_pipeline.json new.json
+//
+// In compare mode the new file may be "-" to read JSON from stdin.
+// Runs are matched by name with the trailing -<GOMAXPROCS> suffix
+// stripped, so a gate run on an 8-core CI box compares against a
+// baseline recorded on any other machine. A baseline run missing from
+// the new report is an error; higher-is-worse deltas beyond
+// -max-regress on any -metrics unit exit nonzero.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,8 +54,70 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
+	maxRegress := flag.String("max-regress", "10%", "with -compare: maximum allowed relative regression, as a percentage (10%) or fraction (0.1)")
+	metricsFlag := flag.String("metrics", "ns/op,B/op,allocs/op", "with -compare: comma-separated metric units to gate on")
+	flag.Parse()
+
+	if !*compare {
+		if flag.NArg() != 0 {
+			log.Fatalf("unexpected arguments %q (conversion mode reads stdin)", flag.Args())
+		}
+		convert()
+		return
+	}
+	// Accept trailing flags after the two paths (`benchjson -compare
+	// old.json new.json -max-regress 10%`): the flag package stops at
+	// the first positional, so re-parse the remainder.
+	if flag.NArg() > 2 {
+		rest := flag.NewFlagSet("compare", flag.ExitOnError)
+		maxRegress = rest.String("max-regress", *maxRegress, "maximum allowed relative regression")
+		metricsFlag = rest.String("metrics", *metricsFlag, "comma-separated metric units to gate on")
+		if err := rest.Parse(flag.Args()[2:]); err != nil || rest.NArg() != 0 {
+			log.Fatal("usage: benchjson -compare old.json new.json [-max-regress 10%] [-metrics ns/op,B/op,allocs/op]")
+		}
+	}
+	if flag.NArg() < 2 {
+		log.Fatal("usage: benchjson -compare old.json new.json (new.json may be - for stdin)")
+	}
+	threshold, err := parseRegress(*maxRegress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics := splitMetrics(*metricsFlag)
+	if len(metrics) == 0 {
+		log.Fatal("-metrics must name at least one unit")
+	}
+	old, err := loadReport(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	new_, err := loadReport(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !compareReports(os.Stdout, old, new_, metrics, threshold) {
+		os.Exit(1)
+	}
+}
+
+// convert is the original mode: bench text on stdin, JSON on stdout.
+func convert() {
+	rep, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseBenchOutput reads `go test -bench` text output into a Report.
+func parseBenchOutput(r io.Reader) (Report, error) {
 	rep := Report{Runs: []Run{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -61,16 +138,12 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		return Report{}, err
 	}
 	if len(rep.Runs) == 0 {
-		log.Fatal("no benchmark lines found on stdin")
+		return Report{}, fmt.Errorf("no benchmark lines found in input")
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		log.Fatal(err)
-	}
+	return rep, nil
 }
 
 // parseBenchLine parses one result line of the form
@@ -99,4 +172,165 @@ func parseBenchLine(line string) (Run, bool) {
 		return Run{}, false
 	}
 	return run, true
+}
+
+// loadReport reads a benchmark JSON document; "-" means stdin, which
+// accepts either an already-converted JSON report or raw `go test
+// -bench` text, so the gate can pipe a fresh run straight in.
+func loadReport(path string) (Report, error) {
+	if path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return Report{}, fmt.Errorf("stdin: %w", err)
+		}
+		var rep Report
+		if jsonErr := json.Unmarshal(data, &rep); jsonErr == nil {
+			return rep, nil
+		}
+		return parseBenchText(string(data))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// parseBenchText parses raw bench output held in a string.
+func parseBenchText(s string) (Report, error) {
+	rep := Report{Runs: []Run{}}
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Benchmark") {
+			if run, ok := parseBenchLine(line); ok {
+				rep.Runs = append(rep.Runs, run)
+			}
+		}
+	}
+	if len(rep.Runs) == 0 {
+		return Report{}, fmt.Errorf("stdin: no benchmark runs found (neither JSON report nor bench text)")
+	}
+	return rep, nil
+}
+
+// parseRegress parses "10%" or "0.1" into a fraction.
+func parseRegress(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(s, "%")), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -max-regress %q: %v", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("bad -max-regress %q: must be non-negative", s)
+	}
+	return v, nil
+}
+
+// splitMetrics parses the -metrics CSV.
+func splitMetrics(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// baseName strips the trailing -<GOMAXPROCS> suffix go test appends to
+// parallel benchmark names, so runs match across machines with
+// different core counts.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// compareReports prints a per-metric delta table and reports whether
+// the gate passes: every old run present in new, and no watched metric
+// regressed (increased) by more than threshold. Metrics absent from
+// a run (e.g. allocs/op without -benchmem) are skipped, but a metric
+// present in old and missing in new fails — the gate must not pass
+// because instrumentation was dropped.
+func compareReports(w io.Writer, old, new_ Report, metrics []string, threshold float64) bool {
+	newByName := map[string]Run{}
+	for _, r := range new_.Runs {
+		newByName[baseName(r.Name)] = r
+	}
+
+	type row struct {
+		name, metric     string
+		oldV, newV, frac float64
+		bad              bool
+	}
+	var rows []row
+	ok := true
+	for _, or := range old.Runs {
+		name := baseName(or.Name)
+		nr, found := newByName[name]
+		if !found {
+			fmt.Fprintf(w, "FAIL %s: missing from new report\n", name)
+			ok = false
+			continue
+		}
+		for _, m := range metrics {
+			ov, hasOld := or.Metrics[m]
+			if !hasOld {
+				continue
+			}
+			nv, hasNew := nr.Metrics[m]
+			if !hasNew {
+				fmt.Fprintf(w, "FAIL %s %s: metric missing from new report\n", name, m)
+				ok = false
+				continue
+			}
+			var frac float64
+			if ov != 0 {
+				frac = (nv - ov) / ov
+			} else if nv > 0 {
+				frac = 1 // from zero to nonzero: treat as full regression
+			}
+			bad := frac > threshold
+			if bad {
+				ok = false
+			}
+			rows = append(rows, row{name, m, ov, nv, frac, bad})
+		}
+	}
+
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Fprintf(w, "%-40s %-10s %15s %15s %8s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, r := range rows {
+		status := ""
+		if r.bad {
+			status = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-40s %-10s %15.0f %15.0f %+7.1f%%%s\n",
+			r.name, r.metric, r.oldV, r.newV, r.frac*100, status)
+	}
+	if ok {
+		fmt.Fprintf(w, "PASS (max allowed regression %.1f%%)\n", threshold*100)
+	} else {
+		fmt.Fprintf(w, "FAIL (max allowed regression %.1f%%)\n", threshold*100)
+	}
+	return ok
 }

@@ -28,7 +28,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", "write generated dataset(s) as JSON to this file")
 	query := flag.String("query", "", "with -what corpus: run this search query and show hits/snippets")
+	scale := flag.Float64("scale", 1, "with -what corpus: multiply the page counts by this factor (e.g. 10 for a 10x corpus)")
 	flag.Parse()
+	if *scale <= 0 {
+		log.Fatalf("-scale must be positive, got %g", *scale)
+	}
 
 	domains := kb.Domains()
 	if *domainFlag != "" {

@@ -1,21 +1,24 @@
 package matcher
 
 import (
+	"webiq/internal/nlp"
 	"webiq/internal/schema"
 	"webiq/internal/sim"
 )
 
 // attrProfile caches the pure per-attribute facts AttrSim derives from
 // an attribute before comparing it to another: the inferred value type,
-// the folded value set (month-normalized for dates), and the numeric
-// range. Profiling each attribute once turns the matrix build's
+// the interned folded value set (month-normalized for dates), and the
+// numeric range. Profiling each attribute once turns the matrix build's
 // per-pair type inference and set folding — the regexp-heavy part —
 // into a linear precomputation with bitwise-identical similarities.
+// Values are folded once into term IDs of a table shared across the
+// Match call, so the O(n²) pairwise overlaps compare integers.
 type attrProfile struct {
 	labelID int
 	typ     ValueType
-	empty   bool            // no instances at all
-	foldSet map[string]bool // folded values; month-normalized when typ is date
+	empty   bool                // no instances at all
+	foldSet map[uint32]struct{} // interned folded values; month-normalized when typ is date
 	lo, hi  float64
 	rangeOK bool
 }
@@ -38,6 +41,10 @@ func buildProfiles(attrs []*schema.Attribute, workers int) ([]attrProfile, [][]f
 		profiles[i].labelID = id
 	}
 
+	// One term table per Match call: value IDs are only compared within
+	// this profile set, and the table (with its interned strings) is
+	// released when the profiles are.
+	terms := nlp.NewTermTable()
 	parallelRows(n, workers, func(i int) {
 		values := attrs[i].AllInstances()
 		p := &profiles[i]
@@ -50,9 +57,9 @@ func buildProfiles(attrs []*schema.Attribute, workers int) ([]attrProfile, [][]f
 		case TypeInteger, TypeReal, TypeMonetary:
 			p.lo, p.hi, p.rangeOK = valueRange(values)
 		case TypeDate:
-			p.foldSet = sim.FoldSet(normalizeMonths(values))
+			p.foldSet = sim.FoldSetIDs(normalizeMonths(values), terms)
 		default:
-			p.foldSet = sim.FoldSet(values)
+			p.foldSet = sim.FoldSetIDs(values, terms)
 		}
 	})
 
@@ -80,6 +87,6 @@ func domSim(a, b *attrProfile) float64 {
 	case TypeInteger, TypeReal, TypeMonetary:
 		return boundsOverlap(a.lo, a.hi, a.rangeOK, b.lo, b.hi, b.rangeOK)
 	default: // TypeDate and TypeString share the set-overlap measure.
-		return sim.OverlapSets(a.foldSet, b.foldSet)
+		return sim.OverlapIDSets(a.foldSet, b.foldSet)
 	}
 }

@@ -1,0 +1,71 @@
+package nlp
+
+import "testing"
+
+const benchSentence = "Find cheap flights from departure cities such as Boston, " +
+	"Chicago, and New York to over 1,200 destinations for $15,200 or less (one-way)."
+
+const benchLabel = "Class of service"
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(benchSentence)
+	}
+}
+
+func BenchmarkTokenScanner(b *testing.B) {
+	b.ReportAllocs()
+	var sc TokenScanner
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for sc.Reset(benchSentence); sc.Scan(); {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkWords(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Words(benchSentence)
+	}
+}
+
+func BenchmarkTag(b *testing.B) {
+	b.ReportAllocs()
+	var tg Tagger
+	for i := 0; i < b.N; i++ {
+		tg.Tag(benchSentence)
+	}
+}
+
+func BenchmarkTagAppend(b *testing.B) {
+	b.ReportAllocs()
+	var tg Tagger
+	var buf []TaggedToken
+	for i := 0; i < b.N; i++ {
+		buf = tg.TagAppend(buf[:0], benchSentence)
+	}
+}
+
+func BenchmarkAnalyzeLabel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AnalyzeLabel(benchLabel)
+	}
+}
+
+func BenchmarkTermTableIntern(b *testing.B) {
+	b.ReportAllocs()
+	tab := NewTermTable()
+	words := Words(benchSentence)
+	for i := 0; i < b.N; i++ {
+		for _, w := range words {
+			tab.Intern(w)
+		}
+	}
+}

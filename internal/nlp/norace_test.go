@@ -1,0 +1,5 @@
+//go:build !race
+
+package nlp
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package nlp
+
+// raceEnabled reports whether the race detector is on: its
+// instrumentation adds allocations, so allocation-count assertions
+// are skipped under -race.
+const raceEnabled = true

@@ -78,6 +78,22 @@ func (tg Tagger) TagTokens(tokens []Token) []TaggedToken {
 	return out
 }
 
+// TagAppend tokenizes and tags text, appending the result to dst and
+// returning the extended slice. It produces exactly the tokens Tag
+// would, but reuses dst's capacity, so a caller tagging many snippets
+// can hold one buffer and pass dst[:0] each time. Contextual rules see
+// only the tokens of text, never earlier contents of dst.
+func (tg Tagger) TagAppend(dst []TaggedToken, text string) []TaggedToken {
+	start := len(dst)
+	var sc TokenScanner
+	for sc.Reset(text); sc.Scan(); {
+		t := sc.Token()
+		dst = append(dst, TaggedToken{Token: t, Tag: initialTag(t)})
+	}
+	applyRules(dst[start:])
+	return dst
+}
+
 // initialTag assigns the most likely tag from the lexicon, falling back
 // to morphological heuristics for unknown words.
 func initialTag(t Token) Tag {

@@ -48,9 +48,40 @@ func (t Token) IsCapitalized() bool {
 	return false
 }
 
-// Tokenize splits text into word, number, and punctuation tokens.
+// TokenScanner yields the tokens of a string one at a time, without
+// allocating a token slice. It is the iterator form of Tokenize — the
+// hot paths (indexing, snippet tagging, word extraction) scan instead
+// of materializing []Token:
 //
-// Rules:
+//	var sc TokenScanner
+//	for sc.Reset(text); sc.Scan(); {
+//		t := sc.Token()
+//		...
+//	}
+//
+// Each token's Text and Norm are substrings of the input; the only
+// per-token allocation is the lower-casing of a Word token that
+// actually contains upper-case letters (strings.ToLower returns its
+// input unchanged otherwise).
+type TokenScanner struct {
+	text string
+	i    int
+	tok  Token
+}
+
+// Reset points the scanner at text and rewinds it.
+func (sc *TokenScanner) Reset(text string) {
+	sc.text = text
+	sc.i = 0
+	sc.tok = Token{}
+}
+
+// Token returns the token found by the last successful Scan.
+func (sc *TokenScanner) Token() Token { return sc.tok }
+
+// Scan advances to the next token, reporting whether one was found.
+//
+// Rules (shared with Tokenize):
 //   - A word is a maximal run of letters, with embedded hyphens or
 //     apostrophes joining letter runs ("first-class", "o'hare").
 //   - A number is a maximal run of digits with optional leading '$',
@@ -58,15 +89,15 @@ func (t Token) IsCapitalized() bool {
 //     ("$15,200", "3.5").
 //   - Everything else that is not whitespace becomes a single-rune
 //     punctuation token.
-func Tokenize(text string) []Token {
-	var tokens []Token
+func (sc *TokenScanner) Scan() bool {
+	text := sc.text
 	// Work directly on byte offsets so Pos always indexes the original
 	// string, even for invalid UTF-8 (which decodes as U+FFFD but must
 	// advance by its true encoded width).
 	runeAt := func(i int) (rune, int) {
 		return utf8.DecodeRuneInString(text[i:])
 	}
-	i := 0
+	i := sc.i
 	for i < len(text) {
 		r, w := runeAt(i)
 		switch {
@@ -92,13 +123,9 @@ func Tokenize(text string) []Token {
 				break
 			}
 			tok := text[start:j]
-			tokens = append(tokens, Token{
-				Text: tok,
-				Norm: strings.ToLower(tok),
-				Kind: Word,
-				Pos:  start,
-			})
-			i = j
+			sc.tok = Token{Text: tok, Norm: strings.ToLower(tok), Kind: Word, Pos: start}
+			sc.i = j
+			return true
 		case unicode.IsDigit(r) || (r == '$' && i+w < len(text) && isDigitAt(text, i+w)):
 			start := i
 			j := i
@@ -124,22 +151,27 @@ func Tokenize(text string) []Token {
 				break
 			}
 			tok := text[start:j]
-			tokens = append(tokens, Token{
-				Text: tok,
-				Norm: tok,
-				Kind: Number,
-				Pos:  start,
-			})
-			i = j
+			sc.tok = Token{Text: tok, Norm: tok, Kind: Number, Pos: start}
+			sc.i = j
+			return true
 		default:
-			tokens = append(tokens, Token{
-				Text: text[i : i+w],
-				Norm: text[i : i+w],
-				Kind: Punct,
-				Pos:  i,
-			})
-			i += w
+			sc.tok = Token{Text: text[i : i+w], Norm: text[i : i+w], Kind: Punct, Pos: i}
+			sc.i = i + w
+			return true
 		}
+	}
+	sc.i = i
+	return false
+}
+
+// Tokenize splits text into word, number, and punctuation tokens,
+// following TokenScanner's rules. Callers that only iterate should use
+// a TokenScanner directly and skip the slice.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	var sc TokenScanner
+	for sc.Reset(text); sc.Scan(); {
+		tokens = append(tokens, sc.Token())
 	}
 	return tokens
 }

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// fold normalizes a value for comparison: trimmed of surrounding space
+// and lower-cased. It is the string-returning form; the hot paths use
+// foldAppend to reuse a caller-owned buffer instead.
+func fold(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// foldAppend appends fold(s) to dst byte-for-byte and returns the
+// extended slice. The output is kept exactly identical to
+// strings.ToLower(strings.TrimSpace(s)) — including the replacement of
+// invalid UTF-8 with U+FFFD that strings.Map performs — because folded
+// values feed maps and engine queries whose behavior is pinned by the
+// determinism tests.
+func foldAppend(dst []byte, s string) []byte {
+	s = strings.TrimSpace(s)
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		r, w := utf8.DecodeRuneInString(s[i:])
+		dst = utf8.AppendRune(dst, unicode.ToLower(r))
+		i += w
+	}
+	return dst
+}
+
+// isASCII reports whether b contains only ASCII bytes.
+func isASCII(b []byte) bool {
+	for _, c := range b {
+		if c >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}

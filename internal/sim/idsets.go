@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"sync"
+
+	"webiq/internal/nlp"
+)
+
+// foldBufPool holds the byte buffers used to fold values before
+// interning them, so FoldSetIDs allocates nothing for already-interned
+// values.
+var foldBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// FoldSetIDs is FoldSet with interned values: the distinct case-folded
+// values of vs as term IDs in tab. Because interning is injective on
+// the folded strings, OverlapIDSets over two FoldSetIDs (sharing one
+// table) equals OverlapSets over the corresponding FoldSets. The
+// matcher builds one set per attribute and compares all pairs; with
+// IDs each value is folded once and every comparison is integer-keyed.
+func FoldSetIDs(vs []string, tab *nlp.TermTable) map[uint32]struct{} {
+	set := make(map[uint32]struct{}, len(vs))
+	bp := foldBufPool.Get().(*[]byte)
+	buf := *bp
+	for _, v := range vs {
+		buf = foldAppend(buf[:0], v)
+		set[tab.InternBytes(buf)] = struct{}{}
+	}
+	*bp = buf
+	foldBufPool.Put(bp)
+	return set
+}
+
+// OverlapIDSets is OverlapSets over interned value sets: shared
+// distinct values divided by the size of the smaller set, 0 if either
+// is empty.
+func OverlapIDSets(a, b map[uint32]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	shared := 0
+	for v := range small {
+		if _, ok := large[v]; ok {
+			shared++
+		}
+	}
+	return float64(shared) / float64(len(small))
+}

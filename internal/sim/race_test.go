@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is on: its
+// instrumentation adds allocations (and sync.Pool deliberately drops
+// items), so allocation-count assertions are skipped under -race.
+const raceEnabled = true

@@ -137,44 +137,6 @@ func SharedValues(a, b []string) int {
 	return n
 }
 
-// EditSim is 1 − normalized Levenshtein distance between the folded
-// strings; 1.0 means identical.
-func EditSim(a, b string) float64 {
-	a, b = fold(a), fold(b)
-	if a == b {
-		return 1
-	}
-	maxLen := len(a)
-	if len(b) > maxLen {
-		maxLen = len(b)
-	}
-	if maxLen == 0 {
-		return 1
-	}
-	return 1 - float64(levenshtein(a, b))/float64(maxLen)
-}
-
-func levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
-}
-
 func min3(a, b, c int) int {
 	if b < a {
 		a = b
@@ -184,5 +146,3 @@ func min3(a, b, c int) int {
 	}
 	return a
 }
-
-func fold(s string) string { return strings.ToLower(strings.TrimSpace(s)) }

@@ -157,21 +157,30 @@ func (c *CachedEngine) account(query, op string, hit bool) {
 
 // NumHits returns the number of documents matching the query, answering
 // from the cache when possible.
+//
+// Cache keys are the canonical compiled form of the query, not the raw
+// string, so queries differing only in whitespace, '+' markers, or
+// required-term order share one entry and one engine execution. The raw
+// view still accounts each logical query by its raw string — the
+// simulated latency a cacheless client would have paid for exactly that
+// request.
 func (c *CachedEngine) NumHits(query string) int {
-	v, hit := c.lookup("h\x00"+query, func() cacheValue {
-		return cacheValue{hits: c.inner.NumHits(query)}
+	cq := c.inner.Compile(query)
+	v, hit := c.lookup("h\x00"+cq.Key(), func() cacheValue {
+		return cacheValue{hits: c.inner.NumHitsCompiled(cq, query)}
 	})
 	c.account(query, "numhits", hit)
 	return v.hits
 }
 
 // Search returns up to k result snippets for the query, answering from
-// the cache when possible. Results are cached per (query, k) and the
-// returned slice is the caller's to keep.
+// the cache when possible. Results are cached per (compiled query, k)
+// and the returned slice is the caller's to keep.
 func (c *CachedEngine) Search(query string, k int) []Snippet {
-	key := "s\x00" + strconv.Itoa(k) + "\x00" + query
+	cq := c.inner.Compile(query)
+	key := "s\x00" + strconv.Itoa(k) + "\x00" + cq.Key()
 	v, hit := c.lookup(key, func() cacheValue {
-		return cacheValue{snips: c.inner.Search(query, k)}
+		return cacheValue{snips: c.inner.SearchCompiled(cq, query, k)}
 	})
 	c.account(query, "search", hit)
 	out := make([]Snippet, len(v.snips))

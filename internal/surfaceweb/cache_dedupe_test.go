@@ -1,0 +1,60 @@
+package surfaceweb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCachedEngineCanonicalDedupe pins the compiled-key behavior:
+// queries that differ only in whitespace or '+' markers share one
+// cache entry and one engine execution, while the raw view still
+// accounts every logical query.
+func TestCachedEngineCanonicalDedupe(t *testing.T) {
+	e := NewEngine()
+	e.Add("d1", "red apples and green apples")
+	e.Add("d2", "green pears")
+	c := NewCachedEngine(e, 4)
+
+	e.ResetAccounting()
+	variants := []string{"green apples", "green  apples", " green apples ", "+green +apples", "apples green"}
+	want := c.NumHits(variants[0])
+	for _, q := range variants[1:] {
+		if got := c.NumHits(q); got != want {
+			t.Errorf("NumHits(%q) = %d, want %d", q, got, want)
+		}
+	}
+	if got := e.QueryCount(); got != 1 {
+		t.Errorf("engine executed %d queries, want 1 (variants must dedupe)", got)
+	}
+	if c.Hits() != len(variants)-1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want %d/1", c.Hits(), c.Misses(), len(variants)-1)
+	}
+	if c.RawQueryCount() != len(variants) {
+		t.Errorf("raw query count = %d, want %d (every logical query accounted)", c.RawQueryCount(), len(variants))
+	}
+	// The raw virtual time is the sum over the raw strings, not the
+	// canonical form: each variant is billed its own deterministic
+	// latency.
+	var wantRaw int64
+	for _, q := range variants {
+		wantRaw += int64(e.QueryLatency(q))
+	}
+	if got := int64(c.RawVirtualTime()); got != wantRaw {
+		t.Errorf("raw virtual time = %d, want %d", got, wantRaw)
+	}
+
+	// Search dedupes on (compiled form, k) and returns equal results.
+	s1 := c.Search(`"green apples"`, 3)
+	s2 := c.Search(`  "green apples"`, 3)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("search variants disagree: %+v vs %+v", s1, s2)
+	}
+	if c.Len() != 2 { // one numhits entry + one search entry per distinct (key,k)
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+	// Distinct k must not dedupe.
+	c.Search(`"green apples"`, 1)
+	if c.Len() != 3 {
+		t.Errorf("cache holds %d entries after k=1 search, want 3", c.Len())
+	}
+}

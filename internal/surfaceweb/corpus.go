@@ -38,6 +38,16 @@ func DefaultCorpusConfig() CorpusConfig {
 	}
 }
 
+// Scaled returns a copy of the configuration with the page counts
+// multiplied by factor (rates and seed unchanged), for corpus-scaling
+// experiments: Scaled(10) builds a corpus ~10x the seed size.
+func (cfg CorpusConfig) Scaled(factor float64) CorpusConfig {
+	out := cfg
+	out.PagesPerConcept = int(float64(cfg.PagesPerConcept)*factor + 0.5)
+	out.NoisePages = int(float64(cfg.NoisePages)*factor + 0.5)
+	return out
+}
+
 // BuildCorpus populates the engine with synthetic Surface-Web pages for
 // the given domains: redundant Hearst-pattern sentences, singleton
 // pattern sentences, and attribute–value listings for every concept

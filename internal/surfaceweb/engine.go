@@ -12,6 +12,7 @@ package surfaceweb
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,36 +47,96 @@ type Query struct {
 // ParseQuery parses the Google-style query syntax used in the paper:
 //
 //	"authors such as" +book +title +isbn
+//
+// Quoted segments are matched left to right; the first becomes the
+// phrase and any further ones are demoted to required terms. An
+// unmatched trailing quote is not a phrase delimiter — the text after
+// it is treated as plain keywords. Everything outside complete quote
+// pairs is split into fields, each stripped of one leading '+' and
+// reduced to its word tokens.
 func ParseQuery(q string) Query {
 	var out Query
-	rest := q
+	var plain []string // unquoted chunks, processed after all phrases
+	i := 0
 	for {
-		start := strings.IndexByte(rest, '"')
+		start := strings.IndexByte(q[i:], '"')
 		if start < 0 {
 			break
 		}
-		end := strings.IndexByte(rest[start+1:], '"')
+		start += i
+		end := strings.IndexByte(q[start+1:], '"')
 		if end < 0 {
 			break
 		}
-		phrase := rest[start+1 : start+1+end]
+		phrase := q[start+1 : start+1+end]
 		if len(out.Phrase) == 0 {
 			out.Phrase = nlp.Words(phrase)
 		} else {
-			// Additional phrases are demoted to required terms.
 			out.Required = append(out.Required, nlp.Words(phrase)...)
 		}
-		rest = rest[:start] + " " + rest[start+1+end+1:]
+		if start > i {
+			plain = append(plain, q[i:start])
+		}
+		i = start + 1 + end + 1
 	}
-	for _, f := range strings.Fields(rest) {
-		f = strings.TrimPrefix(f, "+")
-		out.Required = append(out.Required, nlp.Words(f)...)
+	if i < len(q) {
+		plain = append(plain, q[i:])
+	}
+	for _, chunk := range plain {
+		for _, f := range strings.Fields(chunk) {
+			f = strings.TrimPrefix(f, "+")
+			out.Required = append(out.Required, nlp.Words(f)...)
+		}
 	}
 	return out
 }
 
+// CompiledQuery is a query resolved against an engine's term table:
+// phrase and required terms as dense term IDs. Compiling once per
+// logical query replaces every per-document string comparison in the
+// match loop with an integer comparison. A CompiledQuery is only
+// meaningful with the engine that produced it.
+type CompiledQuery struct {
+	Phrase   []uint32
+	Required []uint32
+}
+
+// Key returns a canonical cache key for the compiled query: queries
+// that differ only in whitespace, '+' prefixes, quoting of individual
+// words, or required-term order ("a b" vs "a  b" vs "+b a") map to the
+// same key. Required-term duplicates are preserved — they affect
+// relevance scores — but their order is normalized by sorting; phrase
+// order is significant and kept.
+func (cq CompiledQuery) Key() string {
+	buf := make([]byte, 0, 11*(len(cq.Phrase)+len(cq.Required))+1)
+	for _, id := range cq.Phrase {
+		buf = strconv.AppendUint(buf, uint64(id), 10)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, '|')
+	if len(cq.Required) > 0 {
+		req := make([]uint32, len(cq.Required))
+		copy(req, cq.Required)
+		sort.Slice(req, func(i, j int) bool { return req[i] < req[j] })
+		for _, id := range req {
+			buf = strconv.AppendUint(buf, uint64(id), 10)
+			buf = append(buf, ',')
+		}
+	}
+	return string(buf)
+}
+
 // postings maps document ID to the token positions of a term.
 type postings map[int][]int
+
+// docToken is one indexed (non-punctuation) token of a document: its
+// interned term and the byte span of the original text it covers. At
+// 12 bytes it replaces the 40+-byte nlp.Token in the per-document
+// arrays, and snippets are rebuilt from the spans without copying.
+type docToken struct {
+	term       uint32
+	start, end uint32
+}
 
 // Engine is the in-memory search engine.
 //
@@ -86,8 +147,9 @@ type postings map[int][]int
 // query needs no exclusive section either.
 type Engine struct {
 	mu    sync.RWMutex
+	terms *nlp.TermTable
 	docs  map[int]*indexedDoc
-	index map[string]postings
+	index map[uint32]postings
 	next  int
 
 	queries     atomic.Int64
@@ -125,19 +187,24 @@ func (e *Engine) Instrument(r *obs.Registry) {
 
 type indexedDoc struct {
 	doc    Document
-	tokens []nlp.Token // word/number tokens only
+	tokens []docToken // word/number tokens only
 }
 
 // NewEngine returns an empty engine with the paper's latency range.
 func NewEngine() *Engine {
 	return &Engine{
+		terms:         nlp.NewTermTable(),
 		docs:          map[int]*indexedDoc{},
-		index:         map[string]postings{},
+		index:         map[uint32]postings{},
 		MinLatency:    100 * time.Millisecond,
 		MaxLatency:    500 * time.Millisecond,
 		SnippetRadius: 10,
 	}
 }
+
+// Terms returns the engine's term table, shared with every query
+// compiled against it.
+func (e *Engine) Terms() *nlp.TermTable { return e.terms }
 
 // Add indexes a document and returns its assigned ID.
 func (e *Engine) Add(title, text string) int {
@@ -145,18 +212,25 @@ func (e *Engine) Add(title, text string) int {
 	defer e.mu.Unlock()
 	id := e.next
 	e.next++
-	var toks []nlp.Token
-	for _, t := range nlp.Tokenize(text) {
-		if t.Kind != nlp.Punct {
-			toks = append(toks, t)
+	var toks []docToken
+	var sc nlp.TokenScanner
+	for sc.Reset(text); sc.Scan(); {
+		t := sc.Token()
+		if t.Kind == nlp.Punct {
+			continue
 		}
+		toks = append(toks, docToken{
+			term:  e.terms.Intern(t.Norm),
+			start: uint32(t.Pos),
+			end:   uint32(t.Pos + len(t.Text)),
+		})
 	}
 	e.docs[id] = &indexedDoc{doc: Document{ID: id, Title: title, Text: text}, tokens: toks}
 	for pos, t := range toks {
-		p := e.index[t.Norm]
+		p := e.index[t.term]
 		if p == nil {
 			p = postings{}
-			e.index[t.Norm] = p
+			e.index[t.term] = p
 		}
 		p[id] = append(p[id], pos)
 	}
@@ -217,12 +291,48 @@ func (e *Engine) charge(q string) {
 	e.mLatency.Observe(lat.Seconds())
 }
 
+// Compile parses query and resolves it against the term table. Query
+// terms never seen by the index are interned too — they get IDs with no
+// postings, so the compiled query correctly matches nothing.
+func (e *Engine) Compile(query string) CompiledQuery {
+	return e.CompileParsed(ParseQuery(query))
+}
+
+// CompileParsed resolves an already-parsed query against the term
+// table.
+func (e *Engine) CompileParsed(q Query) CompiledQuery {
+	var cq CompiledQuery
+	if len(q.Phrase) > 0 {
+		cq.Phrase = make([]uint32, len(q.Phrase))
+		for i, w := range q.Phrase {
+			cq.Phrase[i] = e.terms.Intern(w)
+		}
+	}
+	if len(q.Required) > 0 {
+		cq.Required = make([]uint32, len(q.Required))
+		for i, w := range q.Required {
+			cq.Required[i] = e.terms.Intern(w)
+		}
+	}
+	return cq
+}
+
 // NumHits returns the number of documents matching the query.
 func (e *Engine) NumHits(query string) int {
+	return e.NumHitsCompiled(e.Compile(query), query)
+}
+
+// NumHitsCompiled counts the documents matching an already-compiled
+// query. charged is the raw query string the virtual clock is billed
+// for — accounting is deterministic in it.
+func (e *Engine) NumHitsCompiled(cq CompiledQuery, charged string) int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	e.charge(query)
-	return len(e.matchLocked(ParseQuery(query)))
+	e.charge(charged)
+	sc := searchPool.Get().(*searchScratch)
+	n := len(e.matchLocked(cq, sc))
+	searchPool.Put(sc)
+	return n
 }
 
 // Search returns up to k result snippets for the query, ranked by
@@ -230,19 +340,22 @@ func (e *Engine) NumHits(query string) int {
 // term occurrences score higher, with document ID as a deterministic
 // tie-break.
 func (e *Engine) Search(query string, k int) []Snippet {
+	return e.SearchCompiled(e.Compile(query), query, k)
+}
+
+// SearchCompiled is Search for an already-compiled query; charged is
+// the raw query string billed to the virtual clock.
+func (e *Engine) SearchCompiled(cq CompiledQuery, charged string, k int) []Snippet {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	e.charge(query)
-	pq := ParseQuery(query)
-	ids := e.matchLocked(pq)
-	type scored struct {
-		id    int
-		score int
-	}
-	ranked := make([]scored, 0, len(ids))
+	e.charge(charged)
+	sc := searchPool.Get().(*searchScratch)
+	ids := e.matchLocked(cq, sc)
+	ranked := sc.ranked[:0]
 	for _, id := range ids {
-		ranked = append(ranked, scored{id: id, score: e.relevanceLocked(id, pq)})
+		ranked = append(ranked, scoredDoc{id: id, score: e.relevanceLocked(id, cq)})
 	}
+	sc.ranked = ranked
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].score != ranked[j].score {
 			return ranked[i].score > ranked[j].score
@@ -254,49 +367,75 @@ func (e *Engine) Search(query string, k int) []Snippet {
 	}
 	out := make([]Snippet, 0, len(ranked))
 	for _, r := range ranked {
-		out = append(out, Snippet{DocID: r.id, Text: e.snippetLocked(r.id, pq)})
+		out = append(out, Snippet{DocID: r.id, Text: e.snippetLocked(r.id, cq)})
 	}
+	searchPool.Put(sc)
 	return out
 }
 
+// scoredDoc pairs a matching document with its relevance score.
+type scoredDoc struct {
+	id    int
+	score int
+}
+
+// searchScratch holds the per-query working set — the posting-list
+// slice, matched IDs, and ranking buffer — pooled so steady-state
+// query execution allocates only its result snippets.
+type searchScratch struct {
+	lists  []postings
+	ids    []int
+	ranked []scoredDoc
+}
+
+var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
 // relevanceLocked scores a matching document: phrase occurrences weigh
 // 3, required-term occurrences weigh 1.
-func (e *Engine) relevanceLocked(id int, q Query) int {
+func (e *Engine) relevanceLocked(id int, cq CompiledQuery) int {
 	score := 0
-	if len(q.Phrase) > 0 {
+	if len(cq.Phrase) > 0 {
 		d := e.docs[id]
-		positions := e.index[q.Phrase[0]][id]
+		positions := e.index[cq.Phrase[0]][id]
 	starts:
 		for _, pos := range positions {
-			if pos+len(q.Phrase) > len(d.tokens) {
+			if pos+len(cq.Phrase) > len(d.tokens) {
 				continue
 			}
-			for j := 1; j < len(q.Phrase); j++ {
-				if d.tokens[pos+j].Norm != q.Phrase[j] {
+			for j := 1; j < len(cq.Phrase); j++ {
+				if d.tokens[pos+j].term != cq.Phrase[j] {
 					continue starts
 				}
 			}
 			score += 3
 		}
 	}
-	for _, term := range q.Required {
+	for _, term := range cq.Required {
 		score += len(e.index[term][id])
 	}
 	return score
 }
 
-// matchLocked returns the IDs of documents matching the parsed query.
-// Required terms are intersected directly against their posting lists,
-// starting from the smallest list, so the working set never exceeds the
-// rarest term's postings and no per-term candidate map is allocated.
-func (e *Engine) matchLocked(q Query) []int {
-	lists := make([]postings, 0, len(q.Required))
-	for _, term := range q.Required {
+// matchLocked returns the IDs of documents matching the compiled query,
+// in sc.ids (unsorted — callers count or re-rank). Required terms are
+// intersected directly against their posting lists, starting from the
+// smallest list, so the working set never exceeds the rarest term's
+// postings and no per-term candidate map is allocated.
+func (e *Engine) matchLocked(cq CompiledQuery, sc *searchScratch) []int {
+	lists := sc.lists[:0]
+	sc.ids = sc.ids[:0]
+	missing := false
+	for _, term := range cq.Required {
 		p, ok := e.index[term]
 		if !ok {
-			return nil
+			missing = true
+			break
 		}
 		lists = append(lists, p)
+	}
+	sc.lists = lists
+	if missing {
+		return nil
 	}
 	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
 
@@ -309,75 +448,70 @@ func (e *Engine) matchLocked(q Query) []int {
 		return true
 	}
 
-	var out []int
+	ids := sc.ids
 	switch {
-	case len(q.Phrase) > 0:
-		for id := range e.phraseDocsLocked(q.Phrase) {
+	case len(cq.Phrase) > 0:
+		first, ok := e.index[cq.Phrase[0]]
+		if !ok {
+			return nil
+		}
+		for id, positions := range first {
+			if !phraseAt(e.docs[id].tokens, positions, cq.Phrase) {
+				continue
+			}
 			if inAll(id, 0) {
-				out = append(out, id)
+				ids = append(ids, id)
 			}
 		}
 	case len(lists) > 0:
 		for id := range lists[0] {
 			if inAll(id, 1) {
-				out = append(out, id)
+				ids = append(ids, id)
 			}
 		}
 	}
-	return out
+	sc.ids = ids
+	return ids
 }
 
-// phraseDocsLocked returns the documents containing the exact token
-// sequence.
-func (e *Engine) phraseDocsLocked(phrase []string) map[int]bool {
-	out := map[int]bool{}
-	first, ok := e.index[phrase[0]]
-	if !ok {
-		return out
-	}
-docs:
-	for id, positions := range first {
-		toks := e.docs[id].tokens
-	starts:
-		for _, pos := range positions {
-			if pos+len(phrase) > len(toks) {
-				continue
-			}
-			for j := 1; j < len(phrase); j++ {
-				if toks[pos+j].Norm != phrase[j] {
-					continue starts
-				}
-			}
-			out[id] = true
-			continue docs
+// phraseAt reports whether the phrase occurs in toks at any of the
+// given start positions.
+func phraseAt(toks []docToken, positions []int, phrase []uint32) bool {
+starts:
+	for _, pos := range positions {
+		if pos+len(phrase) > len(toks) {
+			continue
 		}
+		for j := 1; j < len(phrase); j++ {
+			if toks[pos+j].term != phrase[j] {
+				continue starts
+			}
+		}
+		return true
 	}
-	return out
+	return false
 }
 
 // snippetLocked builds the text window around the first phrase match (or
-// the document head when the query has no phrase).
-func (e *Engine) snippetLocked(id int, q Query) string {
+// the document head when the query has no phrase). The snippet is a
+// substring of the stored document text — byte spans recorded at
+// indexing time, no reconstruction or copying.
+func (e *Engine) snippetLocked(id int, cq CompiledQuery) string {
 	d := e.docs[id]
 	start, end := 0, min(len(d.tokens), 2*e.SnippetRadius)
-	if len(q.Phrase) > 0 {
-		if pos, ok := e.firstPhrasePosLocked(d, q.Phrase); ok {
+	if len(cq.Phrase) > 0 {
+		if pos, ok := e.firstPhrasePosLocked(d, cq.Phrase); ok {
 			start = max(0, pos-e.SnippetRadius)
-			end = min(len(d.tokens), pos+len(q.Phrase)+e.SnippetRadius)
+			end = min(len(d.tokens), pos+len(cq.Phrase)+e.SnippetRadius)
 		}
 	}
 	if start >= end {
 		return ""
 	}
-	// Reconstruct the original text span, preserving punctuation between
-	// the chosen tokens.
-	from := d.tokens[start].Pos
-	last := d.tokens[end-1]
-	to := last.Pos + len(last.Text)
-	return d.doc.Text[from:to]
+	return d.doc.Text[d.tokens[start].start:d.tokens[end-1].end]
 }
 
-func (e *Engine) firstPhrasePosLocked(d *indexedDoc, phrase []string) (int, bool) {
+func (e *Engine) firstPhrasePosLocked(d *indexedDoc, phrase []uint32) (int, bool) {
 	p, ok := e.index[phrase[0]]
 	if !ok {
 		return 0, false
@@ -389,7 +523,7 @@ starts:
 			continue
 		}
 		for j := 1; j < len(phrase); j++ {
-			if d.tokens[pos+j].Norm != phrase[j] {
+			if d.tokens[pos+j].term != phrase[j] {
 				continue starts
 			}
 		}

@@ -1,0 +1,96 @@
+package surfaceweb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"webiq/internal/kb"
+)
+
+var (
+	benchOnce   sync.Once
+	benchEngine *Engine
+)
+
+// benchCorpusEngine builds the default experiment corpus once per
+// process for the query-execution benchmarks.
+func benchCorpusEngine(b *testing.B) *Engine {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEngine = NewEngine()
+		BuildCorpus(benchEngine, kb.Domains(), DefaultCorpusConfig())
+	})
+	return benchEngine
+}
+
+const (
+	benchPhraseQuery  = `"book titles such as" +book`
+	benchKeywordQuery = `+book +title +author`
+)
+
+func BenchmarkParseQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ParseQuery(benchPhraseQuery)
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	e := benchCorpusEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Compile(benchPhraseQuery)
+	}
+}
+
+func BenchmarkNumHits(b *testing.B) {
+	for name, q := range map[string]string{"phrase": benchPhraseQuery, "keywords": benchKeywordQuery} {
+		b.Run(name, func(b *testing.B) {
+			e := benchCorpusEngine(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.NumHits(q)
+			}
+		})
+	}
+}
+
+func BenchmarkNumHitsCompiled(b *testing.B) {
+	e := benchCorpusEngine(b)
+	cq := e.Compile(benchPhraseQuery)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.NumHitsCompiled(cq, benchPhraseQuery)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	e := benchCorpusEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(benchPhraseQuery, 8)
+	}
+}
+
+// BenchmarkCorpusScale measures query execution against corpora scaled
+// to multiples of the seed size, pinning how the term-ID hot path
+// behaves as the simulated Web grows.
+func BenchmarkCorpusScale(b *testing.B) {
+	for _, factor := range []float64{1, 10} {
+		b.Run(fmt.Sprintf("%gx", factor), func(b *testing.B) {
+			e := NewEngine()
+			BuildCorpus(e, kb.Domains(), DefaultCorpusConfig().Scaled(factor))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.NumHits(benchPhraseQuery)
+				e.Search(benchKeywordQuery, 8)
+			}
+		})
+	}
+}

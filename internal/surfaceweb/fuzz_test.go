@@ -2,26 +2,8 @@ package surfaceweb
 
 import "testing"
 
-func FuzzParseQuery(f *testing.F) {
-	f.Add(`"authors such as" +book +title`)
-	f.Add(`""`)
-	f.Add(`"unterminated`)
-	f.Add(`+++`)
-	f.Add(`"a" "b" c`)
-	f.Fuzz(func(t *testing.T, q string) {
-		parsed := ParseQuery(q)
-		for _, w := range parsed.Phrase {
-			if w == "" {
-				t.Fatalf("empty phrase word from %q", q)
-			}
-		}
-		for _, w := range parsed.Required {
-			if w == "" {
-				t.Fatalf("empty required term from %q", q)
-			}
-		}
-	})
-}
+// FuzzParseQuery lives in parse_fuzz_test.go, where it checks the
+// parser against the reference implementation and the compiled form.
 
 func FuzzEngineQueries(f *testing.F) {
 	f.Add(`"airlines such as" +delta`)

@@ -70,7 +70,11 @@ func (e *Engine) TermFrequency(term string) int {
 	if ws := nlp.Words(term); len(ws) > 0 {
 		norm = ws[0]
 	}
+	id, ok := e.terms.Lookup(norm)
+	if !ok {
+		return 0
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.index[norm])
+	return len(e.index[id])
 }

@@ -437,6 +437,8 @@ func (a *Acquirer) borrowValuesPredef(ds *schema.Dataset, ifc *schema.Interface,
 // attributes, optionally restricted to donors sharing at least
 // BorrowValueMatches very similar values with attr.
 func (a *Acquirer) collectBorrowValues(ds *schema.Dataset, ifc *schema.Interface, attr *schema.Attribute, requireSimilar bool) []string {
+	buf := foldBuf()
+	fv := *buf
 	have := map[string]bool{}
 	for _, v := range attr.Instances {
 		have[foldValue(v)] = true
@@ -456,15 +458,19 @@ func (a *Acquirer) collectBorrowValues(ds *schema.Dataset, ifc *schema.Interface
 				continue
 			}
 			for _, v := range vals {
-				f := foldValue(v)
-				if have[f] || seen[f] {
+				// Zero-copy map probes against the folded form; a string
+				// is only allocated when the value is genuinely new.
+				fv = appendFoldValue(fv[:0], v)
+				if have[string(fv)] || seen[string(fv)] {
 					continue
 				}
-				seen[f] = true
+				seen[string(fv)] = true
 				out = append(out, v)
 			}
 		}
 	}
+	*buf = fv
+	putFoldBuf(buf)
 	return out
 }
 
@@ -476,13 +482,16 @@ func domainsVerySimilar(a, b []string, minMatches int) bool {
 	if matches >= minMatches {
 		return true
 	}
-	// Look for near-identical pairs beyond the exact matches.
+	// Look for near-identical pairs beyond the exact matches. The O(n²)
+	// scan uses the thresholded comparison, which rejects dissimilar
+	// pairs (the overwhelming majority) without a full edit-distance
+	// computation or any allocation.
 	for _, x := range a {
 		if matches >= minMatches {
 			return true
 		}
 		for _, y := range b {
-			if sim.EditSim(x, y) >= 0.9 && foldValue(x) != foldValue(y) {
+			if sim.EditSimAtLeast(x, y, 0.9) && foldValue(x) != foldValue(y) {
 				matches++
 				break
 			}
@@ -513,6 +522,8 @@ func nonInstances(ifc *schema.Interface, attr *schema.Attribute, cap int) []stri
 // both predefined and already-acquired values, up to the cap. It
 // returns the number added.
 func addAcquired(attr *schema.Attribute, values []string, maxTotal int) int {
+	buf := foldBuf()
+	fv := *buf
 	have := map[string]bool{}
 	for _, v := range attr.Instances {
 		have[foldValue(v)] = true
@@ -525,14 +536,16 @@ func addAcquired(attr *schema.Attribute, values []string, maxTotal int) int {
 		if len(attr.Acquired) >= maxTotal {
 			break
 		}
-		f := foldValue(v)
-		if have[f] {
+		fv = appendFoldValue(fv[:0], v)
+		if have[string(fv)] {
 			continue
 		}
-		have[f] = true
+		have[string(fv)] = true
 		attr.Acquired = append(attr.Acquired, v)
 		added++
 	}
+	*buf = fv
+	putFoldBuf(buf)
 	return added
 }
 
@@ -554,12 +567,24 @@ func hasMethod(ms []Method, m Method) bool {
 
 func foldValue(s string) string {
 	out := make([]byte, 0, len(s))
+	return string(appendFoldValue(out, s))
+}
+
+// appendFoldValue appends the ASCII-lowered s to buf — foldValue
+// without the string allocation, for zero-copy map probes.
+func appendFoldValue(buf []byte, s string) []byte {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		if 'A' <= c && c <= 'Z' {
 			c += 'a' - 'A'
 		}
-		out = append(out, c)
+		buf = append(buf, c)
 	}
-	return string(out)
+	return buf
 }
+
+// foldBufPool recycles the fold buffers of the acquisition loops.
+var foldBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func foldBuf() *[]byte     { return foldBufPool.Get().(*[]byte) }
+func putFoldBuf(b *[]byte) { foldBufPool.Put(b) }

@@ -2,9 +2,18 @@ package webiq
 
 import (
 	"strings"
+	"sync"
 
 	"webiq/internal/nlp"
 )
+
+// tagBufPool recycles the tagged-token buffers of snippet extraction:
+// the extracted candidate strings reference the snippet text, never
+// the buffer, so it can be reused across snippets.
+var tagBufPool = sync.Pool{New: func() any {
+	b := make([]nlp.TaggedToken, 0, 64)
+	return &b
+}}
 
 // PatternKind distinguishes set patterns (which extract instance lists)
 // from singleton patterns (one instance at a time), per Figure 4.
@@ -38,6 +47,9 @@ type ExtractionQuery struct {
 	Dir     Direction
 	// Cue is the cue phrase, already lower-cased.
 	Cue string
+	// CueWords is Cue pre-tokenized; ExtractFromSnippet falls back to
+	// tokenizing Cue when it is nil (hand-built queries).
+	CueWords []string
 	// Query is the full search-engine query, cue phrase quoted and
 	// domain keywords appended.
 	Query string
@@ -76,11 +88,12 @@ func FormulateQueries(np nlp.NounPhrase, entity, domainKeyword string, siblingLa
 	out := make([]ExtractionQuery, 0, len(protos))
 	for _, p := range protos {
 		out = append(out, ExtractionQuery{
-			Pattern: p.name,
-			Kind:    p.kind,
-			Dir:     p.dir,
-			Cue:     p.cue,
-			Query:   `"` + p.cue + `"` + suffix,
+			Pattern:  p.name,
+			Kind:     p.kind,
+			Dir:      p.dir,
+			Cue:      p.cue,
+			CueWords: nlp.Words(p.cue),
+			Query:    `"` + p.cue + `"` + suffix,
 		})
 	}
 	return out
@@ -119,12 +132,20 @@ func querySuffix(domainKeyword string, siblingLabels []string, cfg Config) strin
 // between the preceding sentence boundary and the cue for
 // Before-direction patterns. Singleton patterns keep only the first NP.
 func ExtractFromSnippet(q ExtractionQuery, snippet string) []string {
-	var tg nlp.Tagger
-	tagged := tg.Tag(snippet)
-	cueWords := nlp.Words(q.Cue)
+	cueWords := q.CueWords
+	if cueWords == nil {
+		cueWords = nlp.Words(q.Cue)
+	}
 	if len(cueWords) == 0 {
 		return nil
 	}
+	var tg nlp.Tagger
+	bp := tagBufPool.Get().(*[]nlp.TaggedToken)
+	tagged := tg.TagAppend((*bp)[:0], snippet)
+	defer func() {
+		*bp = tagged
+		tagBufPool.Put(bp)
+	}()
 	start, end, ok := findCue(tagged, cueWords)
 	if !ok {
 		return nil

@@ -3,6 +3,8 @@ package webiq
 import (
 	"strings"
 	"sync"
+	"unicode"
+	"unicode/utf8"
 
 	"webiq/internal/nlp"
 )
@@ -42,16 +44,26 @@ func NewValidator(engine SearchEngine, cfg Config) *Validator {
 
 // numHits is the caching, singleflight hit counter.
 func (v *Validator) numHits(query string) int {
+	return v.numHitsKey([]byte(query))
+}
+
+// numHitsKey is numHits keyed by a byte buffer: the cache probe is
+// zero-copy, and the query string is materialized only on a miss —
+// where it doubles as the memo key and the raw engine query, keeping
+// the engine's deterministic per-query latency identical to the
+// string path.
+func (v *Validator) numHitsKey(key []byte) int {
 	v.mu.Lock()
-	if n, ok := v.cache[query]; ok {
+	if n, ok := v.cache[string(key)]; ok {
 		v.mu.Unlock()
 		return n
 	}
-	if c, ok := v.inflight[query]; ok {
+	if c, ok := v.inflight[string(key)]; ok {
 		v.mu.Unlock()
 		<-c.done
 		return c.n
 	}
+	query := string(key)
 	c := &hitsCall{done: make(chan struct{})}
 	v.inflight[query] = c
 	v.mu.Unlock()
@@ -92,19 +104,63 @@ func (v *Validator) Phrases(label string) []string {
 // With Config.UseRawHitCounts (ablation), it returns NumHits(V + x)
 // directly, exhibiting the popularity bias PMI corrects.
 func (v *Validator) PMI(phrase, x string) float64 {
-	joint := v.numHits(`"` + phrase + " " + strings.ToLower(x) + `"`)
+	// Build the three query keys in one pooled buffer; each is
+	// byte-identical to the string concatenation it replaces, so hit
+	// counts and simulated latencies are unchanged.
+	bp := foldBuf()
+	buf := (*bp)[:0]
+	buf = append(buf, '"')
+	buf = append(buf, phrase...)
+	buf = append(buf, ' ')
+	buf = appendLower(buf, x)
+	buf = append(buf, '"')
+	joint := v.numHitsKey(buf)
+
+	ret := func(val float64) float64 {
+		*bp = buf
+		putFoldBuf(bp)
+		return val
+	}
 	if v.cfg.UseRawHitCounts {
-		return float64(joint)
+		return ret(float64(joint))
 	}
 	if joint == 0 {
-		return 0
+		return ret(0)
 	}
-	hv := v.numHits(`"` + phrase + `"`)
-	hx := v.numHits(`"` + strings.ToLower(x) + `"`)
+	buf = append(buf[:0], '"')
+	buf = append(buf, phrase...)
+	buf = append(buf, '"')
+	hv := v.numHitsKey(buf)
+	buf = append(buf[:0], '"')
+	buf = appendLower(buf, x)
+	buf = append(buf, '"')
+	hx := v.numHitsKey(buf)
 	if hv == 0 || hx == 0 {
-		return 0
+		return ret(0)
 	}
-	return float64(joint) / (float64(hv) * float64(hx))
+	return ret(float64(joint) / (float64(hv) * float64(hx)))
+}
+
+// appendLower appends the lower-cased s to dst, byte-for-byte identical
+// to strings.ToLower(s) — including U+FFFD replacement of invalid
+// UTF-8 — because the result feeds engine queries whose simulated
+// latency is deterministic in the exact bytes.
+func appendLower(dst []byte, s string) []byte {
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			dst = append(dst, c)
+			i++
+			continue
+		}
+		r, w := utf8.DecodeRuneInString(s[i:])
+		dst = utf8.AppendRune(dst, unicode.ToLower(r))
+		i += w
+	}
+	return dst
 }
 
 // Scores returns the per-phrase validation scores of candidate x for
