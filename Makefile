@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-gate check
+.PHONY: build vet test race bench bench-json bench-gate check lint explain-demo
 
 build:
 	$(GO) build ./...
@@ -33,5 +33,20 @@ bench-gate:
 	$(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json - \
 			-max-regress 10% -metrics allocs/op,B/op
+
+# Static analysis: vet always; staticcheck when installed (CI installs
+# it; locally it is optional so the target works offline).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Provenance smoke test: boot the server, build a domain's unified
+# interface, and assert every instance is attributed with evidence via
+# /unified/{domain}/explain (see cmd/explain-demo).
+explain-demo:
+	$(GO) run ./cmd/explain-demo
 
 check: vet test race

@@ -19,6 +19,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -34,10 +35,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for all generators")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+	slow := flag.Duration("slow", 0, "log requests at or above this duration as NDJSON lines (with trace IDs) to stderr; 0 disables")
 	flag.Parse()
 
 	start := time.Now()
 	srv := server.New(*seed)
+	if *slow > 0 {
+		srv.SetSlowLog(os.Stderr, *slow)
+	}
 
 	var handler http.Handler = srv
 	if *pprofFlag {

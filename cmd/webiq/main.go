@@ -16,6 +16,11 @@
 //	                      text format to stdout after the run
 //	-events               stream acquisition events to stderr as they
 //	                      happen (one line per event)
+//	-ledger out.ndjson    write the decision-provenance ledger (one JSON
+//	                      object per pipeline decision) to a file
+//	-explain <attr>       after the run, print every ledger decision
+//	                      concerning the attribute (ID or exact label) —
+//	                      the evidence behind each accepted instance
 package main
 
 import (
@@ -50,6 +55,8 @@ func main() {
 	events := flag.Bool("events", false, "stream acquisition events to stderr as they happen")
 	traceFile := flag.String("trace", "", "write the NDJSON span log to this file")
 	metricsDump := flag.Bool("metrics", false, "print the final metrics snapshot (Prometheus text format) to stdout")
+	ledgerFile := flag.String("ledger", "", "write the decision-provenance ledger as NDJSON to this file")
+	explainAttr := flag.String("explain", "", "print the provenance decisions for this attribute (ID or exact label) after the run")
 	learn := flag.Int("learn-tau", 0, "learn the threshold interactively with this question budget (0 = use -tau)")
 	queryCache := flag.Bool("query-cache", true, "deduplicate repeated search-engine queries through the sharded query cache (results are identical; raw and deduplicated costs are both reported)")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel acquisition phases and the matcher's similarity matrix (0 = sequential acquisition, GOMAXPROCS matcher)")
@@ -140,6 +147,24 @@ func main() {
 		spans = obs.NewTracer(spanFile)
 		acq.SetSpanTracer(spans)
 	}
+	var ledger *obs.Ledger
+	var ledgerOut *os.File
+	if *ledgerFile != "" || *explainAttr != "" {
+		if *ledgerFile != "" {
+			var err error
+			ledgerOut, err = os.Create(*ledgerFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ledger = obs.NewLedger(ledgerOut)
+		} else {
+			ledger = obs.NewLedger(nil)
+		}
+		if reg != nil {
+			ledger.Instrument(reg)
+		}
+		acq.SetLedger(ledger)
+	}
 	var tracers []webiq.Tracer
 	if *events {
 		tracers = append(tracers, webiq.NewLogTracer(os.Stderr))
@@ -191,6 +216,11 @@ func main() {
 	for _, th := range []float64{0, *tau} {
 		mm := matcher.New(matcher.Config{Alpha: 0.6, Beta: 0.4, Threshold: th, Workers: *workers})
 		mm.Instrument(reg)
+		if th == *tau {
+			// The ledger records the merges of the run that produces the
+			// final result (the -tau run).
+			mm.SetLedger(ledger)
+		}
 		res := mm.Match(ds)
 		m := matcher.Evaluate(res.Pairs, ds.GoldPairs())
 		fmt.Printf("Matching (tau=%.2f): P=%.3f R=%.3f F1=%.3f (%d clusters, %d pairs)\n",
@@ -212,6 +242,16 @@ func main() {
 		fmt.Printf("\nAcquired dataset written to %s\n", *jsonOut)
 	}
 
+	if ledgerOut != nil {
+		if err := ledgerOut.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nProvenance ledger written to %s (%d decisions)\n", *ledgerFile, ledger.Len())
+	}
+	if *explainAttr != "" {
+		printExplain(ds, ledger, *explainAttr)
+	}
+
 	if spanFile != nil {
 		if err := spanFile.Close(); err != nil {
 			log.Fatal(err)
@@ -225,6 +265,47 @@ func main() {
 	if reg != nil {
 		fmt.Println("\n# Final metrics snapshot")
 		reg.WritePrometheus(os.Stdout)
+	}
+}
+
+// printExplain prints the provenance decisions concerning one
+// attribute, identified by ID or exact (case-insensitive) label.
+func printExplain(ds *schema.Dataset, ledger *obs.Ledger, attr string) {
+	var ids []string
+	for _, ifc := range ds.Interfaces {
+		for _, a := range ifc.Attributes {
+			if a.ID == attr || strings.EqualFold(a.Label, attr) {
+				ids = append(ids, a.ID)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Printf("\nNo attribute matches %q (use an attribute ID like airfare/if00/a0, or an exact label)\n", attr)
+		return
+	}
+	for _, id := range ids {
+		decisions := ledger.ByAttr(id)
+		fmt.Printf("\nProvenance for %s (%d decisions):\n", id, len(decisions))
+		for _, d := range decisions {
+			line := fmt.Sprintf("  [%s] %s", d.Component, d.Verdict)
+			if d.Value != "" {
+				line += fmt.Sprintf(" %q", d.Value)
+			}
+			if d.OtherID != "" {
+				line += " with " + d.OtherID
+			}
+			line += fmt.Sprintf(" score=%.3f", d.Score)
+			if d.Threshold != 0 {
+				line += fmt.Sprintf(" threshold=%.3f", d.Threshold)
+			}
+			if d.Component == "matcher" {
+				line += fmt.Sprintf(" label_sim=%.3f dom_sim=%.3f merge_order=%d", d.LabelSim, d.DomSim, d.MergeOrder)
+			}
+			if d.Detail != "" {
+				line += " (" + d.Detail + ")"
+			}
+			fmt.Println(line)
+		}
 	}
 }
 

@@ -2,6 +2,8 @@ package matcher
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -68,6 +70,11 @@ type Matcher struct {
 	mPairs    *obs.Counter
 	mMerges   *obs.Counter
 	mDuration *obs.Histogram
+
+	// Optional span tracer and decision-provenance ledger (see
+	// SetSpanTracer / SetLedger); both nil-safe.
+	spans  *obs.Tracer
+	ledger *obs.Ledger
 }
 
 // New returns a Matcher with the given configuration.
@@ -87,6 +94,17 @@ func (m *Matcher) Instrument(r *obs.Registry) {
 	m.mMerges = r.Counter("webiq_matcher_merges_total", "Agglomerative cluster merges performed.")
 	m.mDuration = r.Histogram("webiq_matcher_match_seconds", "Wall-clock duration of full Match runs in seconds.", nil)
 }
+
+// SetSpanTracer installs a span tracer: MatchCtx emits one "match" span
+// per run, joined to the trace carried by its context. nil disables it.
+func (m *Matcher) SetSpanTracer(t *obs.Tracer) { m.spans = t }
+
+// SetLedger installs the decision-provenance ledger: every cluster
+// merge is recorded as a "matcher"/"merge" decision carrying the merge
+// order, the cluster similarity that triggered it, and the
+// α·LabelSim + β·DomSim breakdown of the strongest supporting attribute
+// pair. nil disables recording.
+func (m *Matcher) SetLedger(l *obs.Ledger) { m.ledger = l }
 
 // AttrSim computes Sim(A,B) = α·LabelSim + β·DomSim over labels and all
 // (predefined + acquired) instances.
@@ -120,12 +138,23 @@ type Result struct {
 // Result is identical either way (the heap reproduces the scan's
 // strictly-greater, lowest-(i,j)-wins tie-break exactly).
 func (m *Matcher) Match(ds *schema.Dataset) *Result {
+	return m.MatchCtx(context.Background(), ds)
+}
+
+// MatchCtx is Match with the caller's trace context: the run's "match"
+// span joins the trace carried by ctx and merge decisions recorded in
+// the ledger carry the trace identity.
+func (m *Matcher) MatchCtx(ctx context.Context, ds *schema.Dataset) *Result {
 	if m.mDuration != nil {
 		start := time.Now()
 		defer func() { m.mDuration.Observe(time.Since(start).Seconds()) }()
 	}
 	attrs := ds.AllAttributes()
 	n := len(attrs)
+	spanCtx, span := m.spans.StartSpan(ctx, "match")
+	span.Label("domain", ds.Domain).Label("linkage", m.cfg.Linkage.String())
+	defer span.End()
+	ctx = spanCtx
 
 	// Pairwise attribute similarities, one row per worker at a time.
 	// Per-attribute derivations (type inference, value folding, label
@@ -208,6 +237,10 @@ func (m *Matcher) Match(ds *schema.Dataset) *Result {
 			continue
 		}
 		bi, bj, best := e.i, e.j, e.sim
+		if m.ledger != nil {
+			m.recordMerge(ctx, attrs, profiles, labelSims, simMat,
+				clusters[bi].members, clusters[bj].members, best, len(mergeSims)+1)
+		}
 		mergeSims = append(mergeSims, best)
 		m.mMerges.Inc()
 		// Merge bj into bi; update cluster similarities per the linkage
@@ -271,4 +304,40 @@ func (m *Matcher) Match(ds *schema.Dataset) *Result {
 		return res.Clusters[i][0] < res.Clusters[j][0]
 	})
 	return res
+}
+
+// recordMerge writes one ledger decision for a cluster merge: the
+// strongest supporting attribute pair across the two clusters (the pair
+// whose Sim realizes a single-link merge; the best evidence pair under
+// the other linkages), with its α·LabelSim + β·DomSim breakdown. Ties
+// resolve to the lowest attribute indices, so the record is
+// deterministic.
+func (m *Matcher) recordMerge(ctx context.Context, attrs []*schema.Attribute, profiles []attrProfile, labelSims [][]float64, simMat [][]float64, membersA, membersB []int, clusterSim float64, order int) {
+	bx, by, best := -1, -1, -1.0
+	for _, x := range membersA {
+		for _, y := range membersB {
+			if simMat[x][y] > best {
+				bx, by, best = x, y, simMat[x][y]
+			}
+		}
+	}
+	if bx < 0 {
+		return
+	}
+	if by < bx {
+		bx, by = by, bx
+	}
+	ls := labelSims[profiles[bx].labelID][profiles[by].labelID]
+	dsim := domSim(&profiles[bx], &profiles[by])
+	m.ledger.RecordCtx(ctx, obs.Decision{
+		Component: "matcher", Verdict: "merge",
+		AttrID: attrs[bx].ID, OtherID: attrs[by].ID,
+		Label: attrs[bx].Label,
+		Score: clusterSim, Threshold: m.cfg.Threshold,
+		LabelSim: ls, DomSim: dsim,
+		MergeOrder: order,
+		Count:      len(membersA) + len(membersB),
+		Detail: fmt.Sprintf("strongest pair %q~%q: %.3f = %.1f·%.3f + %.1f·%.3f",
+			attrs[bx].Label, attrs[by].Label, best, m.cfg.Alpha, ls, m.cfg.Beta, dsim),
+	})
 }

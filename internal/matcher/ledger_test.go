@@ -1,0 +1,112 @@
+package matcher
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"webiq/internal/dataset"
+	"webiq/internal/kb"
+	"webiq/internal/obs"
+)
+
+// TestMergeDecisionsMatchMergeSims pins the matcher's provenance
+// contract: every cluster merge is recorded as one ledger decision, in
+// merge order, whose Score is the cluster similarity from
+// Result.MergeSims and whose α·LabelSim + β·DomSim breakdown recomputes
+// that similarity (exact for single link, where the cluster similarity
+// is realized by the strongest attribute pair).
+func TestMergeDecisionsMatchMergeSims(t *testing.T) {
+	dom := kb.DomainByKey("book")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	cfg := DefaultConfig()
+	m := New(cfg)
+	ledger := obs.NewLedger(nil)
+	m.SetLedger(ledger)
+	tr := obs.NewTracer(nil)
+	m.SetSpanTracer(tr)
+
+	ctx, root := tr.StartSpan(context.Background(), "test")
+	traceID := root.TraceID()
+	res := m.MatchCtx(ctx, ds)
+	root.End()
+
+	var merges []obs.Decision
+	for _, d := range ledger.Decisions() {
+		if d.Component == "matcher" && d.Verdict == "merge" {
+			merges = append(merges, d)
+		}
+	}
+	if len(res.MergeSims) == 0 {
+		t.Fatal("no merges performed; contract check vacuous")
+	}
+	if len(merges) != len(res.MergeSims) {
+		t.Fatalf("merge decisions = %d, MergeSims = %d", len(merges), len(res.MergeSims))
+	}
+
+	clusterOf := map[string]int{}
+	for ci, c := range res.Clusters {
+		for _, id := range c {
+			clusterOf[id] = ci
+		}
+	}
+	for i, d := range merges {
+		if d.MergeOrder != i+1 {
+			t.Errorf("merge %d has order %d", i, d.MergeOrder)
+		}
+		if d.Score != res.MergeSims[i] {
+			t.Errorf("merge %d score = %v, MergeSims says %v", i, d.Score, res.MergeSims[i])
+		}
+		if d.AttrID == "" || d.OtherID == "" || d.AttrID == d.OtherID {
+			t.Errorf("merge %d endpoints = %q/%q", i, d.AttrID, d.OtherID)
+		}
+		if clusterOf[d.AttrID] != clusterOf[d.OtherID] {
+			t.Errorf("merge %d endpoints %q and %q landed in different clusters",
+				i, d.AttrID, d.OtherID)
+		}
+		if got := cfg.Alpha*d.LabelSim + cfg.Beta*d.DomSim; math.Abs(got-d.Score) > 1e-9 {
+			t.Errorf("merge %d breakdown %.1f·%v + %.1f·%v = %v, score says %v",
+				i, cfg.Alpha, d.LabelSim, cfg.Beta, d.DomSim, got, d.Score)
+		}
+		if d.TraceID != traceID {
+			t.Errorf("merge %d trace = %q, want %q", i, d.TraceID, traceID)
+		}
+	}
+
+	// The run emitted a "match" span joined to the caller's trace.
+	foundMatch := false
+	for _, r := range tr.TraceRecords(traceID) {
+		if r.Name == "match" {
+			foundMatch = true
+		}
+	}
+	if !foundMatch {
+		t.Error("no match span recorded under the caller's trace")
+	}
+}
+
+// TestMatchLedgerDoesNotPerturbResult pins that installing the ledger
+// leaves the matcher output identical.
+func TestMatchLedgerDoesNotPerturbResult(t *testing.T) {
+	ds := tinyDataset()
+	plain := New(DefaultConfig()).Match(ds)
+	m := New(DefaultConfig())
+	m.SetLedger(obs.NewLedger(nil))
+	led := m.Match(ds)
+	if len(plain.Pairs) != len(led.Pairs) {
+		t.Fatalf("pairs = %d vs %d with ledger", len(plain.Pairs), len(led.Pairs))
+	}
+	for p := range plain.Pairs {
+		if !led.Pairs[p] {
+			t.Errorf("ledger run missing pair %v", p)
+		}
+	}
+	if len(plain.MergeSims) != len(led.MergeSims) {
+		t.Fatal("merge sequences differ with ledger")
+	}
+	for i := range plain.MergeSims {
+		if plain.MergeSims[i] != led.MergeSims[i] {
+			t.Errorf("merge %d sim %v vs %v with ledger", i, plain.MergeSims[i], led.MergeSims[i])
+		}
+	}
+}

@@ -1,8 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 )
 
@@ -18,10 +22,26 @@ func (r *Registry) Handler() http.Handler {
 // HTTPMetrics holds the server-side HTTP instruments; one set is
 // shared across routes (the route is a label). A nil *HTTPMetrics
 // no-ops, so handlers can be wrapped unconditionally.
+//
+// With SetTracer installed, every wrapped request mints a root span
+// ("http", labelled with route/path/status) whose trace ID is exposed
+// as the X-Trace-ID response header and propagated to the handler via
+// the request context — handlers derive child spans with
+// Tracer.StartSpan(r.Context(), ...). With SetSlowLog installed,
+// requests at or above the threshold emit one NDJSON line carrying the
+// trace ID.
 type HTTPMetrics struct {
 	reg      *Registry
 	requests *CounterVec // route, class
 	inFlight *Gauge
+	tracer   *Tracer
+
+	mu         sync.Mutex
+	routeHists map[string]*Histogram
+
+	slowMu        sync.Mutex
+	slowEnc       *json.Encoder
+	slowThreshold time.Duration
 }
 
 // NewHTTPMetrics registers the HTTP metric families:
@@ -34,17 +54,58 @@ func NewHTTPMetrics(r *Registry) *HTTPMetrics {
 		return nil
 	}
 	return &HTTPMetrics{
-		reg:      r,
-		requests: r.CounterVec("webiq_http_requests_total", "HTTP requests served, by route and status class.", "route", "class"),
-		inFlight: r.Gauge("webiq_http_in_flight", "HTTP requests currently in flight."),
+		reg:        r,
+		requests:   r.CounterVec("webiq_http_requests_total", "HTTP requests served, by route and status class.", "route", "class"),
+		inFlight:   r.Gauge("webiq_http_in_flight", "HTTP requests currently in flight."),
+		routeHists: map[string]*Histogram{},
 	}
+}
+
+// SetTracer installs the tracer used to mint per-request root spans;
+// nil disables request tracing.
+func (m *HTTPMetrics) SetTracer(t *Tracer) {
+	if m == nil {
+		return
+	}
+	m.tracer = t
+}
+
+// SlowRequest is one slow-request NDJSON log line.
+type SlowRequest struct {
+	Time    string  `json:"time"`
+	Route   string  `json:"route"`
+	Method  string  `json:"method"`
+	Path    string  `json:"path"`
+	Status  int     `json:"status"`
+	Seconds float64 `json:"seconds"`
+	TraceID string  `json:"trace_id,omitempty"`
+}
+
+// SetSlowLog logs requests taking at least threshold as one NDJSON
+// SlowRequest line each on w. A nil w disables slow logging.
+func (m *HTTPMetrics) SetSlowLog(w io.Writer, threshold time.Duration) {
+	if m == nil {
+		return
+	}
+	m.slowMu.Lock()
+	if w == nil {
+		m.slowEnc = nil
+	} else {
+		m.slowEnc = json.NewEncoder(w)
+	}
+	m.slowThreshold = threshold
+	m.slowMu.Unlock()
 }
 
 // histogramFor returns the per-route latency histogram; Wrap resolves
 // it once per route at wiring time, not per request.
 func (m *HTTPMetrics) histogramFor(route string) *Histogram {
-	return m.reg.HistogramVec("webiq_http_request_seconds",
+	h := m.reg.HistogramVec("webiq_http_request_seconds",
 		"HTTP request latency in seconds, by route.", nil, "route").With(route)
+	m.mu.Lock()
+	m.routeHists[route] = h
+	m.mu.Unlock()
+	return h
 }
 
 // Wrap instruments a handler under the given route label.
@@ -57,16 +118,85 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 		m.inFlight.Inc()
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var span *Span
+		if m.tracer != nil {
+			span = m.tracer.StartRoot("http")
+			span.Label("route", route).Label("path", req.URL.Path)
+			w.Header().Set("X-Trace-ID", span.TraceID())
+			req = req.WithContext(WithSpan(req.Context(), span))
+		}
 		next.ServeHTTP(sw, req)
-		hist.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		traceID := span.TraceID()
+		if span != nil {
+			span.Label("status", strconv.Itoa(sw.code))
+			span.End()
+		}
+		hist.Observe(elapsed.Seconds())
 		m.requests.With(route, statusClass(sw.code)).Inc()
 		m.inFlight.Dec()
+		m.logSlow(route, req, sw.code, elapsed, traceID)
+	})
+}
+
+// logSlow emits the slow-request NDJSON line when the request is at or
+// above the configured threshold.
+func (m *HTTPMetrics) logSlow(route string, req *http.Request, status int, elapsed time.Duration, traceID string) {
+	m.slowMu.Lock()
+	defer m.slowMu.Unlock()
+	if m.slowEnc == nil || elapsed < m.slowThreshold {
+		return
+	}
+	// Encode errors are swallowed: slow logging is best-effort.
+	_ = m.slowEnc.Encode(SlowRequest{
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+		Route:   route,
+		Method:  req.Method,
+		Path:    req.URL.Path,
+		Status:  status,
+		Seconds: elapsed.Seconds(),
+		TraceID: traceID,
 	})
 }
 
 // WrapFunc is Wrap for http.HandlerFunc.
 func (m *HTTPMetrics) WrapFunc(route string, next func(http.ResponseWriter, *http.Request)) http.Handler {
 	return m.Wrap(route, http.HandlerFunc(next))
+}
+
+// RouteSummary is a precomputed latency summary for one route, derived
+// from the route's fixed-bucket histogram (quantiles are linear
+// interpolations within buckets — estimates, not exact order
+// statistics).
+type RouteSummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// RouteSummaries returns the latency summary of every wrapped route
+// that has served at least one request.
+func (m *HTTPMetrics) RouteSummaries() map[string]RouteSummary {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]RouteSummary, len(m.routeHists))
+	for route, h := range m.routeHists {
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		out[route] = RouteSummary{
+			Count: n,
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return out
 }
 
 // statusWriter captures the response status code.

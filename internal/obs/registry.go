@@ -244,6 +244,31 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.get(nil, func() metric { return &Gauge{} }).(*Gauge)
 }
 
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct {
+	fam *family
+}
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values (one per label
+// name, in order).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.fam.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.fam.name, len(v.fam.labels), len(values)))
+	}
+	return v.fam.get(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
 // --- Histogram ---
 
 // Histogram counts observations in fixed buckets and tracks their sum.
@@ -301,6 +326,43 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed values
+// by linear interpolation within the bucket holding the target rank —
+// the standard fixed-bucket estimate, exact only at bucket boundaries.
+// Observations above the last finite bound are clamped to it. Returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, ub := range h.upper {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			lb := 0.0
+			if i > 0 {
+				lb = h.upper[i-1]
+			}
+			return lb + (ub-lb)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	// Target rank falls in the +Inf bucket: clamp to the last finite
+	// bound (or the mean when there are no finite buckets).
+	if len(h.upper) > 0 {
+		return h.upper[len(h.upper)-1]
+	}
+	return h.Sum() / float64(total)
 }
 
 func (h *Histogram) write(w io.Writer, fam *family, labelValues []string) {

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,7 +14,19 @@ import (
 // to the NDJSON log. Durations are nanoseconds; StartNS is relative to
 // the tracer's construction so runs are comparable regardless of wall
 // clock.
+//
+// TraceID/SpanID/ParentID carry the request-scoped trace identity:
+// every span started through StartRoot/StartChild/StartSpan belongs to
+// exactly one trace, and ParentID links it to the span that was active
+// when it started. Spans started with the flat Span method carry no
+// identity (all three fields empty), preserving the PR-1 log shape.
 type SpanRecord struct {
+	// TraceID groups every span of one request (or one CLI run).
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID identifies this span within its trace.
+	SpanID string `json:"span_id,omitempty"`
+	// ParentID is the SpanID of the enclosing span; empty for roots.
+	ParentID string `json:"parent_id,omitempty"`
 	// Name identifies the operation ("surface", "attr-deep", "match",
 	// or an event kind like "borrow-deep").
 	Name string `json:"name"`
@@ -33,50 +47,147 @@ type SpanRecord struct {
 	Count int `json:"count,omitempty"`
 }
 
-// Tracer records spans and events, optionally streaming each finished
-// record as one NDJSON line to a writer. All methods are safe for
-// concurrent use and nil-safe, so instrumented code can call through a
-// nil *Tracer at the cost of a branch.
-type Tracer struct {
-	epoch time.Time
+// DefTraceRetention is how many distinct traces a tracer retains in its
+// per-trace store before evicting the oldest (SetTraceRetention
+// overrides it).
+const DefTraceRetention = 512
 
-	mu      sync.Mutex
-	enc     *json.Encoder
-	records []SpanRecord
+// Tracer records spans and events, optionally streaming each finished
+// record as one NDJSON line to a writer, and retains the spans of the
+// most recent traces for span-tree reconstruction (TraceRecords/Tree).
+// All methods are safe for concurrent use and nil-safe, so instrumented
+// code can call through a nil *Tracer at the cost of a branch.
+type Tracer struct {
+	epoch  time.Time
+	idBase uint32
+	idCtr  atomic.Uint64
+
+	mu         sync.Mutex
+	enc        *json.Encoder
+	records    []SpanRecord
+	traces     map[string][]SpanRecord
+	traceOrder []string // FIFO for eviction
+	maxTraces  int
 }
 
 // NewTracer returns a tracer. If w is non-nil every finished span is
 // written to it as one JSON object per line; records are also retained
-// in memory for Records/Totals.
+// in memory for Records/Totals and, per trace, for TraceRecords/Tree.
 func NewTracer(w io.Writer) *Tracer {
-	t := &Tracer{epoch: time.Now()}
+	t := &Tracer{
+		epoch:     time.Now(),
+		traces:    map[string][]SpanRecord{},
+		maxTraces: DefTraceRetention,
+	}
+	t.idBase = uint32(t.epoch.UnixNano())
 	if w != nil {
 		t.enc = json.NewEncoder(w)
 	}
 	return t
 }
 
-// Span is an in-flight operation started by Tracer.Span. Methods on a
-// nil *Span no-op.
+// SetTraceRetention bounds the per-trace store to the n most recent
+// traces (older ones are evicted FIFO). n <= 0 disables per-trace
+// retention entirely; the flat record log is unaffected.
+func (t *Tracer) SetTraceRetention(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.maxTraces = n
+	t.mu.Unlock()
+}
+
+// newID mints a process-unique hex ID (per-tracer random base plus an
+// atomic counter).
+func (t *Tracer) newID() string {
+	return fmt.Sprintf("%08x%08x", t.idBase, uint32(t.idCtr.Add(1)))
+}
+
+// Span is an in-flight operation started by a Tracer. Methods on a
+// nil *Span no-op. Spans are pooled: a *Span must not be used after
+// End (contexts built with WithSpan stay valid — they capture the
+// immutable trace identity, not the live span).
 type Span struct {
 	tracer  *Tracer
 	rec     SpanRecord
 	started time.Time
 
-	mu sync.Mutex
+	mu    sync.Mutex
+	ended bool
 }
 
-// Span starts a span with the given name.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// start initializes a pooled span with the given identity (empty IDs
+// for the flat form).
+func (t *Tracer) start(name, traceID, spanID, parentID string) *Span {
+	now := time.Now()
+	s := spanPool.Get().(*Span)
+	s.tracer = t
+	s.started = now
+	s.ended = false
+	s.rec = SpanRecord{
+		TraceID:  traceID,
+		SpanID:   spanID,
+		ParentID: parentID,
+		Name:     name,
+		StartNS:  now.Sub(t.epoch).Nanoseconds(),
+	}
+	return s
+}
+
+// Span starts a flat span (no trace identity) with the given name —
+// the PR-1 form, kept for logs that don't need hierarchy.
 func (t *Tracer) Span(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	now := time.Now()
-	return &Span{
-		tracer:  t,
-		started: now,
-		rec:     SpanRecord{Name: name, StartNS: now.Sub(t.epoch).Nanoseconds()},
+	return t.start(name, "", "", "")
+}
+
+// StartRoot mints a new trace and starts its root span.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
 	}
+	return t.start(name, t.newID(), t.newID(), "")
+}
+
+// StartChild starts a span in the parent's trace, linked to it. A nil
+// or identity-less parent yields a fresh root instead, so call sites
+// need no special cases.
+func (t *Tracer) StartChild(parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if parent == nil {
+		return t.StartRoot(name)
+	}
+	return t.startChildOf(parent.TraceID(), parent.SpanID(), name)
+}
+
+func (t *Tracer) startChildOf(traceID, parentSpanID, name string) *Span {
+	if traceID == "" {
+		return t.StartRoot(name)
+	}
+	return t.start(name, traceID, t.newID(), parentSpanID)
+}
+
+// TraceID returns the span's trace ID ("" for flat spans); nil-safe.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.TraceID
+}
+
+// SpanID returns the span's ID within its trace; nil-safe.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.SpanID
 }
 
 // Label attaches a key/value to the span and returns it for chaining.
@@ -114,16 +225,28 @@ func (s *Span) AddQueries(n int) {
 	s.mu.Unlock()
 }
 
-// End finishes the span and hands it to the tracer.
+// End finishes the span, hands its record to the tracer, and returns
+// the span to the pool. A second End no-ops.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
 	s.rec.WallNS = time.Since(s.started).Nanoseconds()
 	rec := s.rec
+	// The record (with its label map) is handed off; the pooled span
+	// must not retain a reference.
+	s.rec = SpanRecord{}
+	tracer := s.tracer
+	s.tracer = nil
 	s.mu.Unlock()
-	s.tracer.emit(rec)
+	tracer.emit(rec)
+	spanPool.Put(s)
 }
 
 // Event records an instantaneous occurrence (wall duration zero) —
@@ -144,6 +267,16 @@ func (t *Tracer) emit(rec SpanRecord) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.records = append(t.records, rec)
+	if rec.TraceID != "" && t.maxTraces > 0 && t.traces != nil {
+		if _, ok := t.traces[rec.TraceID]; !ok {
+			if len(t.traceOrder) >= t.maxTraces {
+				delete(t.traces, t.traceOrder[0])
+				t.traceOrder = t.traceOrder[1:]
+			}
+			t.traceOrder = append(t.traceOrder, rec.TraceID)
+		}
+		t.traces[rec.TraceID] = append(t.traces[rec.TraceID], rec)
+	}
 	if t.enc != nil {
 		// Encode errors are deliberately swallowed: tracing is
 		// best-effort and must never fail the pipeline.
@@ -161,6 +294,65 @@ func (t *Tracer) Records() []SpanRecord {
 	out := make([]SpanRecord, len(t.records))
 	copy(out, t.records)
 	return out
+}
+
+// TraceRecords returns a copy of the finished spans of one trace, in
+// emission order (children before their parents, since a span is
+// emitted at End). Returns nil for an unknown or evicted trace.
+func (t *Tracer) TraceRecords(traceID string) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	recs := t.traces[traceID]
+	if recs == nil {
+		return nil
+	}
+	out := make([]SpanRecord, len(recs))
+	copy(out, recs)
+	return out
+}
+
+// SpanNode is one span in a reconstructed trace tree.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree reconstructs the span tree of one trace: roots (spans whose
+// parent is absent or empty) in start order, each with its children in
+// start order. Returns nil for an unknown trace.
+func (t *Tracer) Tree(traceID string) []*SpanNode {
+	recs := t.TraceRecords(traceID)
+	if recs == nil {
+		return nil
+	}
+	nodes := make(map[string]*SpanNode, len(recs))
+	all := make([]*SpanNode, 0, len(recs))
+	for _, r := range recs {
+		n := &SpanNode{SpanRecord: r}
+		all = append(all, n)
+		if r.SpanID != "" {
+			nodes[r.SpanID] = n
+		}
+	}
+	var roots []*SpanNode
+	for _, n := range all {
+		if p := nodes[n.ParentID]; n.ParentID != "" && p != nil && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(ns []*SpanNode) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].StartNS < ns[j].StartNS })
+	}
+	byStart(roots)
+	for _, n := range all {
+		byStart(n.Children)
+	}
+	return roots
 }
 
 // Totals aggregates the records per span name.

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	code, body := get(t, s, "/healthz")
+	if code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz: code=%d body=%q", code, body)
+	}
+}
+
+// TestReadyzStates runs before any unified build in this package (file
+// order puts it ahead of the /unified tests), so the cold answers are
+// pinned here and the warm answer inside TestExplainProvenance.
+func TestReadyzStates(t *testing.T) {
+	s := testServer(t)
+	if code, _ := get(t, s, "/readyz?domain=nope"); code != 404 {
+		t.Errorf("unknown domain: code=%d, want 404", code)
+	}
+	// The suite never builds the auto domain, so it is always pending.
+	code, body := get(t, s, "/readyz?domain=auto")
+	if code != 503 {
+		t.Errorf("pending domain: code=%d, want 503", code)
+	}
+	var info readyzInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Ready || info.Domains["auto"] {
+		t.Errorf("pending domain reported ready: %+v", info)
+	}
+	code, body = get(t, s, "/readyz")
+	if code != 503 {
+		t.Errorf("overall readiness with pending domains: code=%d, want 503", code)
+	}
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Ready || len(info.Domains) != 5 {
+		t.Errorf("overall readiness = %+v, want 5 domains, not ready", info)
+	}
+}
+
+func TestTraceUnknown(t *testing.T) {
+	s := testServer(t)
+	if code, _ := get(t, s, "/trace/deadbeef"); code != 404 {
+		t.Errorf("unknown trace: code=%d, want 404", code)
+	}
+	if code, _ := get(t, s, "/trace/"); code != 404 {
+		t.Errorf("empty trace id: code=%d, want 404", code)
+	}
+}
+
+// TestExplainProvenance is the acceptance criterion end to end: every
+// instance of the unified interface must be attributable to a component
+// with numeric evidence, linked by trace ID to a resolvable span tree.
+func TestExplainProvenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explain builds the unified interface; skipped in -short")
+	}
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/unified/book/explain", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %.300s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Trace-ID") == "" {
+		t.Error("no X-Trace-ID response header")
+	}
+	var p ExplainPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Attributes) == 0 || p.Instances == 0 {
+		t.Fatalf("empty provenance payload: %d attributes, %d instances", len(p.Attributes), p.Instances)
+	}
+	if p.Attributed != p.Instances {
+		for _, ea := range p.Attributes {
+			for _, inst := range ea.Instances {
+				if inst.Verdict == "unattributed" {
+					t.Errorf("unattributed: %q (attr %q, from %s)", inst.Value, ea.Label, inst.SourceAttr)
+				}
+			}
+		}
+		t.Fatalf("provenance incomplete: %d of %d instances attributed", p.Attributed, p.Instances)
+	}
+	for _, ea := range p.Attributes {
+		for _, inst := range ea.Instances {
+			if inst.Component == "" || inst.Verdict == "" || inst.SourceAttr == "" {
+				t.Fatalf("instance missing provenance fields: %+v", inst)
+			}
+		}
+	}
+
+	// The build trace resolves to a span tree containing the
+	// unified-build span.
+	if p.TraceID == "" {
+		t.Fatal("payload carries no build trace ID")
+	}
+	code, body := get(t, s, "/trace/"+p.TraceID)
+	if code != 200 {
+		t.Fatalf("GET /trace/%s: code=%d", p.TraceID, code)
+	}
+	if !strings.Contains(body, `"unified-build"`) {
+		t.Errorf("span tree missing unified-build span: %.300s", body)
+	}
+
+	// Once built, the domain reports ready.
+	if code, _ := get(t, s, "/readyz?domain=book"); code != 200 {
+		t.Errorf("built domain readiness: code=%d, want 200", code)
+	}
+	_, metrics := get(t, s, "/metrics")
+	if !strings.Contains(metrics, `webiq_unified_ready{domain="book"} 1`) {
+		t.Error("metrics missing webiq_unified_ready{domain=\"book\"} 1")
+	}
+}
+
+// TestUnifiedSingleflight issues concurrent requests for one cold
+// domain and asserts the build ran exactly once (the per-domain
+// singleflight) with identical responses.
+func TestUnifiedSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("unified endpoint runs acquisition; skipped in -short")
+	}
+	s := testServer(t)
+	const n = 4
+	codes := make([]int, n)
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest("GET", "/unified/job", nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			codes[i] = rec.Code
+			bodies[i] = rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Errorf("request %d body differs from request 0", i)
+		}
+	}
+	_, metrics := get(t, s, "/metrics")
+	if !strings.Contains(metrics, `webiq_unified_builds_total{domain="job"} 1`) {
+		t.Error("singleflight violated: builds counter for job is not 1")
+	}
+}

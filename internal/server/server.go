@@ -14,17 +14,28 @@
 //	GET /unified/{domain}     unified interface over the domain (HTML)
 //	GET /unified/{domain}/search?attr=L&value=V
 //	                          translated query fan-out to all sources
-//	GET /stats                substrate usage counters (JSON)
+//	GET /unified/{domain}/explain
+//	                          per-attribute decision provenance (JSON)
+//	GET /trace/{id}           span tree of one trace (JSON)
+//	GET /healthz              liveness (always 200 once serving)
+//	GET /readyz[?domain=d]    readiness; 503 while a domain is unbuilt
+//	GET /stats                substrate usage + route latency (JSON)
 //	GET /metrics              Prometheus text-format metrics
 //
 // Every route is instrumented (request counters by status class, a
-// latency histogram, an in-flight gauge), and the substrate and
-// pipeline metrics of internal/obs are exposed on /metrics.
+// latency histogram, an in-flight gauge) and minted a root trace span
+// (X-Trace-ID response header); the substrate and pipeline metrics of
+// internal/obs are exposed on /metrics. Unified interfaces are built
+// lazily under per-domain singleflight: concurrent requests for one
+// domain share a single acquisition+matching run, and requests for
+// other routes are never blocked behind it.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -50,17 +61,33 @@ type Server struct {
 	domains []*kb.Domain
 	engine  *surfaceweb.Engine
 	reg     *obs.Registry
+	tracer  *obs.Tracer
+	httpm   *obs.HTTPMetrics
+	ready   *obs.GaugeVec   // webiq_unified_ready{domain}
+	builds  *obs.CounterVec // webiq_unified_builds_total{domain}
 
 	mu          sync.Mutex
 	datasets    map[string]*schema.Dataset
 	pools       map[string]*deepweb.Pool
 	unified     map[string]*unify.UnifiedInterface
 	translators map[string]*translate.Translator
+	ledgers     map[string]*obs.Ledger
+	buildTrace  map[string]string
+	building    map[string]*unifiedBuild
+}
+
+// unifiedBuild is one in-flight lazy build; waiters block on done
+// without holding the server lock.
+type unifiedBuild struct {
+	done chan struct{}
+	u    *unify.UnifiedInterface
+	err  error
 }
 
 // New builds the server: datasets and sources for every domain, plus
 // the Surface-Web corpus used when a unified interface is requested
-// (acquisition runs lazily, once per domain).
+// (acquisition runs lazily, once per domain, under per-domain
+// singleflight).
 func New(seed int64) *Server {
 	s := &Server{
 		mux:         http.NewServeMux(),
@@ -71,8 +98,14 @@ func New(seed int64) *Server {
 		pools:       map[string]*deepweb.Pool{},
 		unified:     map[string]*unify.UnifiedInterface{},
 		translators: map[string]*translate.Translator{},
+		ledgers:     map[string]*obs.Ledger{},
+		buildTrace:  map[string]string{},
+		building:    map[string]*unifiedBuild{},
 	}
+	s.tracer = obs.NewTracer(nil)
 	s.engine.Instrument(s.reg)
+	s.ready = s.reg.GaugeVec("webiq_unified_ready", "1 when the domain's unified interface has been built, 0 while pending.", "domain")
+	s.builds = s.reg.CounterVec("webiq_unified_builds_total", "Unified-interface builds performed, by domain.", "domain")
 	corpusCfg := surfaceweb.DefaultCorpusConfig()
 	corpusCfg.Seed = seed
 	surfaceweb.BuildCorpus(s.engine, s.domains, corpusCfg)
@@ -87,21 +120,36 @@ func New(seed int64) *Server {
 		pool := deepweb.BuildPool(ds, dom, deepCfg)
 		pool.Instrument(s.reg)
 		s.pools[dom.Key] = pool
+		s.ready.With(dom.Key).Set(0)
 	}
 
-	httpm := obs.NewHTTPMetrics(s.reg)
-	s.mux.Handle("/", httpm.WrapFunc("index", s.handleIndex))
-	s.mux.Handle("/sources", httpm.WrapFunc("sources", s.handleSources))
-	s.mux.Handle("/source/", httpm.WrapFunc("source", s.handleSource))
-	s.mux.Handle("/unified/", httpm.WrapFunc("unified", s.handleUnified))
-	s.mux.Handle("/stats", httpm.WrapFunc("stats", s.handleStats))
-	s.mux.Handle("/metrics", httpm.Wrap("metrics", s.reg.Handler()))
+	s.httpm = obs.NewHTTPMetrics(s.reg)
+	s.httpm.SetTracer(s.tracer)
+	s.mux.Handle("/", s.httpm.WrapFunc("index", s.handleIndex))
+	s.mux.Handle("/sources", s.httpm.WrapFunc("sources", s.handleSources))
+	s.mux.Handle("/source/", s.httpm.WrapFunc("source", s.handleSource))
+	s.mux.Handle("/unified/", s.httpm.WrapFunc("unified", s.handleUnified))
+	s.mux.Handle("/trace/", s.httpm.WrapFunc("trace", s.handleTrace))
+	s.mux.Handle("/healthz", s.httpm.WrapFunc("healthz", s.handleHealthz))
+	s.mux.Handle("/readyz", s.httpm.WrapFunc("readyz", s.handleReadyz))
+	s.mux.Handle("/stats", s.httpm.WrapFunc("stats", s.handleStats))
+	s.mux.Handle("/metrics", s.httpm.Wrap("metrics", s.reg.Handler()))
 	return s
 }
 
 // Registry exposes the server's metric registry (e.g. for tests or for
 // mounting extra instruments).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the server's request tracer (e.g. for tests or for
+// wiring NDJSON export).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SetSlowLog logs requests taking at least threshold as NDJSON lines
+// (with trace IDs) on w; nil w disables it.
+func (s *Server) SetSlowLog(w io.Writer, threshold time.Duration) {
+	s.httpm.SetSlowLog(w, threshold)
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -223,7 +271,11 @@ func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
 		s.handleUnifiedSearch(w, r, domain)
 		return
 	}
-	u, err := s.unifiedFor(rest)
+	if domain, ok := strings.CutSuffix(rest, "/explain"); ok {
+		s.handleExplain(w, r, domain)
+		return
+	}
+	u, err := s.unifiedFor(r.Context(), rest)
 	if err != nil {
 		http.NotFound(w, r)
 		return
@@ -235,7 +287,7 @@ func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
 // handleUnifiedSearch translates a unified query to every source and
 // reports which answered.
 func (s *Server) handleUnifiedSearch(w http.ResponseWriter, r *http.Request, domain string) {
-	if _, err := s.unifiedFor(domain); err != nil {
+	if _, err := s.unifiedFor(r.Context(), domain); err != nil {
 		http.NotFound(w, r)
 		return
 	}
@@ -265,18 +317,55 @@ func (s *Server) handleUnifiedSearch(w http.ResponseWriter, r *http.Request, dom
 }
 
 // unifiedFor lazily runs acquisition + matching + unification for a
-// domain, caching the result.
-func (s *Server) unifiedFor(domain string) (*unify.UnifiedInterface, error) {
+// domain under per-domain singleflight: the global lock is held only
+// for map access, concurrent requests for one domain share a single
+// build, and requests for other routes (or other domains) are never
+// blocked behind it.
+func (s *Server) unifiedFor(ctx context.Context, domain string) (*unify.UnifiedInterface, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if u, ok := s.unified[domain]; ok {
+		s.mu.Unlock()
 		return u, nil
 	}
-	ds := s.datasets[domain]
-	pool := s.pools[domain]
-	if ds == nil || pool == nil {
+	if s.datasets[domain] == nil || s.pools[domain] == nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("unknown domain %q", domain)
 	}
+	if b, ok := s.building[domain]; ok {
+		s.mu.Unlock()
+		<-b.done
+		return b.u, b.err
+	}
+	b := &unifiedBuild{done: make(chan struct{})}
+	s.building[domain] = b
+	s.mu.Unlock()
+
+	b.u, b.err = s.buildUnified(ctx, domain)
+
+	s.mu.Lock()
+	delete(s.building, domain)
+	s.mu.Unlock()
+	close(b.done)
+	return b.u, b.err
+}
+
+// buildUnified runs the full pipeline for one domain under a
+// "unified-build" span (a child of the requesting trace) with a
+// per-domain decision-provenance ledger, and caches the results.
+func (s *Server) buildUnified(ctx context.Context, domain string) (*unify.UnifiedInterface, error) {
+	s.mu.Lock()
+	ds := s.datasets[domain]
+	pool := s.pools[domain]
+	s.mu.Unlock()
+
+	ctx, span := s.tracer.StartSpan(ctx, "unified-build")
+	span.Label("domain", domain)
+	defer span.End()
+	traceID := obs.TraceIDFrom(ctx)
+
+	ledger := obs.NewLedger(nil)
+	ledger.Instrument(s.reg)
+
 	cfg := iq.DefaultConfig()
 	v := iq.NewValidator(s.engine, cfg)
 	acq := iq.NewAcquirer(
@@ -285,29 +374,105 @@ func (s *Server) unifiedFor(domain string) (*unify.UnifiedInterface, error) {
 		iq.NewAttrSurface(v, cfg),
 		iq.AllComponents(), cfg)
 	acq.SetObserver(s.reg)
+	acq.SetSpanTracer(s.tracer)
+	acq.SetLedger(ledger)
 	acq.SetAccounting(
 		func() (time.Duration, int) { return s.engine.VirtualTime(), s.engine.QueryCount() },
 		func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
 	)
-	acq.AcquireAll(ds)
+	acq.AcquireAllCtx(ctx, ds)
 	m := matcher.New(matcher.DefaultConfig())
 	m.Instrument(s.reg)
-	res := m.Match(ds)
+	m.SetSpanTracer(s.tracer)
+	m.SetLedger(ledger)
+	res := m.MatchCtx(ctx, ds)
 	u := unify.Build(ds, res)
+
+	s.mu.Lock()
 	s.unified[domain] = u
 	s.translators[domain] = translate.New(u, ds, pool)
+	s.ledgers[domain] = ledger
+	s.buildTrace[domain] = traceID
+	s.mu.Unlock()
+	s.builds.With(domain).Inc()
+	s.ready.With(domain).Set(1)
 	return u, nil
+}
+
+// handleTrace serves the reconstructed span tree of one trace:
+// GET /trace/{id}.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if id == "" {
+		http.NotFound(w, r)
+		return
+	}
+	tree := s.tracer.Tree(id)
+	if tree == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, map[string]any{"trace_id": id, "spans": tree})
+}
+
+// handleHealthz is the liveness probe: the process is serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// readyzInfo is the /readyz JSON shape.
+type readyzInfo struct {
+	Ready   bool            `json:"ready"`
+	Domains map[string]bool `json:"domains"`
+}
+
+// handleReadyz reports per-domain acquisition state: with ?domain=d it
+// answers 200 once d's unified interface is built and 503 while it is
+// pending (404 for an unknown domain), so a load balancer can hold
+// traffic instead of timing out on a cold /unified/{domain}. Without a
+// domain parameter it reports every domain and is ready only when all
+// are built.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	info := readyzInfo{Ready: true, Domains: make(map[string]bool, len(s.datasets))}
+	for k := range s.datasets {
+		_, built := s.unified[k]
+		info.Domains[k] = built
+		if !built {
+			info.Ready = false
+		}
+	}
+	s.mu.Unlock()
+	if d := r.URL.Query().Get("domain"); d != "" {
+		built, known := info.Domains[d]
+		if !known {
+			http.NotFound(w, r)
+			return
+		}
+		if !built {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, readyzInfo{Ready: built, Domains: map[string]bool{d: built}})
+		return
+	}
+	if !info.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, info)
 }
 
 // statsInfo is the /stats JSON shape. Virtual seconds are the simulated
 // substrate time of the Figure-8 overhead accounting — the other half
-// of the signal next to raw query counts.
+// of the signal next to raw query counts. Routes carries the
+// precomputed p50/p95/p99 latency summaries per route.
 type statsInfo struct {
-	CorpusPages          int                `json:"corpus_pages"`
-	SearchQueries        int                `json:"search_queries"`
-	SearchVirtualSeconds float64            `json:"search_virtual_seconds"`
-	ProbesByPool         map[string]int     `json:"probes_by_domain"`
-	ProbeVirtualByPool   map[string]float64 `json:"probe_virtual_seconds_by_domain"`
+	CorpusPages          int                         `json:"corpus_pages"`
+	SearchQueries        int                         `json:"search_queries"`
+	SearchVirtualSeconds float64                     `json:"search_virtual_seconds"`
+	ProbesByPool         map[string]int              `json:"probes_by_domain"`
+	ProbeVirtualByPool   map[string]float64          `json:"probe_virtual_seconds_by_domain"`
+	Routes               map[string]obs.RouteSummary `json:"routes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -317,6 +482,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		SearchVirtualSeconds: s.engine.VirtualTime().Seconds(),
 		ProbesByPool:         map[string]int{},
 		ProbeVirtualByPool:   map[string]float64{},
+		Routes:               s.httpm.RouteSummaries(),
 	}
 	s.mu.Lock()
 	for k, p := range s.pools {

@@ -1,6 +1,7 @@
 package webiq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -150,15 +151,24 @@ func (r *Report) SuccessRate() float64 {
 // whichever issues it first (the validator memoizes it), and the
 // up-front phase runs all discovery before any Attr-Surface validation.
 func (a *Acquirer) AcquireAll(ds *schema.Dataset) *Report {
-	all := a.spans.Span("acquire-all").Label("domain", ds.Domain)
+	return a.AcquireAllCtx(context.Background(), ds)
+}
+
+// AcquireAllCtx is AcquireAll with the caller's trace context: the
+// "acquire-all" span joins the trace carried by ctx (a server request,
+// typically) as a child, component spans nest under it, and every
+// ledger decision recorded during the run carries the trace identity.
+func (a *Acquirer) AcquireAllCtx(ctx context.Context, ds *schema.Dataset) *Report {
+	ctx, all := a.spans.StartSpan(ctx, "acquire-all")
+	all.Label("domain", ds.Domain)
 	rep := &Report{}
 	var pre map[string][]string
 	if a.cfg.Parallelism > 1 && a.enabled.Surface && a.surface != nil {
-		pre = a.parallelSurface(ds, rep)
+		pre = a.parallelSurface(ctx, ds, rep)
 	}
 	for _, ifc := range ds.Interfaces {
 		for _, attr := range ifc.Attributes {
-			out := a.acquireOne(rep, ds, ifc, attr, pre)
+			out := a.acquireOne(ctx, rep, ds, ifc, attr, pre)
 			rep.Outcomes = append(rep.Outcomes, out)
 			switch {
 			case out.HadInstances:
@@ -180,7 +190,7 @@ func (a *Acquirer) AcquireAll(ds *schema.Dataset) *Report {
 // attribute with a bounded worker pool and returns the per-attribute
 // results. The whole phase's engine time and query count are charged to
 // the Surface component.
-func (a *Acquirer) parallelSurface(ds *schema.Dataset, rep *Report) map[string][]string {
+func (a *Acquirer) parallelSurface(ctx context.Context, ds *schema.Dataset, rep *Report) map[string][]string {
 	type job struct {
 		attr *schema.Attribute
 		ifc  *schema.Interface
@@ -193,7 +203,8 @@ func (a *Acquirer) parallelSurface(ds *schema.Dataset, rep *Report) map[string][
 			}
 		}
 	}
-	sp := a.spans.Span("surface").Label("phase", "parallel")
+	spCtx, sp := a.spans.StartSpan(ctx, "surface")
+	sp.Label("phase", "parallel")
 	t0, q0 := readClock(a.surfaceClock)
 	results := make([][]string, len(jobs))
 	sem := make(chan struct{}, a.cfg.Parallelism)
@@ -204,7 +215,7 @@ func (a *Acquirer) parallelSurface(ds *schema.Dataset, rep *Report) map[string][
 		go func(i int, j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = a.surface.DiscoverInstances(j.attr, j.ifc, ds)
+			results[i] = a.surface.DiscoverInstancesCtx(spCtx, j.attr, j.ifc, ds)
 		}(i, j)
 	}
 	wg.Wait()
@@ -230,7 +241,7 @@ func readClock(probe func() (time.Duration, int)) (time.Duration, int) {
 // acquireOne applies the Section-5 policy to a single attribute. When
 // pre is non-nil it holds precomputed Surface discovery results (from
 // the parallel phase) keyed by attribute ID.
-func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Interface, attr *schema.Attribute, pre map[string][]string) Outcome {
+func (a *Acquirer) acquireOne(ctx context.Context, rep *Report, ds *schema.Dataset, ifc *schema.Interface, attr *schema.Attribute, pre map[string][]string) Outcome {
 	out := Outcome{AttrID: attr.ID, Label: attr.Label, HadInstances: attr.HasInstances()}
 
 	if !attr.HasInstances() {
@@ -240,9 +251,9 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 			if pre != nil {
 				got = pre[attr.ID]
 			} else {
-				sp := a.componentSpan("surface", attr.ID, attr.Label)
+				spCtx, sp := a.componentSpanCtx(ctx, "surface", attr.ID, attr.Label)
 				t0, q0 := readClock(a.surfaceClock)
-				got = a.surface.DiscoverInstances(attr, ifc, ds)
+				got = a.surface.DiscoverInstancesCtx(spCtx, attr, ifc, ds)
 				t1, q1 := readClock(a.surfaceClock)
 				rep.SurfaceTime += t1 - t0
 				rep.SurfaceQueries += q1 - q0
@@ -262,7 +273,7 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 		// Web. (Surface validation would be unlikely to succeed given
 		// 1.a failed, so it is not attempted — per the paper.)
 		if len(attr.Acquired) < a.cfg.K && a.enabled.AttrDeep && a.attrDeep != nil {
-			sp := a.componentSpan("attr-deep", attr.ID, attr.Label)
+			spCtx, sp := a.componentSpanCtx(ctx, "attr-deep", attr.ID, attr.Label)
 			t0, q0 := readClock(a.deepClock)
 			donors := a.borrowDonorsFreeText(ds, ifc, attr)
 			a.trace(Event{Kind: "borrow-deep", AttrID: attr.ID, Label: attr.Label,
@@ -270,7 +281,7 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 			for _, donor := range donors {
 				borrowed := donor.AllInstances()
 				a.mBorrowed.With("attr-deep").Add(float64(len(borrowed)))
-				vals, ok := a.attrDeep.ValidateBorrowed(ifc.ID, attr.ID, borrowed)
+				vals, ok := a.attrDeep.ValidateBorrowedCtx(spCtx, ifc.ID, attr.ID, attr.Label, donor.Label, borrowed)
 				a.trace(Event{Kind: "borrow-deep-donor", AttrID: attr.ID, Label: attr.Label,
 					Detail: fmt.Sprintf("donor %q accepted=%v", donor.Label, ok), Count: len(vals)})
 				if !ok {
@@ -303,9 +314,9 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 	// Extension (off in the paper's scheme): gather additional instances
 	// from the Surface Web even for predefined-value attributes.
 	if a.cfg.SurfaceForPredef && a.enabled.Surface && a.surface != nil {
-		sp := a.componentSpan("surface", attr.ID, attr.Label)
+		spCtx, sp := a.componentSpanCtx(ctx, "surface", attr.ID, attr.Label)
 		t0, q0 := readClock(a.surfaceClock)
-		got := a.surface.DiscoverInstances(attr, ifc, ds)
+		got := a.surface.DiscoverInstancesCtx(spCtx, attr, ifc, ds)
 		t1, q1 := readClock(a.surfaceClock)
 		rep.SurfaceTime += t1 - t0
 		rep.SurfaceQueries += q1 - q0
@@ -324,11 +335,11 @@ func (a *Acquirer) acquireOne(rep *Report, ds *schema.Dataset, ifc *schema.Inter
 		borrowed := a.borrowValuesPredef(ds, ifc, attr)
 		if len(borrowed) > 0 {
 			a.mBorrowed.With("attr-surface").Add(float64(len(borrowed)))
-			sp := a.componentSpan("attr-surface", attr.ID, attr.Label)
+			spCtx, sp := a.componentSpanCtx(ctx, "attr-surface", attr.ID, attr.Label)
 			t0, q0 := readClock(a.surfaceClock)
 			negatives := nonInstances(ifc, attr, 8)
 			positives := capSlice(attr.Instances, 8)
-			accepted, trained := a.attrSurface.ValidateBorrowedChecked(attr.Label, positives, negatives, borrowed)
+			accepted, trained := a.attrSurface.ValidateBorrowedCheckedCtx(spCtx, attr.ID, attr.Label, positives, negatives, borrowed)
 			t1, q1 := readClock(a.surfaceClock)
 			rep.AttrSurfaceTime += t1 - t0
 			rep.AttrSurfaceQueries += q1 - q0

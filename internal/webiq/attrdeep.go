@@ -1,6 +1,12 @@
 package webiq
 
-import "webiq/internal/deepweb"
+import (
+	"context"
+	"fmt"
+
+	"webiq/internal/deepweb"
+	"webiq/internal/obs"
+)
 
 // AttrDeep validates borrowed instances by probing the attribute's own
 // Deep-Web source, implementing Section 4: formulate a probing query
@@ -10,14 +16,19 @@ import "webiq/internal/deepweb"
 // of the probed instances of the donor attribute B, all instances of B
 // are assumed to be instances of A.
 type AttrDeep struct {
-	pool *deepweb.Pool
-	cfg  Config
+	pool   *deepweb.Pool
+	cfg    Config
+	ledger *obs.Ledger
 }
 
 // NewAttrDeep returns the Attr-Deep component over the source pool.
 func NewAttrDeep(pool *deepweb.Pool, cfg Config) *AttrDeep {
 	return &AttrDeep{pool: pool, cfg: cfg}
 }
+
+// SetLedger installs the decision-provenance ledger; nil disables
+// recording.
+func (ad *AttrDeep) SetLedger(l *obs.Ledger) { ad.ledger = l }
 
 // ValidateBorrowed probes the source behind interfaceID with attribute
 // attrID set to a sample of the donor's values. If at least one third of
@@ -29,6 +40,15 @@ func NewAttrDeep(pool *deepweb.Pool, cfg Config) *AttrDeep {
 // sample), so the probe count, the pool's virtual-time charge, and the
 // accept/reject decision are identical to the sequential run.
 func (ad *AttrDeep) ValidateBorrowed(interfaceID, attrID string, donorValues []string) ([]string, bool) {
+	return ad.ValidateBorrowedCtx(context.Background(), interfaceID, attrID, "", "", donorValues)
+}
+
+// ValidateBorrowedCtx is ValidateBorrowed with the caller's trace
+// context plus the attribute and donor labels for the provenance
+// ledger: the batch verdict (probe success fraction against the
+// one-third rule) and each accepted value are recorded as "attr-deep"
+// decisions.
+func (ad *AttrDeep) ValidateBorrowedCtx(ctx context.Context, interfaceID, attrID, attrLabel, donorLabel string, donorValues []string) ([]string, bool) {
 	if len(donorValues) == 0 {
 		return nil, false
 	}
@@ -50,7 +70,31 @@ func (ad *AttrDeep) ValidateBorrowed(interfaceID, attrID string, donorValues []s
 			success++
 		}
 	}
-	if 3*success >= len(probes) {
+	frac := float64(success) / float64(len(probes))
+	accepted := 3*success >= len(probes)
+	if ad.ledger != nil {
+		verdict := "reject"
+		if accepted {
+			verdict = "accept"
+		}
+		ad.ledger.RecordCtx(ctx, obs.Decision{
+			Component: "attr-deep", Verdict: verdict,
+			AttrID: attrID, Label: attrLabel,
+			Score: frac, Threshold: 1.0 / 3.0, Count: len(probes),
+			Detail: fmt.Sprintf("donor %q: %d/%d probes succeeded", donorLabel, success, len(probes)),
+		})
+		if accepted {
+			for _, v := range donorValues {
+				ad.ledger.RecordCtx(ctx, obs.Decision{
+					Component: "attr-deep", Verdict: "accept",
+					AttrID: attrID, Label: attrLabel, Value: v,
+					Score: frac, Threshold: 1.0 / 3.0,
+					Detail: fmt.Sprintf("one-third rule via donor %q", donorLabel),
+				})
+			}
+		}
+	}
+	if accepted {
 		return donorValues, true
 	}
 	return nil, false

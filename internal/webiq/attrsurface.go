@@ -1,7 +1,9 @@
 package webiq
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"webiq/internal/obs"
 	"webiq/internal/stats"
@@ -186,6 +188,7 @@ func (c *Classifier) ProbPositive(scores []float64) float64 {
 type AttrSurface struct {
 	validator *Validator
 	cfg       Config
+	ledger    *obs.Ledger
 
 	// Optional classifier-decision metrics; nil-safe no-ops when
 	// Instrument was not called.
@@ -216,15 +219,43 @@ func (as *AttrSurface) ValidateBorrowed(label string, positives, negatives, borr
 	return out
 }
 
+// SetLedger installs the decision-provenance ledger; nil disables
+// recording.
+func (as *AttrSurface) SetLedger(l *obs.Ledger) { as.ledger = l }
+
 // ValidateBorrowedChecked is ValidateBorrowed plus a report of whether
 // the classifier could be trained at all: trained is false when there
 // were too few examples or no validation phrases, which callers surface
 // as a "classifier-skip" event rather than a unanimous rejection.
 func (as *AttrSurface) ValidateBorrowedChecked(label string, positives, negatives, borrowed []string) (accepted []string, trained bool) {
+	return as.ValidateBorrowedCheckedCtx(context.Background(), "", label, positives, negatives, borrowed)
+}
+
+// ValidateBorrowedCheckedCtx is ValidateBorrowedChecked with the
+// caller's trace context and attribute ID for the provenance ledger: it
+// records a "trained" decision carrying the information-gain thresholds
+// (or a "skip" when training was impossible) and one accept/reject per
+// borrowed value with its posterior against the 0.5 cutoff.
+func (as *AttrSurface) ValidateBorrowedCheckedCtx(ctx context.Context, attrID, label string, positives, negatives, borrowed []string) (accepted []string, trained bool) {
 	clf, err := TrainClassifier(as.validator, label, positives, negatives)
 	if err != nil {
 		as.mDecisions.With("skip").Add(float64(len(borrowed)))
+		if as.ledger != nil {
+			as.ledger.RecordCtx(ctx, obs.Decision{
+				Component: "attr-surface", Verdict: "skip",
+				AttrID: attrID, Label: label, Count: len(borrowed),
+				Detail: "classifier untrainable: " + err.Error(),
+			})
+		}
 		return nil, false
+	}
+	if as.ledger != nil {
+		as.ledger.RecordCtx(ctx, obs.Decision{
+			Component: "attr-surface", Verdict: "trained",
+			AttrID: attrID, Label: label,
+			Count:  len(clf.Phrases),
+			Detail: fmt.Sprintf("info-gain thresholds %.4g (priors +%.3f/-%.3f)", clf.Thresholds, clf.PPos, clf.PNeg),
+		})
 	}
 	phrases := clf.Phrases
 	// Scoring each borrowed value is independent; run it on a bounded
@@ -235,11 +266,24 @@ func (as *AttrSurface) ValidateBorrowedChecked(label string, positives, negative
 		scores[i] = as.validator.Scores(phrases, borrowed[i])
 	})
 	for i, b := range borrowed {
-		if clf.ProbPositive(scores[i]) > 0.5 {
+		p := clf.ProbPositive(scores[i])
+		if p > 0.5 {
 			accepted = append(accepted, b)
 			as.mDecisions.With("accept").Inc()
 		} else {
 			as.mDecisions.With("reject").Inc()
+		}
+		if as.ledger != nil {
+			verdict := "reject"
+			if p > 0.5 {
+				verdict = "accept"
+			}
+			as.ledger.RecordCtx(ctx, obs.Decision{
+				Component: "attr-surface", Verdict: verdict,
+				AttrID: attrID, Label: label, Value: b,
+				Score: p, Threshold: 0.5,
+				Detail: "validation-based naive Bayes posterior",
+			})
 		}
 	}
 	return accepted, true

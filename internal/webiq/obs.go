@@ -1,6 +1,7 @@
 package webiq
 
 import (
+	"context"
 	"time"
 
 	"webiq/internal/obs"
@@ -46,16 +47,37 @@ func (a *Acquirer) SetObserver(r *obs.Registry) {
 // overhead fields. nil disables span tracing.
 func (a *Acquirer) SetSpanTracer(t *obs.Tracer) { a.spans = t }
 
+// SetLedger installs the decision-provenance ledger on every enabled
+// component: Surface verification (PMI accept/reject and outlier
+// removals), Attr-Surface classification (training, posterior
+// accept/reject), and Attr-Deep probing (one-third-rule verdicts).
+// nil disables recording everywhere.
+func (a *Acquirer) SetLedger(l *obs.Ledger) {
+	if a.surface != nil {
+		a.surface.SetLedger(l)
+	}
+	if a.attrSurface != nil {
+		a.attrSurface.SetLedger(l)
+	}
+	if a.attrDeep != nil {
+		a.attrDeep.SetLedger(l)
+	}
+}
+
 // chargeComponent accounts one component invocation in the metrics.
 func (a *Acquirer) chargeComponent(component string, virtual time.Duration, queries int) {
 	a.mCompVirtual.With(component).Add(virtual.Seconds())
 	a.mCompQueries.With(component).Add(float64(queries))
 }
 
-// componentSpan starts a span for one component invocation on an
-// attribute; returns nil (safely) when no tracer is installed.
-func (a *Acquirer) componentSpan(component, attrID, label string) *obs.Span {
-	return a.spans.Span(component).Label("attr", attrID).Label("label", label)
+// componentSpanCtx starts a span for one component invocation on an
+// attribute as a child of the span carried by ctx, returning the
+// derived context alongside. With no tracer installed the span is nil
+// (safely) and ctx comes back unchanged.
+func (a *Acquirer) componentSpanCtx(ctx context.Context, component, attrID, label string) (context.Context, *obs.Span) {
+	spCtx, sp := a.spans.StartSpan(ctx, component)
+	sp.Label("attr", attrID).Label("label", label)
+	return spCtx, sp
 }
 
 // endComponent finishes a component invocation: closes the span with

@@ -97,6 +97,25 @@ func RemoveOutliers(candidates []string, cfg Config) []string {
 	return removeStringOutliers(typed, cfg.OutlierSigma)
 }
 
+// RemoveOutliersExplain is RemoveOutliers plus the complementary list
+// of candidates it removed (type mismatches and discordant values), in
+// input order — the provenance ledger records each removal as an
+// "outlier"/"removed" decision.
+func RemoveOutliersExplain(candidates []string, cfg Config) (kept, removed []string) {
+	kept = RemoveOutliers(candidates, cfg)
+	// kept is a subsequence of candidates, so a greedy two-pointer walk
+	// recovers the removed complement even with duplicate values.
+	j := 0
+	for _, c := range candidates {
+		if j < len(kept) && kept[j] == c {
+			j++
+			continue
+		}
+		removed = append(removed, c)
+	}
+	return kept, removed
+}
+
 // removeNumericOutliers drops values > sigma standard deviations from
 // the mean (e.g. a $10,000 book price).
 func removeNumericOutliers(cands []string, sigma float64) []string {

@@ -1,11 +1,13 @@
 package webiq
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
 
 	"webiq/internal/nlp"
+	"webiq/internal/obs"
 	"webiq/internal/schema"
 )
 
@@ -18,15 +20,23 @@ type Surface struct {
 	validator *Validator
 	cfg       Config
 
+	// ledger, when set, records every verification decision (outlier
+	// removals, PMI accept/reject) for the provenance ledger. nil-safe.
+	ledger *obs.Ledger
+
 	mu    sync.Mutex
-	cache map[string][]string // label -> discovered instances (opt-in)
+	cache map[string][]Candidate // label -> verified candidates (opt-in)
 }
 
 // NewSurface returns a Surface component sharing the given validator's
 // hit-count cache.
 func NewSurface(engine SearchEngine, validator *Validator, cfg Config) *Surface {
-	return &Surface{engine: engine, validator: validator, cfg: cfg, cache: map[string][]string{}}
+	return &Surface{engine: engine, validator: validator, cfg: cfg, cache: map[string][]Candidate{}}
 }
+
+// SetLedger installs the decision-provenance ledger; nil disables
+// recording.
+func (s *Surface) SetLedger(l *obs.Ledger) { s.ledger = l }
 
 // Candidate is an extracted instance candidate with bookkeeping for
 // reports and tests.
@@ -43,26 +53,52 @@ type Candidate struct {
 // interface and dataset provide the domain information used to narrow
 // queries.
 func (s *Surface) DiscoverInstances(a *schema.Attribute, ifc *schema.Interface, ds *schema.Dataset) []string {
+	return s.DiscoverInstancesCtx(context.Background(), a, ifc, ds)
+}
+
+// DiscoverInstancesCtx is DiscoverInstances with the caller's trace
+// context: ledger decisions recorded during verification carry the
+// context's trace/span identity.
+func (s *Surface) DiscoverInstancesCtx(ctx context.Context, a *schema.Attribute, ifc *schema.Interface, ds *schema.Dataset) []string {
 	if s.cfg.CacheDiscovery {
 		key := strings.ToLower(a.Label)
 		s.mu.Lock()
 		cached, ok := s.cache[key]
 		s.mu.Unlock()
-		if ok {
-			out := make([]string, len(cached))
-			copy(out, cached)
-			return out
+		if !ok {
+			cached = s.verifyScored(ctx, a, s.Extract(a, ifc, ds))
+			s.mu.Lock()
+			s.cache[key] = cached
+			s.mu.Unlock()
+		} else if s.ledger != nil {
+			// The work was done under another attribute with the same
+			// label; replay the accepts so this attribute's instances
+			// stay attributable.
+			for _, c := range cached {
+				s.ledger.RecordCtx(ctx, obs.Decision{
+					Component: "surface", Verdict: "accept",
+					AttrID: a.ID, Label: a.Label, Value: c.Value,
+					Score: c.Score, Threshold: s.cfg.MinScore,
+					Detail: "cached discovery",
+				})
+			}
 		}
-		got := s.Verify(a, s.Extract(a, ifc, ds))
-		s.mu.Lock()
-		s.cache[key] = got
-		s.mu.Unlock()
-		out := make([]string, len(got))
-		copy(out, got)
-		return out
+		return candidateValues(cached)
 	}
-	cands := s.Extract(a, ifc, ds)
-	return s.Verify(a, cands)
+	return candidateValues(s.verifyScored(ctx, a, s.Extract(a, ifc, ds)))
+}
+
+// candidateValues copies out the candidate values, preserving nil for
+// an empty verification result (callers distinguish nil from empty).
+func candidateValues(cands []Candidate) []string {
+	if len(cands) == 0 {
+		return nil
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Value
+	}
+	return out
 }
 
 // Extract implements the instance-extraction phase (Figure 3.a) and
@@ -104,6 +140,14 @@ func (s *Surface) Extract(a *schema.Attribute, ifc *schema.Interface, ds *schema
 // outlier removal followed by Web validation, returning the top-K
 // values.
 func (s *Surface) Verify(a *schema.Attribute, cands []Candidate) []string {
+	return candidateValues(s.verifyScored(context.Background(), a, cands))
+}
+
+// verifyScored is the verification phase returning the surviving
+// candidates with their validation scores, recording each decision in
+// the ledger when one is installed. The returned values are identical
+// to the pre-ledger Verify in content and order.
+func (s *Surface) verifyScored(ctx context.Context, a *schema.Attribute, cands []Candidate) []Candidate {
 	if len(cands) == 0 {
 		return nil
 	}
@@ -112,7 +156,20 @@ func (s *Surface) Verify(a *schema.Attribute, cands []Candidate) []string {
 		values[i] = c.Value
 	}
 	if !s.cfg.SkipOutlierRemoval {
-		values = RemoveOutliers(values, s.cfg)
+		if s.ledger != nil {
+			var removed []string
+			values, removed = RemoveOutliersExplain(values, s.cfg)
+			for _, v := range removed {
+				s.ledger.RecordCtx(ctx, obs.Decision{
+					Component: "outlier", Verdict: "removed",
+					AttrID: a.ID, Label: a.Label, Value: v,
+					Threshold: s.cfg.OutlierSigma,
+					Detail:    "type filter / discordancy test",
+				})
+			}
+		} else {
+			values = RemoveOutliers(values, s.cfg)
+		}
 	}
 	if len(values) == 0 {
 		return nil
@@ -123,6 +180,14 @@ func (s *Surface) Verify(a *schema.Attribute, cands []Candidate) []string {
 	for _, v := range values {
 		sc := s.validator.Confidence(phrases, v)
 		if sc <= s.cfg.MinScore {
+			if s.ledger != nil {
+				s.ledger.RecordCtx(ctx, obs.Decision{
+					Component: "surface", Verdict: "reject",
+					AttrID: a.ID, Label: a.Label, Value: v,
+					Score: sc, Threshold: s.cfg.MinScore,
+					Detail: "PMI confidence below threshold",
+				})
+			}
 			continue
 		}
 		scored = append(scored, Candidate{Value: v, Score: sc})
@@ -136,13 +201,28 @@ func (s *Surface) Verify(a *schema.Attribute, cands []Candidate) []string {
 		limit = s.cfg.K
 	}
 	if len(scored) > limit {
+		if s.ledger != nil {
+			for _, c := range scored[limit:] {
+				s.ledger.RecordCtx(ctx, obs.Decision{
+					Component: "surface", Verdict: "reject",
+					AttrID: a.ID, Label: a.Label, Value: c.Value,
+					Score: c.Score, Threshold: s.cfg.MinScore,
+					Detail: "validated but over the acquisition cap",
+				})
+			}
+		}
 		scored = scored[:limit]
 	}
-	out := make([]string, len(scored))
-	for i, c := range scored {
-		out[i] = c.Value
+	if s.ledger != nil {
+		for _, c := range scored {
+			s.ledger.RecordCtx(ctx, obs.Decision{
+				Component: "surface", Verdict: "accept",
+				AttrID: a.ID, Label: a.Label, Value: c.Value,
+				Score: c.Score, Threshold: s.cfg.MinScore,
+			})
+		}
 	}
-	return out
+	return scored
 }
 
 // rejectCandidate drops degenerate candidates: the label itself, label
