@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-gate check lint explain-demo
+.PHONY: build vet test race bench bench-json bench-gate check lint explain-demo chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,21 @@ lint: vet
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+
+# Chaos suite: drive the full pipeline through every fault profile
+# under the race detector, twice, plus the resilience primitives
+# (retry/breaker/bulkhead), cancellation, and admission/drain tests.
+# -count=2 catches state leaking between runs (stuck breakers, cache
+# poisoning by injected errors) that a single pass hides.
+chaos:
+	$(GO) test -race -count=2 -timeout 20m \
+		-run 'Chaos|Injector|Retrier|Breaker|Bulkhead|Client|Admission|ServerDrain|ParallelForCtx|AcquireAllCtx' \
+		./internal/resilience/ ./internal/webiq/ ./internal/server/
+
+# Short fuzz pass over the deep-web response-analysis heuristics,
+# seeded with the injector's malformed-page corpus.
+fuzz:
+	$(GO) test -fuzz FuzzAnalyzeResponse -fuzztime 30s ./internal/deepweb/
 
 # Provenance smoke test: boot the server, build a domain's unified
 # interface, and assert every instance is attributed with evidence via

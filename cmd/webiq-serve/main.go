@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"webiq/internal/resilience"
 	"webiq/internal/server"
 )
 
@@ -36,10 +37,31 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	slow := flag.Duration("slow", 0, "log requests at or above this duration as NDJSON lines (with trace IDs) to stderr; 0 disables")
+	faults := flag.String("faults", "", "inject the named fault profile into the pipeline backends (p10, p30, latency2x, burst, malformed)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-injection stream")
+	maxInflight := flag.Int("max-inflight", 0, "bound concurrent requests (admission control); 0 disables")
+	queue := flag.Int("queue", 16, "requests allowed to wait for an admission slot before shedding with 503")
 	flag.Parse()
 
+	var opts []server.Option
+	if *faults != "" {
+		prof, err := resilience.ProfileByName(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, server.WithFaultProfile(prof, *faultSeed))
+		log.Printf("fault injection on: profile %s, seed %d", prof.Name, *faultSeed)
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, server.WithAdmission(server.AdmissionConfig{
+			MaxInFlight: *maxInflight,
+			MaxQueued:   *queue,
+		}))
+		log.Printf("admission control on: %d in flight, %d queued", *maxInflight, *queue)
+	}
+
 	start := time.Now()
-	srv := server.New(*seed)
+	srv := server.New(*seed, opts...)
 	if *slow > 0 {
 		srv.SetSlowLog(os.Stderr, *slow)
 	}
@@ -76,6 +98,10 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills us
 		log.Printf("signal received; draining for up to %v", *drain)
+		// Flip /readyz to 503 and shed new arrivals before closing
+		// listeners, so load balancers see us leave the rotation while
+		// in-flight and queued requests finish inside the drain window.
+		srv.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"webiq/internal/kb"
 	"webiq/internal/matcher"
 	"webiq/internal/obs"
+	"webiq/internal/resilience"
 	"webiq/internal/schema"
 	"webiq/internal/surfaceweb"
 	"webiq/internal/webiq"
@@ -60,6 +62,8 @@ func main() {
 	learn := flag.Int("learn-tau", 0, "learn the threshold interactively with this question budget (0 = use -tau)")
 	queryCache := flag.Bool("query-cache", true, "deduplicate repeated search-engine queries through the sharded query cache (results are identical; raw and deduplicated costs are both reported)")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel acquisition phases and the matcher's similarity matrix (0 = sequential acquisition, GOMAXPROCS matcher)")
+	faults := flag.String("faults", "", "inject the named fault profile into the pipeline backends (p10, p30, latency2x, burst, malformed); the run degrades gracefully and reports what it gave up")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-injection stream")
 	flag.Parse()
 
 	dom := kb.DomainByKey(*domainFlag)
@@ -125,6 +129,27 @@ func main() {
 		func() (time.Duration, int) { return engine.VirtualTime(), engine.QueryCount() },
 		func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
 	)
+	if *faults != "" {
+		prof, err := resilience.ProfileByName(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj := resilience.NewInjector(prof, *faultSeed)
+		fe := resilience.NewEngineClient(
+			resilience.FaultyEngine(resilience.AdaptEngine(se), inj),
+			resilience.ClientOptions{Seed: *faultSeed})
+		fs := resilience.NewSourceClient(
+			resilience.FaultySource(resilience.ProbeFunc(func(ifcID, attrID, value string) (string, error) {
+				src := pool.Source(ifcID)
+				if src == nil {
+					return "", resilience.ErrUnknownSource
+				}
+				return src.Probe(attrID, value), nil
+			}), inj),
+			resilience.ClientOptions{Seed: *faultSeed})
+		acq.SetFallible(fe, fs)
+		fmt.Printf("Fault injection on: profile %s, seed %d (retry + circuit breaker active)\n", prof.Name, *faultSeed)
+	}
 
 	var reg *obs.Registry
 	if *metricsDump {
@@ -195,6 +220,25 @@ func main() {
 			raw, cache.Hits(), hitRate, cache.RawVirtualTime().Minutes())
 	}
 	fmt.Printf("Acquisition success rate on instance-less attributes: %.1f%%\n\n", rep.SuccessRate())
+	if len(rep.Degradations) > 0 || rep.Interrupted != nil {
+		counts := map[string]int{}
+		for _, d := range rep.Degradations {
+			counts[d.Stage+"/"+d.Reason]++
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("Degraded gracefully %d times:\n", len(rep.Degradations))
+		for _, k := range keys {
+			fmt.Printf("  %-32s %d\n", k, counts[k])
+		}
+		if rep.Interrupted != nil {
+			fmt.Printf("  acquisition interrupted early: %v\n", rep.Interrupted)
+		}
+		fmt.Println()
+	}
 
 	if *verbose {
 		for _, o := range rep.Outcomes {

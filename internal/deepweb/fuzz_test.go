@@ -1,0 +1,52 @@
+package deepweb
+
+import (
+	"strings"
+	"testing"
+
+	"webiq/internal/resilience"
+)
+
+// FuzzAnalyzeResponse feeds AnalyzeResponse arbitrary (often truncated
+// or malformed) response pages. The fault injector substitutes exactly
+// this kind of garbage for real probe pages, so the classifier must
+// never panic on it, and the explicit-count heuristic must stay sane
+// even when the count would overflow an int.
+func FuzzAnalyzeResponse(f *testing.F) {
+	for _, page := range resilience.MalformedPages {
+		f.Add(page)
+	}
+	// Well-formed pages, so mutations also explore the success paths.
+	f.Add("<html><body><p>Found 12 results</p><ul><li>a</li></ul></body></html>")
+	f.Add("<html><body><p>No results found.</p></body></html>")
+	f.Add("<html><body>Showing 1-10 of 40</body></html>")
+	f.Add("found 0 results")
+
+	f.Fuzz(func(t *testing.T, page string) {
+		got := AnalyzeResponse(page)
+		if again := AnalyzeResponse(page); again != got {
+			t.Fatalf("AnalyzeResponse not deterministic: %v then %v", got, again)
+		}
+		p := strings.ToLower(page)
+		if n, ok := resultCount(p); ok {
+			if n < 0 {
+				t.Fatalf("resultCount(%q) = %d, want >= 0", page, n)
+			}
+			if got != (n > 0) {
+				t.Fatalf("AnalyzeResponse(%q) = %v, but explicit count %d should decide", page, got, n)
+			}
+		}
+	})
+}
+
+// TestResultCountSaturates pins the overflow fix: absurd counts
+// saturate instead of wrapping negative.
+func TestResultCountSaturates(t *testing.T) {
+	n, ok := resultCount("found 99999999999999999999 results")
+	if !ok || n <= 0 {
+		t.Fatalf("resultCount = %d, %v; want a large positive count", n, ok)
+	}
+	if !AnalyzeResponse("Found 99999999999999999999 results") {
+		t.Fatal("a huge explicit count should classify as success")
+	}
+}

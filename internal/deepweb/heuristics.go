@@ -59,7 +59,11 @@ func resultCount(p string) (int, bool) {
 	n := 0
 	digits := 0
 	for digits < len(rest) && rest[digits] >= '0' && rest[digits] <= '9' {
-		n = n*10 + int(rest[digits]-'0')
+		// Saturate instead of overflowing: any count this large is
+		// "many" for the success/failure call either way.
+		if n < 1<<40 {
+			n = n*10 + int(rest[digits]-'0')
+		}
 		digits++
 	}
 	if digits == 0 || !strings.HasPrefix(strings.TrimSpace(rest[digits:]), "result") {

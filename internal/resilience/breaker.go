@@ -1,0 +1,195 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"webiq/internal/obs"
+)
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int
+
+// Breaker states. The numeric values are exported on the
+// webiq_breaker_state gauge: 0 closed (healthy), 1 half-open
+// (probing), 2 open (failing fast).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// open.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent trial calls the half-open
+	// state admits.
+	HalfOpenProbes int
+}
+
+// DefaultBreakerConfig is used by the resilient clients when the caller
+// leaves the config zero.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{FailureThreshold: 5, Cooldown: 250 * time.Millisecond, HalfOpenProbes: 1}
+}
+
+// Breaker is a per-backend circuit breaker: closed until
+// FailureThreshold consecutive failures, then open (failing fast with
+// ErrBreakerOpen) for Cooldown, then half-open admitting
+// HalfOpenProbes trial calls — one success closes it, one failure
+// re-opens it.
+type Breaker struct {
+	cfg   BreakerConfig
+	clock Clock
+
+	mu           sync.Mutex
+	state        BreakerState
+	fails        int
+	openedAt     time.Time
+	halfInFlight int
+
+	// Optional metrics (nil-safe).
+	gState       *obs.Gauge
+	cTransitions stateCounter
+}
+
+// stateCounter is the metric slice the breaker bumps on transitions;
+// the clients curry their backend label into it.
+type stateCounter interface {
+	With(state string) *obs.Counter
+}
+
+// NewBreaker returns a closed breaker; a zero config takes the
+// defaults, a nil clock the real one.
+func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg = DefaultBreakerConfig()
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Breaker{cfg: cfg, clock: clock}
+}
+
+// instrument installs the state gauge and transition counter (nil-safe;
+// called by the clients).
+func (b *Breaker) instrument(g *obs.Gauge, c stateCounter) {
+	b.mu.Lock()
+	b.gState = g
+	b.cTransitions = c
+	b.gState.Set(float64(b.state))
+	b.mu.Unlock()
+}
+
+// transition moves the breaker to s under b.mu.
+func (b *Breaker) transition(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.gState.Set(float64(s))
+	if b.cTransitions != nil {
+		b.cTransitions.With(s.String()).Inc()
+	}
+}
+
+// Allow asks permission for one call. It returns ErrBreakerOpen while
+// the breaker is open (cooldown not yet elapsed) or while the half-open
+// probe quota is in use. A granted call MUST be reported via Record.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ErrBreakerOpen
+		}
+		b.transition(BreakerHalfOpen)
+		b.halfInFlight = 1
+		return nil
+	default: // half-open
+		if b.halfInFlight >= b.cfg.HalfOpenProbes {
+			return ErrBreakerOpen
+		}
+		b.halfInFlight++
+		return nil
+	}
+}
+
+// Record reports the outcome of a call admitted by Allow. Context
+// cancellation is neutral: it neither trips nor heals the breaker.
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	failed := err != nil && Retryable(err)
+	neutral := err != nil && !failed
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.halfInFlight > 0 {
+			b.halfInFlight--
+		}
+		if neutral {
+			return
+		}
+		if failed {
+			b.transition(BreakerOpen)
+			b.openedAt = b.clock.Now()
+			b.fails = b.cfg.FailureThreshold
+			return
+		}
+		b.transition(BreakerClosed)
+		b.fails = 0
+	case BreakerClosed:
+		if neutral {
+			return
+		}
+		if !failed {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.transition(BreakerOpen)
+			b.openedAt = b.clock.Now()
+		}
+	}
+}
+
+// State returns the current state (refreshing an elapsed cooldown is
+// left to the next Allow).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

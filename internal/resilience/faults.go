@@ -1,0 +1,296 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"webiq/internal/surfaceweb"
+)
+
+// BackendFaults are the fault rates one backend suffers under a
+// Profile. All rates are probabilities in [0, 1], drawn independently
+// per call from the injector's deterministic stream.
+type BackendFaults struct {
+	// ErrorRate is the probability of a transient error (ErrTransient).
+	ErrorRate float64
+	// TimeoutRate is the probability of a hard timeout (ErrTimeout).
+	TimeoutRate float64
+	// Latency, when positive, is injected into every call (scaled by a
+	// deterministic per-call factor in [1, 2)); LatencyFactor multiplies
+	// it. The injector's sleeper honors context cancellation.
+	Latency time.Duration
+	// LatencyFactor scales Latency (2 means "2x latency" chaos).
+	LatencyFactor float64
+	// TruncateRate (search only) is the probability the snippet list is
+	// cut to its first half — the truncated result pages an AMBER-style
+	// extractor must survive.
+	TruncateRate float64
+	// MalformedRate (probe only) is the probability the response page is
+	// replaced by a malformed/empty page from MalformedPages — the messy
+	// pages response-analysis heuristics must classify, never choke on.
+	MalformedRate float64
+	// BurstEvery/BurstLen, when positive, fail BurstLen consecutive
+	// calls out of every BurstEvery — a deterministic failure burst that
+	// trips circuit breakers.
+	BurstEvery, BurstLen int
+}
+
+// Profile names a full fault configuration for both backends.
+type Profile struct {
+	Name   string
+	Search BackendFaults
+	Deep   BackendFaults
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p Profile) Enabled() bool {
+	z := BackendFaults{}
+	return p.Search != z || p.Deep != z
+}
+
+// Profiles are the named fault profiles selectable with the CLIs'
+// -faults flag and the chaos suite's tables.
+var Profiles = map[string]Profile{
+	"p10": {
+		Name:   "p10",
+		Search: BackendFaults{ErrorRate: 0.10, TimeoutRate: 0.02, TruncateRate: 0.05},
+		Deep:   BackendFaults{ErrorRate: 0.10, TimeoutRate: 0.02, MalformedRate: 0.05},
+	},
+	"p30": {
+		Name:   "p30",
+		Search: BackendFaults{ErrorRate: 0.30, TimeoutRate: 0.05, TruncateRate: 0.10},
+		Deep:   BackendFaults{ErrorRate: 0.30, TimeoutRate: 0.05, MalformedRate: 0.10},
+	},
+	"latency2x": {
+		Name:   "latency2x",
+		Search: BackendFaults{Latency: 100 * time.Microsecond, LatencyFactor: 2},
+		Deep:   BackendFaults{Latency: 100 * time.Microsecond, LatencyFactor: 2},
+	},
+	"burst": {
+		Name:   "burst",
+		Search: BackendFaults{BurstEvery: 40, BurstLen: 12},
+		Deep:   BackendFaults{BurstEvery: 40, BurstLen: 12},
+	},
+	"malformed": {
+		Name: "malformed",
+		Deep: BackendFaults{MalformedRate: 0.5},
+	},
+}
+
+// ProfileByName resolves a named profile, listing the known names on
+// failure.
+func ProfileByName(name string) (Profile, error) {
+	if p, ok := Profiles[name]; ok {
+		return p, nil
+	}
+	names := make([]string, 0, len(Profiles))
+	for n := range Profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return Profile{}, fmt.Errorf("resilience: unknown fault profile %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// MalformedPages is the corpus of truncated, malformed, and empty
+// response pages the injector substitutes for real probe responses.
+// It doubles as the seed corpus of the deepweb response-analysis fuzz
+// test: every page here must classify (as anything) without panicking.
+var MalformedPages = []string{
+	"",
+	"<html",
+	"<html><body><ul><li",
+	"<html><body><p>Found",
+	"found  results",
+	"found 99999999999999999999 results",
+	"<<<>>>",
+	"\x00\xff\xfe garbage \x80",
+	"<html><title></title><body></body></html>",
+	"<html><body><p>Found -3 results</p></body></html>",
+	strings.Repeat("<li>", 4096),
+	"<html><body><p>Internal Server Error</p></body></html>",
+}
+
+// Injector draws faults deterministically from a seed: the decision for
+// a call depends only on (seed, backend, call key, per-key attempt
+// number), never on wall time or goroutine interleaving across distinct
+// keys. Retries of one key therefore see fresh draws (a fault is
+// transient, not sticky), while two runs with the same seed and the
+// same per-key call orders fault identically — the property the chaos
+// suite's byte-identical-ledger test asserts.
+type Injector struct {
+	prof  Profile
+	seed  int64
+	clock Clock
+
+	mu       sync.Mutex
+	attempts map[string]int
+	calls    map[string]int
+}
+
+// NewInjector returns an injector for the profile, drawing from seed.
+func NewInjector(prof Profile, seed int64) *Injector {
+	return &Injector{
+		prof:     prof,
+		seed:     seed,
+		clock:    RealClock{},
+		attempts: map[string]int{},
+		calls:    map[string]int{},
+	}
+}
+
+// SetClock overrides the clock used for injected latency (tests).
+func (in *Injector) SetClock(c Clock) { in.clock = c }
+
+// next claims the attempt number for key and the global call index for
+// the backend.
+func (in *Injector) next(backend, key string) (attempt, call int) {
+	in.mu.Lock()
+	attempt = in.attempts[backend+"\xff"+key]
+	in.attempts[backend+"\xff"+key] = attempt + 1
+	call = in.calls[backend]
+	in.calls[backend] = call + 1
+	in.mu.Unlock()
+	return attempt, call
+}
+
+// roll returns a deterministic uniform draw in [0, 1) for one fault
+// dimension of one call.
+func (in *Injector) roll(backend, key string, attempt int, dim string) float64 {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	mixU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(backend)
+	mix(key)
+	mix(dim)
+	mixU64(uint64(in.seed))
+	mixU64(uint64(attempt))
+	// FNV alone distributes small integer suffixes poorly; a
+	// murmur3-style finalizer makes the top bits uniform.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return float64(h>>11) / float64(1<<53)
+}
+
+// inject applies the error-shaped faults (burst, transient, timeout,
+// latency) for one call, returning a non-nil error when the call
+// should fail. Payload-shaped faults (truncation, malformed pages) are
+// applied by the callers on the successful path.
+func (in *Injector) inject(ctx context.Context, backend, key string, bf BackendFaults) (attempt int, err error) {
+	attempt, call := in.next(backend, key)
+	if bf.BurstEvery > 0 && bf.BurstLen > 0 && call%bf.BurstEvery < bf.BurstLen {
+		return attempt, &faultErr{sentinel: ErrTransient, backend: backend, key: key}
+	}
+	if bf.ErrorRate > 0 && in.roll(backend, key, attempt, "err") < bf.ErrorRate {
+		return attempt, &faultErr{sentinel: ErrTransient, backend: backend, key: key}
+	}
+	if bf.TimeoutRate > 0 && in.roll(backend, key, attempt, "timeout") < bf.TimeoutRate {
+		return attempt, &faultErr{sentinel: ErrTimeout, backend: backend, key: key}
+	}
+	if bf.Latency > 0 {
+		factor := 1 + in.roll(backend, key, attempt, "lat")
+		if bf.LatencyFactor > 1 {
+			factor *= bf.LatencyFactor
+		}
+		d := time.Duration(float64(bf.Latency) * factor)
+		if err := in.clock.Sleep(ctx, d); err != nil {
+			return attempt, err
+		}
+	}
+	return attempt, ctx.Err()
+}
+
+// FaultyEngine wraps a FallibleEngine with the injector's Search
+// faults.
+func FaultyEngine(inner FallibleEngine, in *Injector) FallibleEngine {
+	return &faultyEngine{inner: inner, in: in}
+}
+
+type faultyEngine struct {
+	inner FallibleEngine
+	in    *Injector
+}
+
+func (f *faultyEngine) Search(ctx context.Context, query string, limit int) ([]surfaceweb.Snippet, error) {
+	bf := f.in.prof.Search
+	attempt, err := f.in.inject(ctx, "search", query, bf)
+	if err != nil {
+		return nil, err
+	}
+	snips, err := f.inner.Search(ctx, query, limit)
+	if err != nil {
+		return nil, err
+	}
+	if bf.TruncateRate > 0 && len(snips) > 1 && f.in.roll("search", query, attempt, "trunc") < bf.TruncateRate {
+		snips = snips[:len(snips)/2]
+	}
+	return snips, nil
+}
+
+func (f *faultyEngine) NumHits(ctx context.Context, query string) (int, error) {
+	if _, err := f.in.inject(ctx, "hits", query, f.in.prof.Search); err != nil {
+		return 0, err
+	}
+	return f.inner.NumHits(ctx, query)
+}
+
+// FaultySource wraps a FallibleSource with the injector's probe faults.
+func FaultySource(inner FallibleSource, in *Injector) FallibleSource {
+	return &faultySource{inner: inner, in: in}
+}
+
+type faultySource struct {
+	inner FallibleSource
+	in    *Injector
+}
+
+func (f *faultySource) Probe(ctx context.Context, interfaceID, attrID, value string) (string, error) {
+	bf := f.in.prof.Deep
+	key := interfaceID + "|" + attrID + "|" + value
+	attempt, err := f.in.inject(ctx, "probe", key, bf)
+	if err != nil {
+		return "", err
+	}
+	page, err := f.inner.Probe(ctx, interfaceID, attrID, value)
+	if err != nil {
+		return "", err
+	}
+	if bf.MalformedRate > 0 && f.in.roll("probe", key, attempt, "mal") < bf.MalformedRate {
+		idx := int(in31(f.in.roll("probe", key, attempt, "pick")) * float64(len(MalformedPages)))
+		if idx >= len(MalformedPages) {
+			idx = len(MalformedPages) - 1
+		}
+		return MalformedPages[idx], nil
+	}
+	return page, nil
+}
+
+// in31 clamps a uniform draw defensively into [0, 1).
+func in31(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 0.999999
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"webiq/internal/obs"
+)
+
+// RetryPolicy bounds the retry loop: up to MaxAttempts calls, with
+// exponential backoff (BaseDelay doubled per attempt, capped at
+// MaxDelay) and full jitter — the actual delay is uniform in
+// [0, backoff), the AWS-recommended variant that decorrelates
+// synchronized retries across callers.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+}
+
+// DefaultRetryPolicy is used by the resilient clients when the caller
+// leaves the policy zero.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+}
+
+// Retrier runs calls under a RetryPolicy with a deterministic jitter
+// stream (seeded rand) and a pluggable clock, so tests replay the exact
+// same delays.
+type Retrier struct {
+	pol   RetryPolicy
+	clock Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// retries, when set, counts every re-attempt (not first attempts).
+	retries *obs.Counter
+}
+
+// NewRetrier returns a retrier; a zero policy takes the defaults, a nil
+// clock the real one.
+func NewRetrier(pol RetryPolicy, clock Clock, seed int64) *Retrier {
+	if pol.MaxAttempts <= 0 {
+		pol = DefaultRetryPolicy()
+	}
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Retrier{pol: pol, clock: clock, rng: rand.New(rand.NewSource(seed))}
+}
+
+// setRetryCounter installs the retry metric (nil-safe).
+func (r *Retrier) setRetryCounter(c *obs.Counter) { r.retries = c }
+
+// Do runs fn until it succeeds, fails terminally (non-retryable error),
+// exhausts the attempt budget, or the context is done. The returned
+// error is fn's last error (or the context's).
+func (r *Retrier) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	var err error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if serr := r.clock.Sleep(ctx, r.delay(attempt-1)); serr != nil {
+				return serr
+			}
+			r.retries.Inc()
+		}
+		err = fn(ctx)
+		if err == nil || !Retryable(err) {
+			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
+}
+
+// delay computes the full-jitter backoff for the given completed
+// attempt count.
+func (r *Retrier) delay(attempt int) time.Duration {
+	backoff := r.pol.BaseDelay << uint(attempt)
+	if r.pol.MaxDelay > 0 && backoff > r.pol.MaxDelay {
+		backoff = r.pol.MaxDelay
+	}
+	if backoff <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	d := time.Duration(r.rng.Int63n(int64(backoff)))
+	r.mu.Unlock()
+	return d
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"webiq/internal/obs"
+)
+
+// AdmissionConfig bounds how much concurrent work the server accepts.
+// Requests beyond MaxInFlight wait in a bounded queue; requests beyond
+// the queue are shed immediately with 503 + Retry-After, so an
+// overloaded (or fault-degraded, hence slow) pipeline turns excess load
+// into fast, explicit rejections instead of piling up goroutines.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of requests served concurrently;
+	// <= 0 disables admission control entirely.
+	MaxInFlight int
+	// MaxQueued is how many requests may wait for a slot; <= 0 sheds
+	// as soon as every slot is busy.
+	MaxQueued int
+	// RetryAfter is the Retry-After hint attached to shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+// admission is the bounded admission queue. A nil *admission admits
+// everything.
+type admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+
+	queued   atomic.Int64
+	draining atomic.Bool
+
+	// Metrics (nil-safe).
+	mShed     *obs.CounterVec // reason: queue-full, draining
+	gInFlight *obs.Gauge
+	gQueued   *obs.Gauge
+}
+
+// newAdmission returns an admission queue, or nil when cfg disables it.
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.MaxInFlight <= 0 {
+		return nil
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &admission{cfg: cfg, slots: make(chan struct{}, cfg.MaxInFlight)}
+}
+
+// instrument registers the admission metrics on r (nil-safe).
+func (a *admission) instrument(r *obs.Registry) {
+	if a == nil {
+		return
+	}
+	a.mShed = r.CounterVec("webiq_admission_shed_total", "Requests shed by the admission queue, by reason.", "reason")
+	a.gInFlight = r.Gauge("webiq_admission_in_flight", "Requests currently holding an admission slot.")
+	a.gQueued = r.Gauge("webiq_admission_queued", "Requests currently waiting for an admission slot.")
+}
+
+// beginDrain stops admitting new requests: arrivals are shed with 503
+// while already-queued and in-flight requests run to completion.
+func (a *admission) beginDrain() {
+	if a == nil {
+		return
+	}
+	a.draining.Store(true)
+}
+
+// isDraining reports whether beginDrain was called.
+func (a *admission) isDraining() bool { return a != nil && a.draining.Load() }
+
+// stats snapshots the queue state for /stats.
+func (a *admission) stats() (inFlight, queued, capacity, queueCap int, draining bool) {
+	if a == nil {
+		return 0, 0, 0, 0, false
+	}
+	return len(a.slots), int(a.queued.Load()), a.cfg.MaxInFlight, a.cfg.MaxQueued, a.draining.Load()
+}
+
+// shed writes the 503 + Retry-After rejection.
+func (a *admission) shed(w http.ResponseWriter, reason string) {
+	a.mShed.With(reason).Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int((a.cfg.RetryAfter+time.Second-1)/time.Second)))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write([]byte(`{"error":"server overloaded, retry later","reason":"` + reason + `"}` + "\n"))
+}
+
+// wrap applies admission control to h. Operational endpoints (health,
+// readiness, metrics) bypass the queue in the caller, so they stay
+// observable exactly when the queue is the interesting signal.
+func (a *admission) wrap(h http.Handler) http.Handler {
+	if a == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if a.draining.Load() {
+			a.shed(w, "draining")
+			return
+		}
+		select {
+		case a.slots <- struct{}{}:
+			// Fast path: a slot is free.
+		default:
+			// Reserve a queue place atomically; overshoot backs out.
+			if q := a.queued.Add(1); int(q) > a.cfg.MaxQueued {
+				a.queued.Add(-1)
+				a.shed(w, "queue-full")
+				return
+			}
+			a.gQueued.Set(float64(a.queued.Load()))
+			select {
+			case a.slots <- struct{}{}:
+				a.queued.Add(-1)
+				a.gQueued.Set(float64(a.queued.Load()))
+			case <-r.Context().Done():
+				a.queued.Add(-1)
+				a.gQueued.Set(float64(a.queued.Load()))
+				// The client is gone; 503 is the least-wrong status
+				// for whoever is still listening.
+				a.shed(w, "canceled")
+				return
+			}
+		}
+		a.gInFlight.Set(float64(len(a.slots)))
+		defer func() {
+			<-a.slots
+			a.gInFlight.Set(float64(len(a.slots)))
+		}()
+		h.ServeHTTP(w, r)
+	})
+}

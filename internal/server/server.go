@@ -40,6 +40,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webiq/internal/dataset"
@@ -48,6 +49,7 @@ import (
 	"webiq/internal/kb"
 	"webiq/internal/matcher"
 	"webiq/internal/obs"
+	"webiq/internal/resilience"
 	"webiq/internal/schema"
 	"webiq/internal/surfaceweb"
 	"webiq/internal/translate"
@@ -66,14 +68,46 @@ type Server struct {
 	ready   *obs.GaugeVec   // webiq_unified_ready{domain}
 	builds  *obs.CounterVec // webiq_unified_builds_total{domain}
 
-	mu          sync.Mutex
-	datasets    map[string]*schema.Dataset
-	pools       map[string]*deepweb.Pool
-	unified     map[string]*unify.UnifiedInterface
-	translators map[string]*translate.Translator
-	ledgers     map[string]*obs.Ledger
-	buildTrace  map[string]string
-	building    map[string]*unifiedBuild
+	// Admission control and fault injection (see Options); nil/zero
+	// when the corresponding option is absent.
+	adm       *admission
+	faults    resilience.Profile
+	faultSeed int64
+	engClient *resilience.EngineClient
+	srcClient *resilience.SourceClient
+	draining  atomic.Bool
+
+	mu           sync.Mutex
+	datasets     map[string]*schema.Dataset
+	pools        map[string]*deepweb.Pool
+	unified      map[string]*unify.UnifiedInterface
+	translators  map[string]*translate.Translator
+	ledgers      map[string]*obs.Ledger
+	buildTrace   map[string]string
+	building     map[string]*unifiedBuild
+	degradations map[string][]iq.Degradation
+}
+
+// Option configures optional server subsystems.
+type Option func(*Server)
+
+// WithAdmission enables the bounded admission queue: up to
+// cfg.MaxInFlight requests run concurrently, up to cfg.MaxQueued wait,
+// and the rest are shed with 503 + Retry-After. Operational endpoints
+// (/healthz, /readyz, /metrics) bypass the queue.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.adm = newAdmission(cfg) }
+}
+
+// WithFaultProfile injects the named fault profile into the pipeline's
+// backends, wrapped in the resilient clients (retry + circuit breaker):
+// unified-interface builds then exercise the full degradation path. The
+// seed drives the deterministic fault stream.
+func WithFaultProfile(prof resilience.Profile, seed int64) Option {
+	return func(s *Server) {
+		s.faults = prof
+		s.faultSeed = seed
+	}
 }
 
 // unifiedBuild is one in-flight lazy build; waiters block on done
@@ -88,19 +122,23 @@ type unifiedBuild struct {
 // the Surface-Web corpus used when a unified interface is requested
 // (acquisition runs lazily, once per domain, under per-domain
 // singleflight).
-func New(seed int64) *Server {
+func New(seed int64, opts ...Option) *Server {
 	s := &Server{
-		mux:         http.NewServeMux(),
-		domains:     kb.Domains(),
-		engine:      surfaceweb.NewEngine(),
-		reg:         obs.NewRegistry(),
-		datasets:    map[string]*schema.Dataset{},
-		pools:       map[string]*deepweb.Pool{},
-		unified:     map[string]*unify.UnifiedInterface{},
-		translators: map[string]*translate.Translator{},
-		ledgers:     map[string]*obs.Ledger{},
-		buildTrace:  map[string]string{},
-		building:    map[string]*unifiedBuild{},
+		mux:          http.NewServeMux(),
+		domains:      kb.Domains(),
+		engine:       surfaceweb.NewEngine(),
+		reg:          obs.NewRegistry(),
+		datasets:     map[string]*schema.Dataset{},
+		pools:        map[string]*deepweb.Pool{},
+		unified:      map[string]*unify.UnifiedInterface{},
+		translators:  map[string]*translate.Translator{},
+		ledgers:      map[string]*obs.Ledger{},
+		buildTrace:   map[string]string{},
+		building:     map[string]*unifiedBuild{},
+		degradations: map[string][]iq.Degradation{},
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.tracer = obs.NewTracer(nil)
 	s.engine.Instrument(s.reg)
@@ -123,18 +161,65 @@ func New(seed int64) *Server {
 		s.ready.With(dom.Key).Set(0)
 	}
 
+	if s.faults.Enabled() {
+		inj := resilience.NewInjector(s.faults, s.faultSeed)
+		s.engClient = resilience.NewEngineClient(
+			resilience.FaultyEngine(resilience.AdaptEngine(s.engine), inj),
+			resilience.ClientOptions{Seed: s.faultSeed})
+		s.engClient.Instrument(s.reg)
+		s.srcClient = resilience.NewSourceClient(
+			resilience.FaultySource(resilience.ProbeFunc(s.probePool), inj),
+			resilience.ClientOptions{Seed: s.faultSeed})
+		s.srcClient.Instrument(s.reg)
+	}
+	s.adm.instrument(s.reg)
+
 	s.httpm = obs.NewHTTPMetrics(s.reg)
 	s.httpm.SetTracer(s.tracer)
-	s.mux.Handle("/", s.httpm.WrapFunc("index", s.handleIndex))
-	s.mux.Handle("/sources", s.httpm.WrapFunc("sources", s.handleSources))
-	s.mux.Handle("/source/", s.httpm.WrapFunc("source", s.handleSource))
-	s.mux.Handle("/unified/", s.httpm.WrapFunc("unified", s.handleUnified))
-	s.mux.Handle("/trace/", s.httpm.WrapFunc("trace", s.handleTrace))
+	// Operational endpoints (health, readiness, stats, metrics) bypass
+	// the admission queue: they must stay reachable exactly when the
+	// queue is full or draining.
+	adm := func(h http.Handler) http.Handler { return s.adm.wrap(h) }
+	s.mux.Handle("/", adm(s.httpm.WrapFunc("index", s.handleIndex)))
+	s.mux.Handle("/sources", adm(s.httpm.WrapFunc("sources", s.handleSources)))
+	s.mux.Handle("/source/", adm(s.httpm.WrapFunc("source", s.handleSource)))
+	s.mux.Handle("/unified/", adm(s.httpm.WrapFunc("unified", s.handleUnified)))
+	s.mux.Handle("/trace/", adm(s.httpm.WrapFunc("trace", s.handleTrace)))
 	s.mux.Handle("/healthz", s.httpm.WrapFunc("healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.httpm.WrapFunc("readyz", s.handleReadyz))
 	s.mux.Handle("/stats", s.httpm.WrapFunc("stats", s.handleStats))
 	s.mux.Handle("/metrics", s.httpm.Wrap("metrics", s.reg.Handler()))
 	return s
+}
+
+// probePool routes a deep-web probe to the owning domain's pool; it is
+// the infallible bottom of the resilient source-client chain.
+func (s *Server) probePool(ifcID, attrID, value string) (string, error) {
+	domain := ifcID
+	if i := strings.IndexByte(ifcID, '/'); i >= 0 {
+		domain = ifcID[:i]
+	}
+	s.mu.Lock()
+	pool := s.pools[domain]
+	s.mu.Unlock()
+	if pool == nil {
+		return "", resilience.ErrUnknownSource
+	}
+	src := pool.Source(ifcID)
+	if src == nil {
+		return "", resilience.ErrUnknownSource
+	}
+	return src.Probe(attrID, value), nil
+}
+
+// BeginDrain flips the server into draining: /readyz answers 503, new
+// requests are shed with 503 + Retry-After (when admission control is
+// on), and queued plus in-flight requests run to completion. Call it
+// before http.Server.Shutdown so load balancers stop sending traffic
+// while the drain window runs.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.adm.beginDrain()
 }
 
 // Registry exposes the server's metric registry (e.g. for tests or for
@@ -380,7 +465,10 @@ func (s *Server) buildUnified(ctx context.Context, domain string) (*unify.Unifie
 		func() (time.Duration, int) { return s.engine.VirtualTime(), s.engine.QueryCount() },
 		func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
 	)
-	acq.AcquireAllCtx(ctx, ds)
+	if s.engClient != nil {
+		acq.SetFallible(s.engClient, s.srcClient)
+	}
+	rep := acq.AcquireAllCtx(ctx, ds)
 	m := matcher.New(matcher.DefaultConfig())
 	m.Instrument(s.reg)
 	m.SetSpanTracer(s.tracer)
@@ -393,6 +481,7 @@ func (s *Server) buildUnified(ctx context.Context, domain string) (*unify.Unifie
 	s.translators[domain] = translate.New(u, ds, pool)
 	s.ledgers[domain] = ledger
 	s.buildTrace[domain] = traceID
+	s.degradations[domain] = rep.Degradations
 	s.mu.Unlock()
 	s.builds.With(domain).Inc()
 	s.ready.With(domain).Set(1)
@@ -423,8 +512,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // readyzInfo is the /readyz JSON shape.
 type readyzInfo struct {
-	Ready   bool            `json:"ready"`
-	Domains map[string]bool `json:"domains"`
+	Ready    bool            `json:"ready"`
+	Draining bool            `json:"draining,omitempty"`
+	Domains  map[string]bool `json:"domains"`
 }
 
 // handleReadyz reports per-domain acquisition state: with ?domain=d it
@@ -434,8 +524,9 @@ type readyzInfo struct {
 // domain parameter it reports every domain and is ready only when all
 // are built.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
 	s.mu.Lock()
-	info := readyzInfo{Ready: true, Domains: make(map[string]bool, len(s.datasets))}
+	info := readyzInfo{Ready: !draining, Draining: draining, Domains: make(map[string]bool, len(s.datasets))}
 	for k := range s.datasets {
 		_, built := s.unified[k]
 		info.Domains[k] = built
@@ -450,10 +541,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			http.NotFound(w, r)
 			return
 		}
-		if !built {
+		ready := built && !draining
+		if !ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		writeJSON(w, readyzInfo{Ready: built, Domains: map[string]bool{d: built}})
+		writeJSON(w, readyzInfo{Ready: ready, Draining: draining, Domains: map[string]bool{d: built}})
 		return
 	}
 	if !info.Ready {
@@ -473,6 +565,23 @@ type statsInfo struct {
 	ProbesByPool         map[string]int              `json:"probes_by_domain"`
 	ProbeVirtualByPool   map[string]float64          `json:"probe_virtual_seconds_by_domain"`
 	Routes               map[string]obs.RouteSummary `json:"routes"`
+	// Admission is present when the bounded admission queue is on.
+	Admission *admissionInfo `json:"admission,omitempty"`
+	// Breakers maps backend name to circuit-breaker state when fault
+	// injection (and hence the resilient clients) is on.
+	Breakers map[string]string `json:"breakers,omitempty"`
+	// DegradationsByDomain counts the graceful-degradation events
+	// absorbed while building each domain's unified interface.
+	DegradationsByDomain map[string]int `json:"degradations_by_domain,omitempty"`
+}
+
+// admissionInfo is the /stats view of the admission queue.
+type admissionInfo struct {
+	InFlight    int  `json:"in_flight"`
+	Queued      int  `json:"queued"`
+	MaxInFlight int  `json:"max_in_flight"`
+	MaxQueued   int  `json:"max_queued"`
+	Draining    bool `json:"draining"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -484,10 +593,30 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ProbeVirtualByPool:   map[string]float64{},
 		Routes:               s.httpm.RouteSummaries(),
 	}
+	if s.adm != nil {
+		inFlight, queued, capacity, queueCap, draining := s.adm.stats()
+		info.Admission = &admissionInfo{
+			InFlight: inFlight, Queued: queued,
+			MaxInFlight: capacity, MaxQueued: queueCap,
+			Draining: draining,
+		}
+	}
+	if s.engClient != nil {
+		info.Breakers = map[string]string{
+			"search": s.engClient.BreakerState().String(),
+			"deep":   s.srcClient.BreakerState().String(),
+		}
+	}
 	s.mu.Lock()
 	for k, p := range s.pools {
 		info.ProbesByPool[k] = p.QueryCount()
 		info.ProbeVirtualByPool[k] = p.VirtualTime().Seconds()
+	}
+	if len(s.degradations) > 0 {
+		info.DegradationsByDomain = make(map[string]int, len(s.degradations))
+		for k, d := range s.degradations {
+			info.DegradationsByDomain[k] = len(d)
+		}
 	}
 	s.mu.Unlock()
 	writeJSON(w, info)

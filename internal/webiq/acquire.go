@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"webiq/internal/obs"
+	"webiq/internal/resilience"
 	"webiq/internal/schema"
 	"webiq/internal/sim"
 )
@@ -50,7 +51,30 @@ type Acquirer struct {
 	mBorrowed    *obs.CounterVec // component
 	mCompVirtual *obs.CounterVec // component
 	mCompQueries *obs.CounterVec // component
+	mDegraded    *obs.CounterVec // stage, reason
 	spans        *obs.Tracer
+
+	// ledger backs the degradation sink's provenance records (SetLedger).
+	ledger *obs.Ledger
+}
+
+// SetFallible installs error-aware backends on every enabled component:
+// engine replaces the search engine for extraction and hit counting,
+// source replaces the probe pool for deep validation. Terminal backend
+// failures then degrade gracefully (see degrade.go) instead of being
+// impossible. Passing nils restores the infallible pass-through, whose
+// outputs are byte-identical to a build without this call.
+func (a *Acquirer) SetFallible(engine resilience.FallibleEngine, source resilience.FallibleSource) {
+	if a.surface != nil {
+		a.surface.fallible = engine
+		a.surface.validator.SetFallible(engine)
+	}
+	if a.attrSurface != nil {
+		a.attrSurface.validator.SetFallible(engine)
+	}
+	if a.attrDeep != nil {
+		a.attrDeep.fallible = source
+	}
 }
 
 // SetAccounting installs clock probes used to attribute simulated query
@@ -116,6 +140,16 @@ type Report struct {
 	// validating borrowed instances via the Deep Web.
 	AttrDeepTime    time.Duration
 	AttrDeepQueries int
+
+	// Degradations lists every graceful-degradation event of the run:
+	// backend failures the pipeline absorbed by skipping a query,
+	// accepting without validation, or shrinking a probe sample. Empty
+	// without fault injection.
+	Degradations []Degradation
+	// Interrupted is non-nil when the run stopped early because the
+	// context was canceled; Outcomes then holds only the attributes
+	// finished before the stop (partial results, with the error).
+	Interrupted error
 }
 
 // SuccessRate returns the percentage of initially instance-less
@@ -161,13 +195,19 @@ func (a *Acquirer) AcquireAll(ds *schema.Dataset) *Report {
 func (a *Acquirer) AcquireAllCtx(ctx context.Context, ds *schema.Dataset) *Report {
 	ctx, all := a.spans.StartSpan(ctx, "acquire-all")
 	all.Label("domain", ds.Domain)
+	ctx, sink := a.newDegradeCtx(ctx)
 	rep := &Report{}
 	var pre map[string][]string
 	if a.cfg.Parallelism > 1 && a.enabled.Surface && a.surface != nil {
 		pre = a.parallelSurface(ctx, ds, rep)
 	}
+loop:
 	for _, ifc := range ds.Interfaces {
 		for _, attr := range ifc.Attributes {
+			if err := ctx.Err(); err != nil {
+				rep.Interrupted = err
+				break loop
+			}
 			out := a.acquireOne(ctx, rep, ds, ifc, attr, pre)
 			rep.Outcomes = append(rep.Outcomes, out)
 			switch {
@@ -180,6 +220,10 @@ func (a *Acquirer) AcquireAllCtx(ctx context.Context, ds *schema.Dataset) *Repor
 			}
 		}
 	}
+	if rep.Interrupted == nil {
+		rep.Interrupted = ctx.Err()
+	}
+	rep.Degradations = sink.take()
 	all.AddVirtual(rep.SurfaceTime + rep.AttrSurfaceTime + rep.AttrDeepTime)
 	all.AddQueries(rep.SurfaceQueries + rep.AttrSurfaceQueries + rep.AttrDeepQueries)
 	all.End()
@@ -210,6 +254,12 @@ func (a *Acquirer) parallelSurface(ctx context.Context, ds *schema.Dataset, rep 
 	sem := make(chan struct{}, a.cfg.Parallelism)
 	var wg sync.WaitGroup
 	for i, j := range jobs {
+		// On cancellation, stop dispatching; in-flight workers finish
+		// (they observe the context themselves) and undispatched
+		// attributes surface as Interrupted partial results.
+		if spCtx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, j job) {

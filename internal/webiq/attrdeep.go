@@ -6,6 +6,7 @@ import (
 
 	"webiq/internal/deepweb"
 	"webiq/internal/obs"
+	"webiq/internal/resilience"
 )
 
 // AttrDeep validates borrowed instances by probing the attribute's own
@@ -19,6 +20,11 @@ type AttrDeep struct {
 	pool   *deepweb.Pool
 	cfg    Config
 	ledger *obs.Ledger
+
+	// fallible, when set, replaces direct pool probing with an
+	// error-aware backend; failed probes are excluded from the one-third
+	// rule's sample instead of counting as rejections.
+	fallible resilience.FallibleSource
 }
 
 // NewAttrDeep returns the Attr-Deep component over the source pool.
@@ -61,17 +67,65 @@ func (ad *AttrDeep) ValidateBorrowedCtx(ctx context.Context, interfaceID, attrID
 		probes = probes[:ad.cfg.MaxBorrowProbes]
 	}
 	oks := make([]bool, len(probes))
-	parallelFor(len(probes), ad.cfg.Parallelism, func(i int) {
-		oks[i] = deepweb.AnalyzeResponse(src.Probe(attrID, probes[i]))
-	})
+	answered := len(probes)
+	if ad.fallible != nil {
+		failed := make([]error, len(probes))
+		parallelForCtx(ctx, len(probes), ad.cfg.Parallelism, func(i int) {
+			page, err := ad.fallible.Probe(ctx, interfaceID, attrID, probes[i])
+			if err != nil {
+				failed[i] = err
+				return
+			}
+			oks[i] = deepweb.AnalyzeResponse(page)
+		})
+		answered = 0
+		for i := range probes {
+			switch {
+			case failed[i] != nil:
+				degrade(ctx, Degradation{
+					Stage: "attr-deep", Reason: resilience.Reason(failed[i]),
+					AttrID: attrID, Label: attrLabel,
+					Detail: "probe failed: " + probes[i],
+				})
+			case ctx.Err() != nil && !oks[i]:
+				// The slot may have been skipped by cancellation; an
+				// unanswered probe must not count as a rejection.
+			default:
+				answered++
+			}
+		}
+		if answered == 0 {
+			// Deep validation is entirely unavailable for this donor:
+			// skip it (no evidence either way) rather than reject.
+			degrade(ctx, Degradation{
+				Stage: "attr-deep", Reason: "no-probes-answered",
+				AttrID: attrID, Label: attrLabel,
+				Detail: fmt.Sprintf("donor %q: deep validation skipped", donorLabel),
+			})
+			if ad.ledger != nil {
+				ad.ledger.RecordCtx(ctx, obs.Decision{
+					Component: "attr-deep", Verdict: "skip",
+					AttrID: attrID, Label: attrLabel, Count: len(probes),
+					Detail: fmt.Sprintf("donor %q: 0/%d probes answered", donorLabel, len(probes)),
+				})
+			}
+			return nil, false
+		}
+	} else {
+		parallelFor(len(probes), ad.cfg.Parallelism, func(i int) {
+			oks[i] = deepweb.AnalyzeResponse(src.Probe(attrID, probes[i]))
+		})
+	}
 	success := 0
 	for _, ok := range oks {
 		if ok {
 			success++
 		}
 	}
-	frac := float64(success) / float64(len(probes))
-	accepted := 3*success >= len(probes)
+	// The one-third rule runs over the probes that actually got an
+	// answer; a backend failure shrinks the sample, it does not vote.
+	frac := float64(success) / float64(answered)
+	accepted := 3*success >= answered
 	if ad.ledger != nil {
 		verdict := "reject"
 		if accepted {
@@ -81,7 +135,7 @@ func (ad *AttrDeep) ValidateBorrowedCtx(ctx context.Context, interfaceID, attrID
 			Component: "attr-deep", Verdict: verdict,
 			AttrID: attrID, Label: attrLabel,
 			Score: frac, Threshold: 1.0 / 3.0, Count: len(probes),
-			Detail: fmt.Sprintf("donor %q: %d/%d probes succeeded", donorLabel, success, len(probes)),
+			Detail: fmt.Sprintf("donor %q: %d/%d probes succeeded", donorLabel, success, answered),
 		})
 		if accepted {
 			for _, v := range donorValues {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"webiq/internal/obs"
+	"webiq/internal/resilience"
 	"webiq/internal/stats"
 )
 
@@ -43,6 +45,15 @@ var errTooFewExamples = errors.New("webiq: too few training examples for classif
 // scores via the Surface Web), threshold estimation on T1 by information
 // gain, and probability estimation on T2 with Laplacean smoothing.
 func TrainClassifier(v *Validator, label string, positives, negatives []string) (*Classifier, error) {
+	return trainClassifierCtx(context.Background(), v, label, positives, negatives)
+}
+
+// trainClassifierCtx is TrainClassifier with error propagation from a
+// fallible validation backend: any training example whose validation
+// vector is unavailable makes the whole classifier untrainable (a
+// partially scored matrix would bias the thresholds), and the first
+// such error is returned for the caller's degradation policy.
+func trainClassifierCtx(ctx context.Context, v *Validator, label string, positives, negatives []string) (*Classifier, error) {
 	phrases := v.Phrases(label)
 	if len(phrases) == 0 {
 		return nil, errors.New("webiq: no validation phrases for label " + label)
@@ -57,13 +68,32 @@ func TrainClassifier(v *Validator, label string, positives, negatives []string) 
 	// identical too.
 	posScores := make([][]float64, len(positives))
 	negScores := make([][]float64, len(negatives))
-	parallelFor(len(positives)+len(negatives), v.cfg.Parallelism, func(i int) {
+	var errMu sync.Mutex
+	var firstErr error
+	parallelForCtx(ctx, len(positives)+len(negatives), v.cfg.Parallelism, func(i int) {
+		var sc []float64
+		var err error
 		if i < len(positives) {
-			posScores[i] = v.Scores(phrases, positives[i])
+			sc, err = v.ScoresCtx(ctx, phrases, positives[i])
+			posScores[i] = sc
 		} else {
-			negScores[i-len(positives)] = v.Scores(phrases, negatives[i-len(positives)])
+			sc, err = v.ScoresCtx(ctx, phrases, negatives[i-len(positives)])
+			negScores[i-len(positives)] = sc
+		}
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
 		}
 	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return trainFromScores(phrases, posScores, negScores), nil
 }
 
@@ -237,8 +267,17 @@ func (as *AttrSurface) ValidateBorrowedChecked(label string, positives, negative
 // (or a "skip" when training was impossible) and one accept/reject per
 // borrowed value with its posterior against the 0.5 cutoff.
 func (as *AttrSurface) ValidateBorrowedCheckedCtx(ctx context.Context, attrID, label string, positives, negatives, borrowed []string) (accepted []string, trained bool) {
-	clf, err := TrainClassifier(as.validator, label, positives, negatives)
+	clf, err := trainClassifierCtx(ctx, as.validator, label, positives, negatives)
 	if err != nil {
+		if r := resilience.Reason(err); r != "other" && r != "none" {
+			// Backend failure, not a data property: the classifier skip
+			// is a degradation, recorded as such.
+			degrade(ctx, Degradation{
+				Stage: "attr-surface", Reason: r,
+				AttrID: attrID, Label: label,
+				Detail: "classifier training degraded; borrowed values skipped",
+			})
+		}
 		as.mDecisions.With("skip").Add(float64(len(borrowed)))
 		if as.ledger != nil {
 			as.ledger.RecordCtx(ctx, obs.Decision{
@@ -262,10 +301,27 @@ func (as *AttrSurface) ValidateBorrowedCheckedCtx(ctx context.Context, attrID, l
 	// worker pool and decide in index order, so accepted preserves the
 	// borrowed order exactly as the sequential loop did.
 	scores := make([][]float64, len(borrowed))
-	parallelFor(len(borrowed), as.cfg.Parallelism, func(i int) {
-		scores[i] = as.validator.Scores(phrases, borrowed[i])
+	errs := make([]error, len(borrowed))
+	parallelForCtx(ctx, len(borrowed), as.cfg.Parallelism, func(i int) {
+		scores[i], errs[i] = as.validator.ScoresCtx(ctx, phrases, borrowed[i])
 	})
 	for i, b := range borrowed {
+		if errs[i] != nil || scores[i] == nil {
+			// The value could not be scored (backend failure, or the
+			// run was canceled before its slot ran): skip just this
+			// value rather than rejecting it with fabricated evidence.
+			reason := "canceled"
+			if errs[i] != nil {
+				reason = resilience.Reason(errs[i])
+			}
+			degrade(ctx, Degradation{
+				Stage: "attr-surface", Reason: reason,
+				AttrID: attrID, Label: label,
+				Detail: "borrowed value skipped: " + b,
+			})
+			as.mDecisions.With("skip").Inc()
+			continue
+		}
 		p := clf.ProbPositive(scores[i])
 		if p > 0.5 {
 			accepted = append(accepted, b)

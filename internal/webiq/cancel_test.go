@@ -1,0 +1,164 @@
+package webiq
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webiq/internal/dataset"
+	"webiq/internal/deepweb"
+	"webiq/internal/kb"
+	"webiq/internal/resilience"
+	"webiq/internal/schema"
+	"webiq/internal/surfaceweb"
+)
+
+func TestParallelForCtxStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	parallelForCtx(ctx, 100000, 4, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if n := ran.Load(); n >= 100000 {
+		t.Fatalf("all %d iterations ran despite cancellation", n)
+	}
+}
+
+func TestParallelForCtxSequentialStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ran := 0
+	parallelForCtx(ctx, 1000, 1, func(i int) {
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+	})
+	if ran != 5 {
+		t.Fatalf("sequential path ran %d iterations after cancel at 5", ran)
+	}
+}
+
+func TestParallelForCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	parallelForCtx(ctx, 100, 4, func(i int) { ran.Add(1) })
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d iterations ran on a pre-canceled context", n)
+	}
+}
+
+// cancelAfterEngine passes calls through to a real fallible engine and
+// cancels the acquisition's context after a fixed number of them,
+// simulating a caller abandoning the run mid-flight.
+type cancelAfterEngine struct {
+	eng    resilience.FallibleEngine
+	calls  *atomic.Int64
+	after  int64
+	cancel context.CancelFunc
+}
+
+func (c cancelAfterEngine) tick() {
+	if c.calls.Add(1) == c.after {
+		c.cancel()
+	}
+}
+
+func (c cancelAfterEngine) Search(ctx context.Context, q string, limit int) ([]surfaceweb.Snippet, error) {
+	c.tick()
+	return c.eng.Search(ctx, q, limit)
+}
+
+func (c cancelAfterEngine) NumHits(ctx context.Context, q string) (int, error) {
+	c.tick()
+	return c.eng.NumHits(ctx, q)
+}
+
+// buildJobAcquirer assembles a full pipeline over a fresh job-domain
+// dataset (the smallest domain), for the cancellation tests.
+func buildJobAcquirer(t *testing.T, cfg Config) (*Acquirer, *schema.Dataset) {
+	t.Helper()
+	eng, _, _ := fixture(t)
+	dom := kb.DomainByKey("job")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	pool := deepweb.BuildPool(ds, dom, deepweb.DefaultConfig())
+	v := NewValidator(eng, cfg)
+	acq := NewAcquirer(NewSurface(eng, v, cfg), NewAttrDeep(pool, cfg),
+		NewAttrSurface(v, cfg), AllComponents(), cfg)
+	acq.SetAccounting(
+		func() (time.Duration, int) { return 0, 0 },
+		func() (time.Duration, int) { return 0, 0 },
+	)
+	return acq, ds
+}
+
+func TestAcquireAllCtxCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = 4
+
+	// Control: a complete run on an identical fresh dataset, for the
+	// expected outcome count.
+	control, controlDS := buildJobAcquirer(t, cfg)
+	full := control.AcquireAll(controlDS)
+	if full.Interrupted != nil {
+		t.Fatalf("control run interrupted: %v", full.Interrupted)
+	}
+
+	acq, ds := buildJobAcquirer(t, cfg)
+	eng, _, _ := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	acq.SetFallible(cancelAfterEngine{
+		eng:    resilience.AdaptEngine(eng),
+		calls:  &calls,
+		after:  10,
+		cancel: cancel,
+	}, nil)
+
+	before := runtime.NumGoroutine()
+	rep := acq.AcquireAllCtx(ctx, ds)
+
+	if rep.Interrupted == nil {
+		t.Fatal("canceled run reported no interruption")
+	}
+	if !errors.Is(rep.Interrupted, context.Canceled) {
+		t.Fatalf("Interrupted = %v, want context.Canceled", rep.Interrupted)
+	}
+	// Partial results: the run stopped before covering every attribute,
+	// but what it did finish is reported normally.
+	if len(rep.Outcomes) >= len(full.Outcomes) {
+		t.Fatalf("canceled run produced %d outcomes, control %d; expected fewer",
+			len(rep.Outcomes), len(full.Outcomes))
+	}
+
+	// No goroutine leaks: the worker pools must wind down once the
+	// canceled run returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutine leak after cancellation: %d before, %d after", before, n)
+	}
+}
+
+func TestAcquireAllCtxPreCanceled(t *testing.T) {
+	acq, ds := buildJobAcquirer(t, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := acq.AcquireAllCtx(ctx, ds)
+	if !errors.Is(rep.Interrupted, context.Canceled) {
+		t.Fatalf("Interrupted = %v, want context.Canceled", rep.Interrupted)
+	}
+	if len(rep.Outcomes) != 0 {
+		t.Fatalf("pre-canceled run produced %d outcomes", len(rep.Outcomes))
+	}
+}

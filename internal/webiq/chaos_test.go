@@ -1,0 +1,157 @@
+package webiq
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"webiq/internal/dataset"
+	"webiq/internal/deepweb"
+	"webiq/internal/kb"
+	"webiq/internal/obs"
+	"webiq/internal/resilience"
+	"webiq/internal/schema"
+)
+
+// buildChaosAcquirer assembles the full pipeline over a fresh
+// job-domain dataset with fault-injecting resilient clients installed:
+// the injector wraps both the search engine and the probe pool, and the
+// clients add retry + breaker on top, exactly as the CLI -faults flag
+// wires it.
+func buildChaosAcquirer(t *testing.T, cfg Config, prof resilience.Profile, seed int64, opts resilience.ClientOptions) (*Acquirer, *schema.Dataset) {
+	t.Helper()
+	eng, _, _ := fixture(t)
+	dom := kb.DomainByKey("job")
+	ds := dataset.Generate(dom, dataset.DefaultConfig())
+	pool := deepweb.BuildPool(ds, dom, deepweb.DefaultConfig())
+	v := NewValidator(eng, cfg)
+	acq := NewAcquirer(NewSurface(eng, v, cfg), NewAttrDeep(pool, cfg),
+		NewAttrSurface(v, cfg), AllComponents(), cfg)
+	acq.SetAccounting(
+		func() (time.Duration, int) { return 0, 0 },
+		func() (time.Duration, int) { return 0, 0 },
+	)
+
+	inj := resilience.NewInjector(prof, seed)
+	opts.Seed = seed
+	fe := resilience.NewEngineClient(
+		resilience.FaultyEngine(resilience.AdaptEngine(eng), inj), opts)
+	fs := resilience.NewSourceClient(
+		resilience.FaultySource(resilience.ProbeFunc(func(ifcID, attrID, value string) (string, error) {
+			src := pool.Source(ifcID)
+			if src == nil {
+				return "", resilience.ErrUnknownSource
+			}
+			return src.Probe(attrID, value), nil
+		}), inj), opts)
+	acq.SetFallible(fe, fs)
+	return acq, ds
+}
+
+// TestChaosProfilesTerminate drives the full acquisition pipeline
+// through every named fault profile and asserts the contract of
+// graceful degradation: the run always terminates, never reports a
+// spurious interruption, and every absorbed fault surfaces as a
+// structured Degradation rather than vanishing silently.
+func TestChaosProfilesTerminate(t *testing.T) {
+	for _, name := range []string{"p10", "p30", "latency2x", "burst", "malformed"} {
+		t.Run(name, func(t *testing.T) {
+			prof, err := resilience.ProfileByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Parallelism = 4
+			acq, ds := buildChaosAcquirer(t, cfg, prof, 7, resilience.ClientOptions{})
+
+			done := make(chan *Report, 1)
+			go func() { done <- acq.AcquireAllCtx(context.Background(), ds) }()
+			var rep *Report
+			select {
+			case rep = <-done:
+			case <-time.After(2 * time.Minute):
+				t.Fatal("chaos run did not terminate")
+			}
+
+			if rep.Interrupted != nil {
+				t.Fatalf("uncanceled chaos run reported Interrupted: %v", rep.Interrupted)
+			}
+			for _, d := range rep.Degradations {
+				if d.Stage == "" || d.Reason == "" {
+					t.Errorf("unstructured degradation: %+v", d)
+				}
+			}
+			if name == "p30" && len(rep.Degradations) == 0 {
+				t.Error("the 30-percent-error profile produced zero degradation events")
+			}
+			t.Logf("%s: %d degradations, success rate %.1f%%",
+				name, len(rep.Degradations), rep.SuccessRate())
+		})
+	}
+}
+
+// TestChaosLedgerDeterministic runs the same fault profile with the
+// same seed twice, sequentially, and demands byte-identical ledger
+// NDJSON: fault decisions depend only on (seed, backend, key, attempt),
+// never on wall time or interleaving. Retry delays are zeroed and the
+// breaker threshold raised out of reach so the real clock cannot leak
+// into control flow.
+func TestChaosLedgerDeterministic(t *testing.T) {
+	prof, err := resilience.ProfileByName("p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := resilience.ClientOptions{
+		Retry:   resilience.RetryPolicy{MaxAttempts: 3},
+		Breaker: resilience.BreakerConfig{FailureThreshold: 1 << 30, Cooldown: time.Hour, HalfOpenProbes: 1},
+	}
+	run := func() []byte {
+		cfg := DefaultConfig() // Parallelism 0: sequential, ordered ledger
+		acq, ds := buildChaosAcquirer(t, cfg, prof, 42, opts)
+		var buf bytes.Buffer
+		acq.SetLedger(obs.NewLedger(&buf))
+		rep := acq.AcquireAllCtx(context.Background(), ds)
+		if rep.Interrupted != nil {
+			t.Fatalf("run interrupted: %v", rep.Interrupted)
+		}
+		if len(rep.Degradations) == 0 {
+			t.Fatal("p30 run absorbed no degradations; the test is vacuous")
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("ledgers diverge at line %d:\n  run1: %s\n  run2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("ledgers differ in length: %d vs %d lines", len(la), len(lb))
+	}
+}
+
+// TestChaosDifferentSeedsDiffer guards the determinism test against a
+// stuck injector: a different seed must fault differently.
+func TestChaosDifferentSeedsDiffer(t *testing.T) {
+	prof, err := resilience.ProfileByName("p30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := resilience.ClientOptions{
+		Retry:   resilience.RetryPolicy{MaxAttempts: 3},
+		Breaker: resilience.BreakerConfig{FailureThreshold: 1 << 30, Cooldown: time.Hour, HalfOpenProbes: 1},
+	}
+	run := func(seed int64) []byte {
+		cfg := DefaultConfig()
+		acq, ds := buildChaosAcquirer(t, cfg, prof, seed, opts)
+		var buf bytes.Buffer
+		acq.SetLedger(obs.NewLedger(&buf))
+		acq.AcquireAllCtx(context.Background(), ds)
+		return buf.Bytes()
+	}
+	if bytes.Equal(run(1), run(2)) {
+		t.Error("seeds 1 and 2 produced identical ledgers; injector ignores its seed")
+	}
+}

@@ -34,6 +34,7 @@ func (a *Acquirer) SetObserver(r *obs.Registry) {
 	a.mBorrowed = r.CounterVec("webiq_acquire_borrowed_total", "Candidate instances borrowed for validation, by component.", "component")
 	a.mCompVirtual = r.CounterVec("webiq_acquire_component_virtual_seconds_total", "Simulated substrate time attributed to each component, in seconds.", "component")
 	a.mCompQueries = r.CounterVec("webiq_acquire_component_queries_total", "Substrate queries attributed to each component.", "component")
+	a.mDegraded = r.CounterVec("webiq_degraded_total", "Graceful-degradation events absorbed by the pipeline, by stage and error reason.", "stage", "reason")
 	if a.attrSurface != nil {
 		a.attrSurface.Instrument(r)
 	}
@@ -53,6 +54,7 @@ func (a *Acquirer) SetSpanTracer(t *obs.Tracer) { a.spans = t }
 // accept/reject), and Attr-Deep probing (one-third-rule verdicts).
 // nil disables recording everywhere.
 func (a *Acquirer) SetLedger(l *obs.Ledger) {
+	a.ledger = l
 	if a.surface != nil {
 		a.surface.SetLedger(l)
 	}

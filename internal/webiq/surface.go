@@ -8,7 +8,9 @@ import (
 
 	"webiq/internal/nlp"
 	"webiq/internal/obs"
+	"webiq/internal/resilience"
 	"webiq/internal/schema"
+	"webiq/internal/surfaceweb"
 )
 
 // Surface discovers instances for an attribute from the Surface Web,
@@ -23,6 +25,11 @@ type Surface struct {
 	// ledger, when set, records every verification decision (outlier
 	// removals, PMI accept/reject) for the provenance ledger. nil-safe.
 	ledger *obs.Ledger
+
+	// fallible, when set, replaces engine for extraction searches with
+	// an error-aware backend; failed searches degrade (the query is
+	// skipped, the failure recorded) instead of aborting discovery.
+	fallible resilience.FallibleEngine
 
 	mu    sync.Mutex
 	cache map[string][]Candidate // label -> verified candidates (opt-in)
@@ -46,6 +53,9 @@ type Candidate struct {
 	Freq int
 	// Score is the validation confidence (average PMI).
 	Score float64
+	// Degraded marks a candidate accepted without validation because
+	// the validation backend failed terminally (accept-with-flag).
+	Degraded bool
 }
 
 // DiscoverInstances runs the full extraction + verification pipeline and
@@ -66,7 +76,7 @@ func (s *Surface) DiscoverInstancesCtx(ctx context.Context, a *schema.Attribute,
 		cached, ok := s.cache[key]
 		s.mu.Unlock()
 		if !ok {
-			cached = s.verifyScored(ctx, a, s.Extract(a, ifc, ds))
+			cached = s.verifyScored(ctx, a, s.extractCtx(ctx, a, ifc, ds))
 			s.mu.Lock()
 			s.cache[key] = cached
 			s.mu.Unlock()
@@ -85,7 +95,7 @@ func (s *Surface) DiscoverInstancesCtx(ctx context.Context, a *schema.Attribute,
 		}
 		return candidateValues(cached)
 	}
-	return candidateValues(s.verifyScored(ctx, a, s.Extract(a, ifc, ds)))
+	return candidateValues(s.verifyScored(ctx, a, s.extractCtx(ctx, a, ifc, ds)))
 }
 
 // candidateValues copies out the candidate values, preserving nil for
@@ -104,6 +114,14 @@ func candidateValues(cands []Candidate) []string {
 // Extract implements the instance-extraction phase (Figure 3.a) and
 // returns raw candidates with frequencies.
 func (s *Surface) Extract(a *schema.Attribute, ifc *schema.Interface, ds *schema.Dataset) []Candidate {
+	return s.extractCtx(context.Background(), a, ifc, ds)
+}
+
+// extractCtx is Extract with the degradation path: with a fallible
+// engine installed, a search that fails terminally skips just that
+// query — the remaining queries still run and borrowing still follows —
+// and the failure is recorded on the run's degradation sink.
+func (s *Surface) extractCtx(ctx context.Context, a *schema.Attribute, ifc *schema.Interface, ds *schema.Dataset) []Candidate {
 	ls := nlp.AnalyzeLabel(a.Label)
 	if len(ls.NPs) == 0 {
 		// Bare prepositions, verb phrases without embedded NPs, etc.:
@@ -116,7 +134,25 @@ func (s *Surface) Extract(a *schema.Attribute, ifc *schema.Interface, ds *schema
 	var order []string
 	for _, np := range ls.NPs {
 		for _, q := range FormulateQueries(np, ds.EntityName, ds.DomainKeyword, siblings, s.cfg) {
-			for _, snip := range s.engine.Search(q.Query, s.cfg.SnippetsPerQuery) {
+			var snips []surfaceweb.Snippet
+			if s.fallible != nil {
+				var err error
+				snips, err = s.fallible.Search(ctx, q.Query, s.cfg.SnippetsPerQuery)
+				if err != nil {
+					degrade(ctx, Degradation{
+						Stage: "surface", Reason: resilience.Reason(err),
+						AttrID: a.ID, Label: a.Label,
+						Detail: "extraction search skipped: " + q.Query,
+					})
+					if ctx.Err() != nil {
+						return candidateList(order, freq)
+					}
+					continue
+				}
+			} else {
+				snips = s.engine.Search(q.Query, s.cfg.SnippetsPerQuery)
+			}
+			for _, snip := range snips {
 				for _, c := range ExtractFromSnippet(q, snip.Text) {
 					if s.rejectCandidate(a.Label, c) {
 						continue
@@ -129,6 +165,12 @@ func (s *Surface) Extract(a *schema.Attribute, ifc *schema.Interface, ds *schema
 			}
 		}
 	}
+	return candidateList(order, freq)
+}
+
+// candidateList materializes the extraction candidates in first-seen
+// order.
+func candidateList(order []string, freq map[string]int) []Candidate {
 	out := make([]Candidate, 0, len(order))
 	for _, c := range order {
 		out = append(out, Candidate{Value: c, Freq: freq[c]})
@@ -178,7 +220,32 @@ func (s *Surface) verifyScored(ctx context.Context, a *schema.Attribute, cands [
 	phrases := s.validator.Phrases(a.Label)
 	scored := make([]Candidate, 0, len(values))
 	for _, v := range values {
-		sc := s.validator.Confidence(phrases, v)
+		sc, err := s.validator.ConfidenceCtx(ctx, phrases, v)
+		if err != nil {
+			// Web validation is unavailable for this candidate: accept
+			// it with the degradation recorded rather than silently
+			// dropping an extracted instance (the paper's validation is
+			// a precision filter; losing it costs precision, not
+			// soundness). The zero score sorts flagged values last.
+			degrade(ctx, Degradation{
+				Stage: "pmi", Reason: resilience.Reason(err),
+				AttrID: a.ID, Label: a.Label,
+				Detail: "accept-with-flag: " + v,
+			})
+			if s.ledger != nil {
+				s.ledger.RecordCtx(ctx, obs.Decision{
+					Component: "surface", Verdict: "degraded-accept",
+					AttrID: a.ID, Label: a.Label, Value: v,
+					Threshold: s.cfg.MinScore,
+					Detail:    "validation backend unavailable: " + err.Error(),
+				})
+			}
+			scored = append(scored, Candidate{Value: v, Degraded: true})
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
 		if sc <= s.cfg.MinScore {
 			if s.ledger != nil {
 				s.ledger.RecordCtx(ctx, obs.Decision{

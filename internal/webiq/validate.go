@@ -1,12 +1,14 @@
 package webiq
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"unicode"
 	"unicode/utf8"
 
 	"webiq/internal/nlp"
+	"webiq/internal/resilience"
 )
 
 // Validator scores the semantic connection between an attribute label
@@ -25,6 +27,11 @@ type Validator struct {
 	engine SearchEngine
 	cfg    Config
 
+	// fallible, when set, replaces engine for hit counting with an
+	// error-aware backend (fault injection / resilient client). nil
+	// keeps the infallible path byte-identical.
+	fallible resilience.FallibleEngine
+
 	mu       sync.Mutex
 	cache    map[string]int
 	inflight map[string]*hitsCall
@@ -34,6 +41,7 @@ type Validator struct {
 type hitsCall struct {
 	done chan struct{}
 	n    int
+	err  error
 }
 
 // NewValidator returns a Validator over the given engine.
@@ -42,9 +50,14 @@ func NewValidator(engine SearchEngine, cfg Config) *Validator {
 		cache: map[string]int{}, inflight: map[string]*hitsCall{}}
 }
 
+// SetFallible installs an error-aware engine for hit counting; nil
+// restores the infallible pass-through.
+func (v *Validator) SetFallible(e resilience.FallibleEngine) { v.fallible = e }
+
 // numHits is the caching, singleflight hit counter.
 func (v *Validator) numHits(query string) int {
-	return v.numHitsKey([]byte(query))
+	n, _ := v.numHitsKeyCtx(context.Background(), []byte(query))
+	return n
 }
 
 // numHitsKey is numHits keyed by a byte buffer: the cache probe is
@@ -53,29 +66,48 @@ func (v *Validator) numHits(query string) int {
 // the engine's deterministic per-query latency identical to the
 // string path.
 func (v *Validator) numHitsKey(key []byte) int {
+	n, _ := v.numHitsKeyCtx(context.Background(), key)
+	return n
+}
+
+// numHitsKeyCtx is the error-aware core of the memo. Failed queries are
+// never cached — a later retry of the same query hits the backend again
+// — but concurrent waiters on the same in-flight call do share the
+// failure (and may bail out early on their own context).
+func (v *Validator) numHitsKeyCtx(ctx context.Context, key []byte) (int, error) {
 	v.mu.Lock()
 	if n, ok := v.cache[string(key)]; ok {
 		v.mu.Unlock()
-		return n
+		return n, nil
 	}
 	if c, ok := v.inflight[string(key)]; ok {
 		v.mu.Unlock()
-		<-c.done
-		return c.n
+		select {
+		case <-c.done:
+			return c.n, c.err
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
 	}
 	query := string(key)
 	c := &hitsCall{done: make(chan struct{})}
 	v.inflight[query] = c
 	v.mu.Unlock()
 
-	c.n = v.engine.NumHits(query)
+	if v.fallible != nil {
+		c.n, c.err = v.fallible.NumHits(ctx, query)
+	} else {
+		c.n = v.engine.NumHits(query)
+	}
 
 	v.mu.Lock()
-	v.cache[query] = c.n
+	if c.err == nil {
+		v.cache[query] = c.n
+	}
 	delete(v.inflight, query)
 	v.mu.Unlock()
 	close(c.done)
-	return c.n
+	return c.n, c.err
 }
 
 // Phrases returns the validation phrases for an attribute label: the
@@ -104,6 +136,15 @@ func (v *Validator) Phrases(label string) []string {
 // With Config.UseRawHitCounts (ablation), it returns NumHits(V + x)
 // directly, exhibiting the popularity bias PMI corrects.
 func (v *Validator) PMI(phrase, x string) float64 {
+	val, _ := v.PMICtx(context.Background(), phrase, x)
+	return val
+}
+
+// PMICtx is PMI with error propagation from a fallible engine: when a
+// hit-count query fails terminally the score is unusable and the error
+// is returned for the caller's degradation policy. With no fallible
+// engine installed it never errors and is byte-identical to PMI.
+func (v *Validator) PMICtx(ctx context.Context, phrase, x string) (float64, error) {
 	// Build the three query keys in one pooled buffer; each is
 	// byte-identical to the string concatenation it replaces, so hit
 	// counts and simulated latencies are unchanged.
@@ -114,31 +155,40 @@ func (v *Validator) PMI(phrase, x string) float64 {
 	buf = append(buf, ' ')
 	buf = appendLower(buf, x)
 	buf = append(buf, '"')
-	joint := v.numHitsKey(buf)
+	joint, err := v.numHitsKeyCtx(ctx, buf)
 
-	ret := func(val float64) float64 {
+	ret := func(val float64, err error) (float64, error) {
 		*bp = buf
 		putFoldBuf(bp)
-		return val
+		return val, err
+	}
+	if err != nil {
+		return ret(0, err)
 	}
 	if v.cfg.UseRawHitCounts {
-		return ret(float64(joint))
+		return ret(float64(joint), nil)
 	}
 	if joint == 0 {
-		return ret(0)
+		return ret(0, nil)
 	}
 	buf = append(buf[:0], '"')
 	buf = append(buf, phrase...)
 	buf = append(buf, '"')
-	hv := v.numHitsKey(buf)
+	hv, err := v.numHitsKeyCtx(ctx, buf)
+	if err != nil {
+		return ret(0, err)
+	}
 	buf = append(buf[:0], '"')
 	buf = appendLower(buf, x)
 	buf = append(buf, '"')
-	hx := v.numHitsKey(buf)
-	if hv == 0 || hx == 0 {
-		return ret(0)
+	hx, err := v.numHitsKeyCtx(ctx, buf)
+	if err != nil {
+		return ret(0, err)
 	}
-	return ret(float64(joint) / (float64(hv) * float64(hx)))
+	if hv == 0 || hx == 0 {
+		return ret(0, nil)
+	}
+	return ret(float64(joint)/(float64(hv)*float64(hx)), nil)
 }
 
 // appendLower appends the lower-cased s to dst, byte-for-byte identical
@@ -173,6 +223,20 @@ func (v *Validator) Scores(phrases []string, x string) []float64 {
 	return out
 }
 
+// ScoresCtx is Scores with error propagation: it fails on the first
+// phrase whose hit counts are unavailable, since a partially scored
+// vector cannot feed the classifier.
+func (v *Validator) ScoresCtx(ctx context.Context, phrases []string, x string) ([]float64, error) {
+	out := make([]float64, len(phrases))
+	for i, p := range phrases {
+		var err error
+		if out[i], err = v.PMICtx(ctx, p, x); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Confidence is the confidence score of x being an instance of the
 // attribute with the given validation phrases: the average PMI across
 // phrases.
@@ -185,4 +249,21 @@ func (v *Validator) Confidence(phrases []string, x string) float64 {
 		sum += v.PMI(p, x)
 	}
 	return sum / float64(len(phrases))
+}
+
+// ConfidenceCtx is Confidence with error propagation: it fails on the
+// first phrase whose hit counts are unavailable.
+func (v *Validator) ConfidenceCtx(ctx context.Context, phrases []string, x string) (float64, error) {
+	if len(phrases) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for _, p := range phrases {
+		pm, err := v.PMICtx(ctx, p, x)
+		if err != nil {
+			return 0, err
+		}
+		sum += pm
+	}
+	return sum / float64(len(phrases)), nil
 }
