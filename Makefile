@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-gate check lint explain-demo chaos fuzz
+.PHONY: build vet test race bench bench-json bench-gate eval-json eval-gate check lint explain-demo chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -24,15 +24,29 @@ bench:
 bench-json:
 	$(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 
-# Allocation-regression gate: rerun the pipeline benchmark and compare
-# allocs/op and B/op against the committed baseline. These two metrics
-# are deterministic enough for CI; ns/op is too noisy on shared
-# runners, so wall-clock regressions are reviewed via bench-json diffs
-# instead.
+# Perf-regression gate: rerun the pipeline benchmark and compare against
+# the committed baseline. allocs/op and B/op are deterministic enough
+# for a tight 10% bound; ns/op is noisy on shared runners, so wall clock
+# rides with its own looser 25% bound — big slowdowns still fail CI,
+# small jitter does not.
 bench-gate:
 	$(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json - \
-			-max-regress 10% -metrics allocs/op,B/op
+			-max-regress 10% -metrics "allocs/op,B/op,ns/op=25%"
+
+# Matching-quality snapshot: evaluate the full pipeline on the paper's
+# five domains plus 20 synthetic sweep domains and write the aggregate
+# per-stage precision/recall/F1 to EVAL_quality.json (the committed
+# quality baseline).
+eval-json:
+	$(GO) run ./cmd/webiq-eval -synth 20 -runs 1 -seed 1 -q -json EVAL_quality.json
+
+# Quality-regression gate: rerun the evaluation with the same seed and
+# fail if any stage's precision/recall/F1 mean dropped more than two
+# points against the committed EVAL_quality.json. The run is
+# deterministic, so on an unchanged pipeline the comparison is exact.
+eval-gate:
+	$(GO) run ./cmd/webiq-eval -synth 20 -runs 1 -seed 1 -q -baseline EVAL_quality.json -max-drop 0.02
 
 # Static analysis: vet always; staticcheck when installed (CI installs
 # it; locally it is optional so the target works offline).

@@ -40,8 +40,16 @@ func TestParseRegress(t *testing.T) {
 	}
 }
 
+func specs(def float64, units ...string) []metricSpec {
+	out := make([]metricSpec, 0, len(units))
+	for _, u := range units {
+		out = append(out, metricSpec{unit: u, threshold: def})
+	}
+	return out
+}
+
 func TestCompareReports(t *testing.T) {
-	metrics := []string{"B/op", "allocs/op"}
+	metrics := specs(0.1, "B/op", "allocs/op")
 	old := Report{Runs: []Run{
 		run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1e9, "B/op": 1000, "allocs/op": 100}),
 		run("BenchmarkPipeline/cached-parallel-8", 3, map[string]float64{"ns/op": 4e8, "B/op": 2000, "allocs/op": 200}),
@@ -53,7 +61,7 @@ func TestCompareReports(t *testing.T) {
 			run("BenchmarkPipeline/cached-parallel-16", 3, map[string]float64{"B/op": 1500, "allocs/op": 190}),
 		}}
 		var sb strings.Builder
-		if !compareReports(&sb, old, new_, metrics, 0.1) {
+		if !compareReports(&sb, old, new_, metrics) {
 			t.Fatalf("want pass, got fail:\n%s", sb.String())
 		}
 	})
@@ -64,7 +72,7 @@ func TestCompareReports(t *testing.T) {
 			run("BenchmarkPipeline/cached-parallel-8", 3, map[string]float64{"B/op": 2000, "allocs/op": 200}),
 		}}
 		var sb strings.Builder
-		if compareReports(&sb, old, new_, metrics, 0.1) {
+		if compareReports(&sb, old, new_, metrics) {
 			t.Fatal("want fail on 20% B/op regression, got pass")
 		}
 		if !strings.Contains(sb.String(), "REGRESSION") {
@@ -77,7 +85,7 @@ func TestCompareReports(t *testing.T) {
 			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"B/op": 1000, "allocs/op": 100}),
 		}}
 		var sb strings.Builder
-		if compareReports(&sb, old, new_, metrics, 0.1) {
+		if compareReports(&sb, old, new_, metrics) {
 			t.Fatal("want fail when a baseline run is missing, got pass")
 		}
 	})
@@ -88,7 +96,7 @@ func TestCompareReports(t *testing.T) {
 			run("BenchmarkPipeline/cached-parallel-8", 3, map[string]float64{"B/op": 2000, "allocs/op": 200}),
 		}}
 		var sb strings.Builder
-		if compareReports(&sb, old, new_, metrics, 0.1) {
+		if compareReports(&sb, old, new_, metrics) {
 			t.Fatal("want fail when a gated metric is dropped, got pass")
 		}
 	})
@@ -99,8 +107,72 @@ func TestCompareReports(t *testing.T) {
 			run("BenchmarkPipeline/cached-parallel-8", 3, map[string]float64{"B/op": 1, "allocs/op": 1}),
 		}}
 		var sb strings.Builder
-		if !compareReports(&sb, old, new_, metrics, 0) {
+		if !compareReports(&sb, old, new_, specs(0, "B/op", "allocs/op")) {
 			t.Fatalf("want pass on pure improvement even at 0 threshold:\n%s", sb.String())
+		}
+	})
+}
+
+func TestParseMetricSpecs(t *testing.T) {
+	got, err := parseMetricSpecs("ns/op=25%, B/op ,allocs/op", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []metricSpec{
+		{unit: "ns/op", threshold: 0.25},
+		{unit: "B/op", threshold: 0.1},
+		{unit: "allocs/op", threshold: 0.1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"ns/op=abc", "=10%", "ns/op=-5%"} {
+		if _, err := parseMetricSpecs(bad, 0.1); err == nil {
+			t.Errorf("parseMetricSpecs(%q): want error", bad)
+		}
+	}
+}
+
+func TestCompareReportsPerMetricThresholds(t *testing.T) {
+	// ns/op gated loose (25%), allocs/op tight (10%).
+	metrics := []metricSpec{
+		{unit: "ns/op", threshold: 0.25},
+		{unit: "allocs/op", threshold: 0.1},
+	}
+	old := Report{Runs: []Run{
+		run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1000, "allocs/op": 100}),
+	}}
+
+	t.Run("wall-clock noise inside loose bound passes", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1200, "allocs/op": 105}),
+		}}
+		var sb strings.Builder
+		if !compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("+20%% ns/op should pass the 25%% bound:\n%s", sb.String())
+		}
+	})
+	t.Run("wall-clock regression beyond loose bound fails", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1300, "allocs/op": 100}),
+		}}
+		var sb strings.Builder
+		if compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("+30%% ns/op must fail the 25%% bound:\n%s", sb.String())
+		}
+	})
+	t.Run("alloc regression inside loose but beyond tight bound fails", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1000, "allocs/op": 120}),
+		}}
+		var sb strings.Builder
+		if compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("+20%% allocs/op must fail the 10%% bound:\n%s", sb.String())
 		}
 	})
 }

@@ -5,12 +5,18 @@
 // ns/op and B/op as well as custom b.ReportMetric units.
 //
 // It also compares two such documents, failing when any watched metric
-// regresses beyond a threshold — the allocation-regression gate run by
+// regresses beyond a threshold — the perf-regression gate run by
 // `make bench-gate`:
 //
 //	go test -run='^$' -bench BenchmarkPipeline -benchmem . | benchjson > BENCH_pipeline.json
 //	benchjson -compare old.json new.json -max-regress 10%
+//	benchjson -compare old.json new.json -metrics "ns/op=25%,B/op,allocs/op"
 //	... | benchjson > new.json && benchjson -compare BENCH_pipeline.json new.json
+//
+// A -metrics entry may carry its own threshold after "=" (percentage or
+// fraction), overriding the -max-regress default for that unit; that is
+// how wall clock (ns/op, inherently noisier across machines) is gated
+// at a looser 25% while allocation metrics stay tight.
 //
 // In compare mode the new file may be "-" to read JSON from stdin.
 // Runs are matched by name with the trailing -<GOMAXPROCS> suffix
@@ -55,8 +61,8 @@ func main() {
 	log.SetPrefix("benchjson: ")
 
 	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
-	maxRegress := flag.String("max-regress", "10%", "with -compare: maximum allowed relative regression, as a percentage (10%) or fraction (0.1)")
-	metricsFlag := flag.String("metrics", "ns/op,B/op,allocs/op", "with -compare: comma-separated metric units to gate on")
+	maxRegress := flag.String("max-regress", "10%", "with -compare: default maximum allowed relative regression, as a percentage (10%) or fraction (0.1)")
+	metricsFlag := flag.String("metrics", "ns/op,B/op,allocs/op", "with -compare: comma-separated metric units to gate on; a unit may carry its own threshold (ns/op=25%) overriding -max-regress")
 	flag.Parse()
 
 	if !*compare {
@@ -74,7 +80,7 @@ func main() {
 		maxRegress = rest.String("max-regress", *maxRegress, "maximum allowed relative regression")
 		metricsFlag = rest.String("metrics", *metricsFlag, "comma-separated metric units to gate on")
 		if err := rest.Parse(flag.Args()[2:]); err != nil || rest.NArg() != 0 {
-			log.Fatal("usage: benchjson -compare old.json new.json [-max-regress 10%] [-metrics ns/op,B/op,allocs/op]")
+			log.Fatal("usage: benchjson -compare old.json new.json [-max-regress 10%] [-metrics ns/op=25%,B/op,allocs/op]")
 		}
 	}
 	if flag.NArg() < 2 {
@@ -84,8 +90,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	metrics := splitMetrics(*metricsFlag)
-	if len(metrics) == 0 {
+	specs, err := parseMetricSpecs(*metricsFlag, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(specs) == 0 {
 		log.Fatal("-metrics must name at least one unit")
 	}
 	old, err := loadReport(flag.Arg(0))
@@ -96,7 +105,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !compareReports(os.Stdout, old, new_, metrics, threshold) {
+	if !compareReports(os.Stdout, old, new_, specs) {
 		os.Exit(1)
 	}
 }
@@ -234,15 +243,39 @@ func parseRegress(s string) (float64, error) {
 	return v, nil
 }
 
-// splitMetrics parses the -metrics CSV.
-func splitMetrics(s string) []string {
-	var out []string
+// metricSpec is one gated unit with its regression threshold. Wall
+// clock (ns/op) is noisier than allocation counts across machines, so
+// it typically rides with a looser per-unit threshold (ns/op=25%) while
+// allocs/op and B/op stay at the tight default.
+type metricSpec struct {
+	unit      string
+	threshold float64
+}
+
+// parseMetricSpecs parses the -metrics CSV. Each entry is a unit,
+// optionally with its own threshold after "=": "ns/op=25%" gates ns/op
+// at 25% while plain entries use the -max-regress default.
+func parseMetricSpecs(s string, def float64) ([]metricSpec, error) {
+	var out []metricSpec
 	for _, m := range strings.Split(s, ",") {
-		if m = strings.TrimSpace(m); m != "" {
-			out = append(out, m)
+		if m = strings.TrimSpace(m); m == "" {
+			continue
 		}
+		unit, thr, has := strings.Cut(m, "=")
+		spec := metricSpec{unit: strings.TrimSpace(unit), threshold: def}
+		if has {
+			v, err := parseRegress(thr)
+			if err != nil {
+				return nil, fmt.Errorf("bad -metrics entry %q: %v", m, err)
+			}
+			spec.threshold = v
+		}
+		if spec.unit == "" {
+			return nil, fmt.Errorf("bad -metrics entry %q: empty unit", m)
+		}
+		out = append(out, spec)
 	}
-	return out
+	return out, nil
 }
 
 // baseName strips the trailing -<GOMAXPROCS> suffix go test appends to
@@ -267,11 +300,11 @@ func baseName(name string) string {
 
 // compareReports prints a per-metric delta table and reports whether
 // the gate passes: every old run present in new, and no watched metric
-// regressed (increased) by more than threshold. Metrics absent from
-// a run (e.g. allocs/op without -benchmem) are skipped, but a metric
-// present in old and missing in new fails — the gate must not pass
-// because instrumentation was dropped.
-func compareReports(w io.Writer, old, new_ Report, metrics []string, threshold float64) bool {
+// regressed (increased) by more than its spec's threshold. Metrics
+// absent from a run (e.g. allocs/op without -benchmem) are skipped, but
+// a metric present in old and missing in new fails — the gate must not
+// pass because instrumentation was dropped.
+func compareReports(w io.Writer, old, new_ Report, specs []metricSpec) bool {
 	newByName := map[string]Run{}
 	for _, r := range new_.Runs {
 		newByName[baseName(r.Name)] = r
@@ -292,14 +325,14 @@ func compareReports(w io.Writer, old, new_ Report, metrics []string, threshold f
 			ok = false
 			continue
 		}
-		for _, m := range metrics {
-			ov, hasOld := or.Metrics[m]
+		for _, spec := range specs {
+			ov, hasOld := or.Metrics[spec.unit]
 			if !hasOld {
 				continue
 			}
-			nv, hasNew := nr.Metrics[m]
+			nv, hasNew := nr.Metrics[spec.unit]
 			if !hasNew {
-				fmt.Fprintf(w, "FAIL %s %s: metric missing from new report\n", name, m)
+				fmt.Fprintf(w, "FAIL %s %s: metric missing from new report\n", name, spec.unit)
 				ok = false
 				continue
 			}
@@ -309,11 +342,11 @@ func compareReports(w io.Writer, old, new_ Report, metrics []string, threshold f
 			} else if nv > 0 {
 				frac = 1 // from zero to nonzero: treat as full regression
 			}
-			bad := frac > threshold
+			bad := frac > spec.threshold
 			if bad {
 				ok = false
 			}
-			rows = append(rows, row{name, m, ov, nv, frac, bad})
+			rows = append(rows, row{name, spec.unit, ov, nv, frac, bad})
 		}
 	}
 
@@ -327,10 +360,14 @@ func compareReports(w io.Writer, old, new_ Report, metrics []string, threshold f
 		fmt.Fprintf(w, "%-40s %-10s %15.0f %15.0f %+7.1f%%%s\n",
 			r.name, r.metric, r.oldV, r.newV, r.frac*100, status)
 	}
-	if ok {
-		fmt.Fprintf(w, "PASS (max allowed regression %.1f%%)\n", threshold*100)
-	} else {
-		fmt.Fprintf(w, "FAIL (max allowed regression %.1f%%)\n", threshold*100)
+	limits := make([]string, len(specs))
+	for i, spec := range specs {
+		limits[i] = fmt.Sprintf("%s %.1f%%", spec.unit, spec.threshold*100)
 	}
+	verdict := "PASS"
+	if !ok {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "%s (max allowed regression: %s)\n", verdict, strings.Join(limits, ", "))
 	return ok
 }

@@ -1,0 +1,161 @@
+// Command webiq-eval runs the matching-quality evaluation harness: the
+// full pipeline over the paper's five domains plus a sweep of synthetic
+// domains, scored per stage (Surface, Attr-Surface, Attr-Deep), on the
+// final acquired instances, and on matcher merge accuracy — aggregated
+// as mean/stddev across -runs seeds.
+//
+// Usage:
+//
+//	webiq-eval [-runs 3] [-seed 1] [-synth 20] [-domains airfare,auto]
+//	           [-faults p10] [-tau 0.1] [-workers 4]
+//	           [-json EVAL_quality.json] [-detail] [-metrics]
+//	           [-baseline EVAL_quality.json] [-max-drop 0.02]
+//
+// With -baseline the command becomes the quality gate: it compares the
+// fresh aggregates against the committed baseline and exits 1 if any
+// stage's precision/recall/F1 mean dropped by more than -max-drop
+// (default two points). Every reported number is explainable: per-domain
+// trace IDs are printed, and the decision ledger behind them carries the
+// same IDs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"webiq/internal/eval"
+	"webiq/internal/obs"
+	"webiq/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("webiq-eval: ")
+
+	runs := flag.Int("runs", 1, "number of seeded repetitions (run i uses seed+i)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	synthN := flag.Int("synth", 20, "number of synthetic sweep domains (0 disables the sweep)")
+	domains := flag.String("domains", "", "comma-separated paper domain keys (empty = all five)")
+	faults := flag.String("faults", "", "inject the named fault profile (p10, p30, latency2x, burst, malformed) into every run")
+	tau := flag.Float64("tau", 0.1, "matcher clustering threshold")
+	workers := flag.Int("workers", 0, "worker-pool size for acquisition and matcher (0 = sequential)")
+	jsonOut := flag.String("json", "", "write the quality report (EVAL_quality.json format) to this file")
+	detail := flag.Bool("detail", false, "include per-run, per-domain values in the JSON report")
+	metricsDump := flag.Bool("metrics", false, "print the webiq_eval_* metrics snapshot (Prometheus text format) to stdout")
+	baseline := flag.String("baseline", "", "gate against this committed quality report; exit 1 on regression")
+	maxDrop := flag.Float64("max-drop", 0.02, "maximum tolerated mean drop of a gated component (absolute; 0.02 = two points)")
+	quiet := flag.Bool("q", false, "suppress per-domain progress lines")
+	flag.Parse()
+
+	cfg := eval.RunConfig{
+		Runs:         *runs,
+		Seed:         *seed,
+		FaultProfile: *faults,
+		Tau:          *tau,
+		Workers:      *workers,
+	}
+	if *domains != "" {
+		for _, k := range strings.Split(*domains, ",") {
+			cfg.Domains = append(cfg.Domains, strings.TrimSpace(k))
+		}
+	}
+	if *synthN > 0 {
+		cfg.Scenarios = synth.Sweep(*synthN, *seed)
+	}
+	if *metricsDump {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if !*quiet {
+		cfg.Progress = func(run int, domain string) {
+			fmt.Fprintf(os.Stderr, "run %d: %s\n", run, domain)
+		}
+	}
+
+	res, err := eval.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := eval.NewQualityReport(cfg, res, *detail)
+
+	printSummary(res)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nQuality report written to %s\n", *jsonOut)
+	}
+	if *metricsDump {
+		fmt.Println("\n# webiq_eval_* metrics snapshot")
+		cfg.Obs.WritePrometheus(os.Stdout)
+	}
+
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := eval.ReadQualityReport(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		regs := eval.Compare(base, report, *maxDrop)
+		if len(regs) > 0 {
+			fmt.Printf("\nQUALITY GATE FAILED vs %s (max drop %.3f):\n", *baseline, *maxDrop)
+			for _, r := range regs {
+				fmt.Printf("  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nQuality gate passed vs %s (max drop %.3f)\n", *baseline, *maxDrop)
+	}
+}
+
+// printSummary renders the aggregate table: one row per metric, the
+// standard components as mean±stddev.
+func printSummary(res *eval.Result) {
+	names := make([]string, 0, len(res.Aggregates))
+	for name := range res.Aggregates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	nDomains := 0
+	if len(res.Runs) > 0 {
+		nDomains = len(res.Runs[0].Domains)
+	}
+	fmt.Printf("Evaluation: %d run(s) x %d domain(s)\n\n", len(res.Runs), nDomains)
+	fmt.Printf("%-14s %-16s %-16s %-16s\n", "metric", "precision", "recall", "f1")
+	for _, name := range names {
+		agg := res.Aggregates[name]
+		if _, ok := agg["f1"]; !ok {
+			continue
+		}
+		fmt.Printf("%-14s %-16s %-16s %-16s\n", name,
+			cell(agg["precision"]), cell(agg["recall"]), cell(agg["f1"]))
+	}
+	if deg, ok := res.Aggregates["degradation"]; ok {
+		fmt.Printf("\ndegradations (mean per run): total=%.1f\n", deg["n_total"].Mean)
+	}
+	if match, ok := res.Aggregates["match"]; ok {
+		if ce, has := match["cluster_exact"]; has {
+			fmt.Printf("exact unified-interface clusters: %.1f%%\n", 100*ce.Mean)
+		}
+	}
+}
+
+func cell(a eval.Aggregate) string {
+	return fmt.Sprintf("%.3f±%.3f", a.Mean, a.Stddev)
+}

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"webiq/internal/obs"
 	"webiq/internal/resilience"
 	"webiq/internal/server"
 )
@@ -41,6 +42,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-injection stream")
 	maxInflight := flag.Int("max-inflight", 0, "bound concurrent requests (admission control); 0 disables")
 	queue := flag.Int("queue", 16, "requests allowed to wait for an admission slot before shedding with 503")
+	traceRetention := flag.Int("trace-retention", obs.DefTraceRetention, "per-trace FIFO store capacity for /trace/{id} lookups; 0 or negative disables the store")
 	flag.Parse()
 
 	var opts []server.Option
@@ -58,6 +60,10 @@ func main() {
 			MaxQueued:   *queue,
 		}))
 		log.Printf("admission control on: %d in flight, %d queued", *maxInflight, *queue)
+	}
+	if *traceRetention != obs.DefTraceRetention {
+		opts = append(opts, server.WithTraceRetention(*traceRetention))
+		log.Printf("trace retention: %d traces", *traceRetention)
 	}
 
 	start := time.Now()

@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// QualityReport is the machine-readable output of an evaluation — the
+// quality counterpart of BENCH_pipeline.json. The committed copy on
+// main is the baseline `make eval-gate` compares against.
+type QualityReport struct {
+	// SchemaVersion guards the on-disk format.
+	SchemaVersion int `json:"schema_version"`
+	// Config echoes how the evaluation was produced.
+	Config QualityConfig `json:"config"`
+	// Aggregates are the pooled metric components, mean/stddev across
+	// runs: metric name → component → aggregate.
+	Aggregates map[string]map[string]Aggregate `json:"aggregates"`
+	// Runs are the per-run, per-domain details (omitted in baselines to
+	// keep the committed file reviewable; the gate only needs
+	// Aggregates).
+	Runs []RunResult `json:"runs,omitempty"`
+}
+
+// QualityConfig records the evaluation parameters inside the report.
+type QualityConfig struct {
+	Runs         int      `json:"runs"`
+	Seed         int64    `json:"seed"`
+	Domains      []string `json:"domains"`
+	Synthetic    int      `json:"synthetic"`
+	FaultProfile string   `json:"fault_profile,omitempty"`
+	Tau          float64  `json:"tau"`
+}
+
+// QualitySchemaVersion is the current QualityReport format version.
+const QualitySchemaVersion = 1
+
+// NewQualityReport assembles a report from an evaluation result.
+func NewQualityReport(cfg RunConfig, res *Result, detail bool) *QualityReport {
+	qc := QualityConfig{
+		Runs:         len(res.Runs),
+		Seed:         cfg.Seed,
+		Domains:      cfg.Domains,
+		Synthetic:    len(cfg.Scenarios),
+		FaultProfile: cfg.FaultProfile,
+		Tau:          cfg.Tau,
+	}
+	if qc.Domains == nil {
+		qc.Domains = []string{}
+	}
+	rep := &QualityReport{
+		SchemaVersion: QualitySchemaVersion,
+		Config:        qc,
+		Aggregates:    res.Aggregates,
+	}
+	if detail {
+		rep.Runs = res.Runs
+	}
+	return rep
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (q *QualityReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(q)
+}
+
+// ReadQualityReport deserializes a report written by WriteJSON.
+func ReadQualityReport(r io.Reader) (*QualityReport, error) {
+	var q QualityReport
+	if err := json.NewDecoder(r).Decode(&q); err != nil {
+		return nil, fmt.Errorf("decode quality report: %w", err)
+	}
+	if q.SchemaVersion != QualitySchemaVersion {
+		return nil, fmt.Errorf("quality report schema version %d, want %d", q.SchemaVersion, QualitySchemaVersion)
+	}
+	return &q, nil
+}
+
+// Regression is one gated component that got worse beyond tolerance.
+type Regression struct {
+	Metric    string  `json:"metric"`
+	Component string  `json:"component"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	Drop      float64 `json:"drop"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: baseline %.4f -> current %.4f (drop %.4f)",
+		r.Metric, r.Component, r.Baseline, r.Current, r.Drop)
+}
+
+// GateComponents are the quality-bearing ratio components the gate
+// watches. Counts and stddevs are informational; degradation totals are
+// fault-profile dependent and not gated.
+var GateComponents = []string{"precision", "recall", "f1"}
+
+// Compare gates the current report against a baseline: any watched
+// component whose mean dropped by more than maxDrop (absolute, e.g.
+// 0.02 for two points) is a regression. Improvements and new metrics
+// never fail the gate; a metric present in the baseline but missing now
+// fails loudly, because silently losing a stage score is itself a
+// regression.
+func Compare(baseline, current *QualityReport, maxDrop float64) []Regression {
+	var regs []Regression
+	names := make([]string, 0, len(baseline.Aggregates))
+	for name := range baseline.Aggregates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Aggregates[name]
+		cur, ok := current.Aggregates[name]
+		if !ok {
+			for _, comp := range GateComponents {
+				if b, has := base[comp]; has {
+					regs = append(regs, Regression{
+						Metric: name, Component: comp,
+						Baseline: b.Mean, Current: 0, Drop: b.Mean,
+					})
+				}
+			}
+			continue
+		}
+		for _, comp := range GateComponents {
+			b, has := base[comp]
+			if !has {
+				continue
+			}
+			c := cur[comp]
+			if drop := b.Mean - c.Mean; drop > maxDrop {
+				regs = append(regs, Regression{
+					Metric: name, Component: comp,
+					Baseline: b.Mean, Current: c.Mean, Drop: drop,
+				})
+			}
+		}
+	}
+	return regs
+}

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"webiq/internal/obs"
+	"webiq/internal/synth"
+)
+
+// smallRun is one cheap evaluation: one paper domain, two synthetic
+// sweep domains, one seed.
+func smallRun(t *testing.T, mutate func(*RunConfig)) *Result {
+	t.Helper()
+	cfg := RunConfig{
+		Domains:   []string{"airfare"},
+		Scenarios: synth.Sweep(2, 1),
+		Runs:      1,
+		Seed:      1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res := smallRun(t, nil)
+
+	if len(res.Runs) != 1 || len(res.Runs[0].Domains) != 3 {
+		t.Fatalf("want 1 run x 3 domains, got %d x %d", len(res.Runs), len(res.Runs[0].Domains))
+	}
+	for _, dr := range res.Runs[0].Domains {
+		if dr.TraceID == "" {
+			t.Fatalf("domain %s has no trace ID — decisions are not explainable", dr.Domain)
+		}
+		if len(dr.Values) != 6 {
+			t.Fatalf("domain %s scored %d metrics, want 6", dr.Domain, len(dr.Values))
+		}
+	}
+	// The paper domain must come out non-synthetic, the sweep domains
+	// synthetic.
+	if res.Runs[0].Domains[0].Domain != "airfare" || res.Runs[0].Domains[0].Synthetic {
+		t.Fatalf("first domain = %+v, want non-synthetic airfare", res.Runs[0].Domains[0])
+	}
+	if !res.Runs[0].Domains[1].Synthetic {
+		t.Fatal("sweep domain not marked synthetic")
+	}
+
+	// The pipeline actually works: overall acquired quality is high.
+	acq := res.Aggregates["acquired"]
+	if acq["f1"].Mean < 0.7 {
+		t.Fatalf("acquired F1 = %v, suspiciously low", acq["f1"].Mean)
+	}
+	if res.Aggregates["match"]["f1"].Mean < 0.7 {
+		t.Fatalf("match F1 = %v, suspiciously low", res.Aggregates["match"]["f1"].Mean)
+	}
+	// Single run: stddev must be exactly zero.
+	if acq["f1"].Stddev != 0 {
+		t.Fatalf("single-run stddev = %v, want 0", acq["f1"].Stddev)
+	}
+}
+
+func TestRunDeterministicAcrossInvocations(t *testing.T) {
+	a := smallRun(t, nil)
+	b := smallRun(t, nil)
+	for name, agg := range a.Aggregates {
+		for comp, v := range agg {
+			if b.Aggregates[name][comp].Mean != v.Mean {
+				t.Fatalf("%s/%s differs across identical runs: %v vs %v",
+					name, comp, v.Mean, b.Aggregates[name][comp].Mean)
+			}
+		}
+	}
+}
+
+func TestRunEmitsObsGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	smallRun(t, func(cfg *RunConfig) { cfg.Obs = reg })
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{"webiq_eval_f1", "webiq_eval_precision", "webiq_eval_recall", `metric="surface"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownDomain(t *testing.T) {
+	_, err := Run(RunConfig{Domains: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown domain error = %v", err)
+	}
+}
+
+func TestRunWithFaultProfile(t *testing.T) {
+	res := smallRun(t, func(cfg *RunConfig) {
+		cfg.FaultProfile = "p30"
+		cfg.Scenarios = nil // one domain is enough for the fault path
+	})
+	deg := res.Aggregates["degradation"]
+	if deg["n_total"].Mean == 0 {
+		t.Fatal("p30 fault profile produced zero degradations")
+	}
+
+	if _, err := Run(RunConfig{FaultProfile: "no-such-profile"}); err == nil {
+		t.Fatal("unknown fault profile accepted")
+	}
+}

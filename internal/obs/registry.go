@@ -328,11 +328,13 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
-// Quantile estimates the q-quantile (0 < q < 1) of the observed values
-// by linear interpolation within the bucket holding the target rank —
-// the standard fixed-bucket estimate, exact only at bucket boundaries.
-// Observations above the last finite bound are clamped to it. Returns 0
-// when the histogram is empty.
+// Quantile estimates the q-quantile of the observed values by linear
+// interpolation within the bucket holding the target rank — the
+// standard fixed-bucket estimate, exact only at bucket boundaries.
+// Observations above the last finite bound are clamped to it, and q is
+// clamped into [0, 1] (q ≤ 0 gives the lower edge of the first occupied
+// bucket, q ≥ 1 the upper edge of the last). Returns 0 when the
+// histogram is empty.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -340,6 +342,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Count()
 	if total == 0 {
 		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(total)
 	cum := uint64(0)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -169,4 +170,73 @@ func TestLabelEscaping(t *testing.T) {
 	if !strings.Contains(sb.String(), `test_esc_total{v="a\"b\\c\nd"} 1`) {
 		t.Errorf("escaping wrong:\n%s", sb.String())
 	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	t.Run("empty histogram", func(t *testing.T) {
+		h := r.Histogram("test_q_empty_seconds", "", []float64{1, 2, 4})
+		for _, q := range []float64{0, 0.5, 1, -1, 2} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single observation", func(t *testing.T) {
+		h := r.Histogram("test_q_single_seconds", "", []float64{1, 2, 4})
+		h.Observe(1.5) // lands in (1,2]
+		// Every quantile must stay inside the observation's bucket.
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got < 1 || got > 2 {
+				t.Errorf("single-obs Quantile(%v) = %v, outside bucket (1,2]", q, got)
+			}
+		}
+		if got := h.Quantile(1); got != 2 {
+			t.Errorf("Quantile(1) = %v, want upper edge 2", got)
+		}
+		if got := h.Quantile(0); got != 1 {
+			t.Errorf("Quantile(0) = %v, want lower edge 1", got)
+		}
+	})
+
+	t.Run("q zero and one bound the distribution", func(t *testing.T) {
+		h := r.Histogram("test_q_bounds_seconds", "", []float64{1, 2, 4})
+		for _, v := range []float64{0.5, 1.5, 3, 3.5} {
+			h.Observe(v)
+		}
+		if got := h.Quantile(0); got != 0 {
+			t.Errorf("Quantile(0) = %v, want lower edge of first occupied bucket (0)", got)
+		}
+		if got := h.Quantile(1); got != 4 {
+			t.Errorf("Quantile(1) = %v, want upper edge of last occupied bucket (4)", got)
+		}
+	})
+
+	t.Run("out-of-range q clamps", func(t *testing.T) {
+		h := r.Histogram("test_q_clamp_seconds", "", []float64{1, 2, 4})
+		for _, v := range []float64{0.5, 1.5, 3} {
+			h.Observe(v)
+		}
+		if got, want := h.Quantile(-0.5), h.Quantile(0); got != want {
+			t.Errorf("Quantile(-0.5) = %v, want clamp to Quantile(0) = %v", got, want)
+		}
+		if got, want := h.Quantile(7), h.Quantile(1); got != want {
+			t.Errorf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, want)
+		}
+		if got := h.Quantile(-0.5); got < 0 {
+			t.Errorf("negative q produced value below the histogram range: %v", got)
+		}
+		if got, want := h.Quantile(math.NaN()), h.Quantile(0); got != want {
+			t.Errorf("Quantile(NaN) = %v, want clamp to Quantile(0) = %v", got, want)
+		}
+	})
+
+	t.Run("nil histogram", func(t *testing.T) {
+		var h *Histogram
+		if got := h.Quantile(0.5); got != 0 {
+			t.Errorf("nil Quantile = %v, want 0", got)
+		}
+	})
 }

@@ -160,3 +160,60 @@ func TestUnifiedSingleflight(t *testing.T) {
 		t.Error("singleflight violated: builds counter for job is not 1")
 	}
 }
+
+// TestTraceRetentionBounds pins the WithTraceRetention option: the
+// per-trace store keeps exactly the n most recent traces, older ones
+// evict FIFO, and n <= 0 disables /trace/{id} resolution entirely.
+func TestTraceRetentionBounds(t *testing.T) {
+	s := New(1, WithTraceRetention(2))
+	var ids []string
+	for i := 0; i < 4; i++ {
+		req := httptest.NewRequest("GET", "/sources", nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		id := rec.Header().Get("X-Trace-ID")
+		if id == "" {
+			t.Fatal("request minted no trace ID")
+		}
+		ids = append(ids, id)
+	}
+	// The store holds the 2 most recent traces. Check the newest first:
+	// every /trace lookup mints a trace of its own, so each check evicts
+	// one more of the originals.
+	if code, _ := get(t, s, "/trace/"+ids[3]); code != 200 {
+		t.Errorf("most recent trace %s: code=%d, want 200", ids[3], code)
+	}
+	for _, id := range ids[:2] {
+		if code, _ := get(t, s, "/trace/"+id); code != 404 {
+			t.Errorf("evicted trace %s: code=%d, want 404", id, code)
+		}
+	}
+
+	// The default capacity (DefTraceRetention=512) keeps all four plus
+	// the lookup traces around.
+	def := testServer(t)
+	var defIDs []string
+	for i := 0; i < 4; i++ {
+		req := httptest.NewRequest("GET", "/sources", nil)
+		rec := httptest.NewRecorder()
+		def.ServeHTTP(rec, req)
+		defIDs = append(defIDs, rec.Header().Get("X-Trace-ID"))
+	}
+	for _, id := range defIDs {
+		if code, _ := get(t, def, "/trace/"+id); code != 200 {
+			t.Errorf("default retention lost trace %s: code=%d, want 200", id, code)
+		}
+	}
+
+	off := New(1, WithTraceRetention(0))
+	req := httptest.NewRequest("GET", "/sources", nil)
+	rec := httptest.NewRecorder()
+	off.ServeHTTP(rec, req)
+	id := rec.Header().Get("X-Trace-ID")
+	if id == "" {
+		t.Fatal("disabled retention still mints trace IDs for headers")
+	}
+	if code, _ := get(t, off, "/trace/"+id); code != 404 {
+		t.Errorf("retention disabled: /trace/%s code=%d, want 404", id, code)
+	}
+}

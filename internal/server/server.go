@@ -77,6 +77,12 @@ type Server struct {
 	srcClient *resilience.SourceClient
 	draining  atomic.Bool
 
+	// Trace retention override (WithTraceRetention). Options run before
+	// the tracer exists, so the value is held until New applies it; the
+	// set flag distinguishes "unset" from an explicit 0 (disable).
+	traceRetention    int
+	traceRetentionSet bool
+
 	mu           sync.Mutex
 	datasets     map[string]*schema.Dataset
 	pools        map[string]*deepweb.Pool
@@ -107,6 +113,17 @@ func WithFaultProfile(prof resilience.Profile, seed int64) Option {
 	return func(s *Server) {
 		s.faults = prof
 		s.faultSeed = seed
+	}
+}
+
+// WithTraceRetention bounds the tracer's per-trace FIFO store to the n
+// most recent traces instead of the default obs.DefTraceRetention.
+// n <= 0 disables per-trace retention: /trace/{id} then always 404s,
+// while span streaming and totals keep working.
+func WithTraceRetention(n int) Option {
+	return func(s *Server) {
+		s.traceRetention = n
+		s.traceRetentionSet = true
 	}
 }
 
@@ -141,6 +158,9 @@ func New(seed int64, opts ...Option) *Server {
 		opt(s)
 	}
 	s.tracer = obs.NewTracer(nil)
+	if s.traceRetentionSet {
+		s.tracer.SetTraceRetention(s.traceRetention)
+	}
 	s.engine.Instrument(s.reg)
 	s.ready = s.reg.GaugeVec("webiq_unified_ready", "1 when the domain's unified interface has been built, 0 while pending.", "domain")
 	s.builds = s.reg.CounterVec("webiq_unified_builds_total", "Unified-interface builds performed, by domain.", "domain")

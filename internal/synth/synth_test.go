@@ -1,0 +1,104 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"webiq/internal/dataset"
+)
+
+func TestSweepDeterministicAndDistinct(t *testing.T) {
+	a := Sweep(20, 1)
+	b := Sweep(20, 1)
+	if len(a) != 20 {
+		t.Fatalf("Sweep(20) gave %d scenarios", len(a))
+	}
+	keys := map[string]bool{}
+	for i, sc := range a {
+		if sc.Domain == nil || sc.Domain.Key == "" {
+			t.Fatalf("scenario %d has no domain", i)
+		}
+		if keys[sc.Domain.Key] {
+			t.Fatalf("duplicate domain key %q", sc.Domain.Key)
+		}
+		keys[sc.Domain.Key] = true
+		if !reflect.DeepEqual(sc.Domain, b[i].Domain) {
+			t.Fatalf("scenario %d not deterministic", i)
+		}
+		if sc.PresenceRate < 0.25 || sc.PresenceRate > 0.75 {
+			t.Fatalf("scenario %d presence rate %v outside [0.25, 0.75]", i, sc.PresenceRate)
+		}
+	}
+	// A different seed gives different vocabularies.
+	c := Sweep(1, 99)
+	if reflect.DeepEqual(a[0].Domain.Concepts[0].Groups, c[0].Domain.Concepts[0].Groups) {
+		t.Fatal("seed does not influence generated vocabularies")
+	}
+}
+
+func TestSweepCoversAxes(t *testing.T) {
+	scs := Sweep(20, 1)
+	styles := map[LabelStyle]bool{}
+	noises := map[int]bool{}
+	var ambiguous, units bool
+	for _, sc := range scs {
+		styles[sc.Style] = true
+		noises[sc.NoiseLevel] = true
+		ambiguous = ambiguous || sc.Ambiguous
+		units = units || sc.Units
+	}
+	if len(styles) != 4 || len(noises) != 3 || !ambiguous || !units {
+		t.Fatalf("axes not covered: styles=%v noises=%v zip=%v units=%v",
+			styles, noises, ambiguous, units)
+	}
+}
+
+func TestDomainsFeedThePipeline(t *testing.T) {
+	for _, sc := range Sweep(4, 1) {
+		// Concept IDs must be filled like kb's own (the gold standard
+		// keys on them).
+		for _, c := range sc.Domain.Concepts {
+			if c.ID == "" || c.Domain != sc.Domain.Key {
+				t.Fatalf("%s: concept %q missing identity", sc.Name, c.Name)
+			}
+			if c.Numeric == nil && len(c.AllInstances()) == 0 {
+				t.Fatalf("%s: concept %q has no instances", sc.Name, c.Name)
+			}
+		}
+		ds := dataset.Generate(sc.Domain, sc.DatasetConfig(1))
+		if got := len(ds.Interfaces); got != sc.Interfaces {
+			t.Fatalf("%s: %d interfaces, want %d", sc.Name, got, sc.Interfaces)
+		}
+		if len(ds.GoldClusters()) == 0 {
+			t.Fatalf("%s: dataset has no gold clusters", sc.Name)
+		}
+		st := ds.ComputeStats()
+		if st.Attributes == 0 {
+			t.Fatalf("%s: dataset has no attributes", sc.Name)
+		}
+	}
+
+	// The presence knob moves the instance-less fraction in the right
+	// direction: low presence → more attributes without instances.
+	lo, hi := Sweep(1, 1)[0], Sweep(5, 1)[4] // p=0.25 vs p=0.75
+	if lo.PresenceRate >= hi.PresenceRate {
+		t.Fatal("sweep order assumption broken")
+	}
+	dsLo := dataset.Generate(lo.Domain, lo.DatasetConfig(1))
+	dsHi := dataset.Generate(hi.Domain, hi.DatasetConfig(1))
+	if dsLo.ComputeStats().PctAttrsNoInst <= dsHi.ComputeStats().PctAttrsNoInst {
+		t.Fatalf("presence rate has no effect: p=0.25 → %.1f%%, p=0.75 → %.1f%%",
+			dsLo.ComputeStats().PctAttrsNoInst, dsHi.ComputeStats().PctAttrsNoInst)
+	}
+}
+
+func TestCorpusConfigNoiseScaling(t *testing.T) {
+	scs := Sweep(3, 1)
+	var byLevel [3]float64
+	for _, sc := range scs {
+		byLevel[sc.NoiseLevel] = sc.CorpusConfig(1).ConfusionRate
+	}
+	if !(byLevel[0] < byLevel[1] && byLevel[1] < byLevel[2]) {
+		t.Fatalf("noise levels not monotone: %v", byLevel)
+	}
+}
