@@ -12,7 +12,9 @@ package webiq_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -98,7 +100,44 @@ func BenchmarkPipeline(b *testing.B) {
 			run(cache, env, cfg)
 		}
 	})
+	// The parallel-N suite pins GOMAXPROCS to N and runs the optimized
+	// pipeline with N validation workers, reporting the multi-core
+	// scaling curve: speedup over the N=1 run of the same invocation and
+	// scaling efficiency (speedup/N, as a percentage). eff% at 8 cores is
+	// gated in CI so a change that serializes the hot path — a new global
+	// lock, a singleflight regression — fails the bench gate even when
+	// single-core ns/op stays flat.
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("parallel-%d", n), func(b *testing.B) {
+			env := benchEnvironment(b)
+			old := runtime.GOMAXPROCS(n)
+			defer runtime.GOMAXPROCS(old)
+			cfg := env.WebIQCfg
+			cfg.Parallelism = n
+			cache := surfaceweb.NewCachedEngine(env.Engine, surfaceweb.DefaultCacheShards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(cache, env, cfg)
+			}
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if n == 1 {
+				parallelBaseNs.Store(&nsPerOp)
+			}
+			if base := parallelBaseNs.Load(); base != nil && *base > 0 && nsPerOp > 0 {
+				speedup := *base / nsPerOp
+				b.ReportMetric(speedup, "speedup")
+				b.ReportMetric(100*speedup/float64(n), "eff%")
+			}
+		})
+	}
 }
+
+// parallelBaseNs carries the parallel-1 ns/op of the current
+// BenchmarkPipeline invocation to the higher-N sub-benchmarks, which
+// report their speedup relative to it. Runs that filter out parallel-1
+// simply omit the scaling metrics.
+var parallelBaseNs atomic.Pointer[float64]
 
 // BenchmarkTable1Acquisition regenerates Table 1's acquisition columns:
 // per-domain instance acquisition with Surface and Surface+Deep.

@@ -194,3 +194,89 @@ PASS
 		t.Errorf("unexpected run: %+v", r)
 	}
 }
+
+func TestCompareReportsNewRunsInformational(t *testing.T) {
+	metrics := specs(0.1, "ns/op")
+	old := Report{Runs: []Run{
+		run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1000}),
+	}}
+	new_ := Report{Runs: []Run{
+		run("BenchmarkPipeline/seed-4", 3, map[string]float64{"ns/op": 1000}),
+		run("BenchmarkPipeline/parallel-8-4", 3, map[string]float64{"ns/op": 500, "eff%": 80}),
+		run("BenchmarkPipeline/parallel-16-4", 3, map[string]float64{"ns/op": 400, "eff%": 60}),
+	}}
+	var sb strings.Builder
+	if !compareReports(&sb, old, new_, metrics) {
+		t.Fatalf("runs new in the report must not fail the gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"NEW  BenchmarkPipeline/parallel-8", "NEW  BenchmarkPipeline/parallel-16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NEW  BenchmarkPipeline/seed") {
+		t.Errorf("matched run reported as NEW:\n%s", out)
+	}
+}
+
+func TestParseMetricSpecsLowerWorse(t *testing.T) {
+	got, err := parseMetricSpecs("ns/op=25%,<eff%=15%, <speedup ", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []metricSpec{
+		{unit: "ns/op", threshold: 0.25},
+		{unit: "eff%", threshold: 0.15, lowerWorse: true},
+		{unit: "speedup", threshold: 0.1, lowerWorse: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := parseMetricSpecs("<", 0.1); err == nil {
+		t.Error(`parseMetricSpecs("<"): want error for empty unit`)
+	}
+}
+
+func TestCompareReportsLowerWorse(t *testing.T) {
+	metrics := []metricSpec{{unit: "eff%", threshold: 0.15, lowerWorse: true}}
+	old := Report{Runs: []Run{
+		run("BenchmarkPipeline/parallel-8-8", 3, map[string]float64{"eff%": 80}),
+	}}
+
+	t.Run("drop inside threshold passes", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/parallel-8-4", 3, map[string]float64{"eff%": 72}),
+		}}
+		var sb strings.Builder
+		if !compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("-10%% eff%% should pass the 15%% bound:\n%s", sb.String())
+		}
+	})
+	t.Run("drop beyond threshold fails", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/parallel-8-4", 3, map[string]float64{"eff%": 60}),
+		}}
+		var sb strings.Builder
+		if compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("-25%% eff%% must fail the 15%% bound:\n%s", sb.String())
+		}
+		if !strings.Contains(sb.String(), "REGRESSION") {
+			t.Errorf("output missing REGRESSION marker:\n%s", sb.String())
+		}
+	})
+	t.Run("rise never fails a lower-is-worse unit", func(t *testing.T) {
+		new_ := Report{Runs: []Run{
+			run("BenchmarkPipeline/parallel-8-4", 3, map[string]float64{"eff%": 200}),
+		}}
+		var sb strings.Builder
+		if !compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("+150%% eff%% is an improvement, must pass:\n%s", sb.String())
+		}
+	})
+}

@@ -16,14 +16,20 @@
 // A -metrics entry may carry its own threshold after "=" (percentage or
 // fraction), overriding the -max-regress default for that unit; that is
 // how wall clock (ns/op, inherently noisier across machines) is gated
-// at a looser 25% while allocation metrics stay tight.
+// at a looser 25% while allocation metrics stay tight. A unit prefixed
+// with "<" gates in the other direction — lower is worse — for metrics
+// like scaling efficiency ("<eff%=15%") where a drop, not a rise, is
+// the regression.
 //
 // In compare mode the new file may be "-" to read JSON from stdin.
 // Runs are matched by name with the trailing -<GOMAXPROCS> suffix
 // stripped, so a gate run on an 8-core CI box compares against a
 // baseline recorded on any other machine. A baseline run missing from
-// the new report is an error; higher-is-worse deltas beyond
-// -max-regress on any -metrics unit exit nonzero.
+// the new report is an error; runs present only in the new report — a
+// benchmark suite grew before its baseline was refreshed — are listed
+// as "NEW" informationally and do not affect the verdict. Deltas beyond
+// the threshold in a unit's worse direction on any -metrics unit exit
+// nonzero.
 package main
 
 import (
@@ -250,11 +256,17 @@ func parseRegress(s string) (float64, error) {
 type metricSpec struct {
 	unit      string
 	threshold float64
+	// lowerWorse flips the gated direction: the metric regresses by
+	// DECREASING (scaling efficiency, throughput), so the gate fires on
+	// drops beyond the threshold instead of rises.
+	lowerWorse bool
 }
 
 // parseMetricSpecs parses the -metrics CSV. Each entry is a unit,
 // optionally with its own threshold after "=": "ns/op=25%" gates ns/op
-// at 25% while plain entries use the -max-regress default.
+// at 25% while plain entries use the -max-regress default. A "<" prefix
+// marks the unit lower-is-worse: "<eff%=15%" fails when eff% drops more
+// than 15%.
 func parseMetricSpecs(s string, def float64) ([]metricSpec, error) {
 	var out []metricSpec
 	for _, m := range strings.Split(s, ",") {
@@ -263,6 +275,10 @@ func parseMetricSpecs(s string, def float64) ([]metricSpec, error) {
 		}
 		unit, thr, has := strings.Cut(m, "=")
 		spec := metricSpec{unit: strings.TrimSpace(unit), threshold: def}
+		if strings.HasPrefix(spec.unit, "<") {
+			spec.lowerWorse = true
+			spec.unit = strings.TrimSpace(strings.TrimPrefix(spec.unit, "<"))
+		}
 		if has {
 			v, err := parseRegress(thr)
 			if err != nil {
@@ -300,14 +316,26 @@ func baseName(name string) string {
 
 // compareReports prints a per-metric delta table and reports whether
 // the gate passes: every old run present in new, and no watched metric
-// regressed (increased) by more than its spec's threshold. Metrics
-// absent from a run (e.g. allocs/op without -benchmem) are skipped, but
-// a metric present in old and missing in new fails — the gate must not
-// pass because instrumentation was dropped.
+// regressed — increased, or for lower-is-worse units decreased — by
+// more than its spec's threshold. Metrics absent from a run (e.g.
+// allocs/op without -benchmem) are skipped, but a metric present in old
+// and missing in new fails — the gate must not pass because
+// instrumentation was dropped. Runs present only in the new report are
+// listed as NEW, informationally: a freshly added benchmark must not
+// fail the gate before the baseline is refreshed to record it.
 func compareReports(w io.Writer, old, new_ Report, specs []metricSpec) bool {
 	newByName := map[string]Run{}
 	for _, r := range new_.Runs {
 		newByName[baseName(r.Name)] = r
+	}
+	oldNames := map[string]bool{}
+	for _, r := range old.Runs {
+		oldNames[baseName(r.Name)] = true
+	}
+	for _, r := range new_.Runs {
+		if !oldNames[baseName(r.Name)] {
+			fmt.Fprintf(w, "NEW  %s: not in baseline (informational)\n", baseName(r.Name))
+		}
 	}
 
 	type row struct {
@@ -343,6 +371,9 @@ func compareReports(w io.Writer, old, new_ Report, specs []metricSpec) bool {
 				frac = 1 // from zero to nonzero: treat as full regression
 			}
 			bad := frac > spec.threshold
+			if spec.lowerWorse {
+				bad = -frac > spec.threshold
+			}
 			if bad {
 				ok = false
 			}
@@ -362,7 +393,11 @@ func compareReports(w io.Writer, old, new_ Report, specs []metricSpec) bool {
 	}
 	limits := make([]string, len(specs))
 	for i, spec := range specs {
-		limits[i] = fmt.Sprintf("%s %.1f%%", spec.unit, spec.threshold*100)
+		dir := ""
+		if spec.lowerWorse {
+			dir = "<"
+		}
+		limits[i] = fmt.Sprintf("%s%s %.1f%%", dir, spec.unit, spec.threshold*100)
 	}
 	verdict := "PASS"
 	if !ok {

@@ -20,9 +20,10 @@ func IsStopword(w string) bool { return stopwords[w] }
 // ContentWords returns the non-stopword word tokens of text, normalized.
 func ContentWords(text string) []string {
 	var out []string
-	for _, w := range Words(text) {
-		if !IsStopword(w) {
-			out = append(out, w)
+	var sc TokenScanner
+	for sc.Reset(text); sc.Scan(); {
+		if t := sc.Token(); t.Kind != Punct && !IsStopword(t.Norm) {
+			out = append(out, t.Norm)
 		}
 	}
 	return out

@@ -95,6 +95,9 @@ func (sc *TokenScanner) Scan() bool {
 	// string, even for invalid UTF-8 (which decodes as U+FFFD but must
 	// advance by its true encoded width).
 	runeAt := func(i int) (rune, int) {
+		if c := text[i]; c < utf8.RuneSelf {
+			return rune(c), 1
+		}
 		return utf8.DecodeRuneInString(text[i:])
 	}
 	i := sc.i
@@ -186,13 +189,20 @@ func isDigitAt(s string, i int) bool {
 // lower case. It is the common pre-processing step for similarity
 // computation and indexing.
 func Words(text string) []string {
-	var out []string
-	for _, t := range Tokenize(text) {
-		if t.Kind != Punct {
-			out = append(out, t.Norm)
+	return AppendWords(nil, text)
+}
+
+// AppendWords appends the word and number norms of text to dst —
+// equivalent to append(dst, Words(text)...) without materializing the
+// intermediate token slice.
+func AppendWords(dst []string, text string) []string {
+	var sc TokenScanner
+	for sc.Reset(text); sc.Scan(); {
+		if t := sc.Token(); t.Kind != Punct {
+			dst = append(dst, t.Norm)
 		}
 	}
-	return out
+	return dst
 }
 
 // Sentences splits text into sentences on '.', '!', '?' boundaries,

@@ -289,7 +289,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprintln(w, "<html><body><h1>Simulated Deep Web</h1>")
+	sl := getSlab()
+	fmt.Fprintln(&sl.buf, "<html><body><h1>Simulated Deep Web</h1>")
 	keys := make([]string, 0, len(s.datasets))
 	s.mu.Lock()
 	for k := range s.datasets {
@@ -298,16 +299,17 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(w, "<h2>%s</h2><ul>", k)
+		fmt.Fprintf(&sl.buf, "<h2>%s</h2><ul>", k)
 		s.mu.Lock()
 		ds := s.datasets[k]
 		s.mu.Unlock()
 		for _, ifc := range ds.Interfaces {
-			fmt.Fprintf(w, `<li><a href="/source/%s">%s</a></li>`, ifc.ID, ifc.Source)
+			fmt.Fprintf(&sl.buf, `<li><a href="/source/%s">%s</a></li>`, ifc.ID, ifc.Source)
 		}
-		fmt.Fprintf(w, `</ul><p><a href="/unified/%s">unified interface</a></p>`, k)
+		fmt.Fprintf(&sl.buf, `</ul><p><a href="/unified/%s">unified interface</a></p>`, k)
 	}
-	fmt.Fprintln(w, "</body></html>")
+	fmt.Fprintln(&sl.buf, "</body></html>")
+	sl.flush(w)
 }
 
 // sourceInfo is the JSON shape of one source in /sources.
@@ -346,7 +348,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, htmlform.Render(ifc))
+	io.WriteString(w, htmlform.Render(ifc))
 }
 
 // handleSearch simulates a form submission: the first filled field f<i>
@@ -364,10 +366,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, ifcID stri
 		if strings.TrimSpace(v) == "" {
 			continue
 		}
-		fmt.Fprint(w, src.Probe(a.ID, v))
+		io.WriteString(w, src.Probe(a.ID, v))
 		return
 	}
-	fmt.Fprint(w, "<html><body><p>Error: please fill in at least one field.</p></body></html>")
+	io.WriteString(w, "<html><body><p>Error: please fill in at least one field.</p></body></html>")
 }
 
 func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
@@ -386,7 +388,7 @@ func (s *Server) handleUnified(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, htmlform.Render(u.AsInterface("unified-"+rest)))
+	io.WriteString(w, htmlform.Render(u.AsInterface("unified-"+rest)))
 }
 
 // handleUnifiedSearch translates a unified query to every source and
@@ -409,16 +411,18 @@ func (s *Server) handleUnifiedSearch(w http.ResponseWriter, r *http.Request, dom
 		return
 	}
 	ok, total := translate.Coverage(results)
-	fmt.Fprintf(w, "<html><body><h1>%s = %q</h1><p>%d of %d sources answered.</p><ul>",
+	sl := getSlab()
+	fmt.Fprintf(&sl.buf, "<html><body><h1>%s = %q</h1><p>%d of %d sources answered.</p><ul>",
 		attr, value, ok, total)
 	for _, res := range results {
 		status := "no results"
 		if res.OK {
 			status = "results found"
 		}
-		fmt.Fprintf(w, `<li><a href="/source/%s">%s</a>: %s</li>`, res.InterfaceID, res.InterfaceID, status)
+		fmt.Fprintf(&sl.buf, `<li><a href="/source/%s">%s</a>: %s</li>`, res.InterfaceID, res.InterfaceID, status)
 	}
-	fmt.Fprint(w, "</ul></body></html>")
+	fmt.Fprint(&sl.buf, "</ul></body></html>")
+	sl.flush(w)
 }
 
 // unifiedFor lazily runs acquisition + matching + unification for a
@@ -643,10 +647,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	// Encode into a pooled slab and flush with a single Write, instead
+	// of letting the encoder issue a ResponseWriter write per chunk.
+	// Encoding before touching the ResponseWriter also means an encode
+	// failure can still produce a clean 500 — nothing partial was sent.
+	sl := getSlab()
+	enc := json.NewEncoder(&sl.buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
+		slabPool.Put(sl)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	sl.flush(w)
 }

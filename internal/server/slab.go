@@ -1,0 +1,53 @@
+package server
+
+// Slab-allocated request scratch. Every response the server renders —
+// JSON encodings and the HTML pages — is built in a pooled fixed-size
+// buffer and flushed with a single Write, instead of issuing one
+// ResponseWriter write (and its allocation) per fmt.Fprintf fragment.
+// The pool holds the buffers across requests, so a steady request
+// stream renders with no per-request buffer allocation; a response that
+// outgrows its slab grows the slice normally and the oversized backing
+// array is dropped on release rather than pinned in the pool.
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// slabSize is the initial capacity of a pooled render buffer — large
+// enough for every steady-state response (interface forms, stats JSON,
+// unified-search result lists) to render without growing.
+const slabSize = 32 << 10
+
+// slabMax is the largest backing array the pool retains. Responses
+// bigger than this (full trace dumps, explain payloads over large
+// domains) hand their one-off buffer to the collector instead of
+// bloating the pool.
+const slabMax = 4 * slabSize
+
+type slab struct {
+	buf bytes.Buffer
+}
+
+var slabPool = sync.Pool{New: func() any {
+	s := new(slab)
+	s.buf.Grow(slabSize)
+	return s
+}}
+
+// getSlab returns an empty render buffer from the pool.
+func getSlab() *slab {
+	s := slabPool.Get().(*slab)
+	s.buf.Reset()
+	return s
+}
+
+// flush writes the rendered response in one Write and returns the slab
+// to the pool (unless it grew past slabMax).
+func (s *slab) flush(w http.ResponseWriter) {
+	w.Write(s.buf.Bytes())
+	if s.buf.Cap() <= slabMax {
+		slabPool.Put(s)
+	}
+}

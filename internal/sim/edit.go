@@ -40,7 +40,7 @@ func (sc *editScratch) editSim(a, b string) float64 {
 		maxLen = len(sc.fb)
 	}
 	// maxLen > 0 here: equal strings (including both empty) returned 1.
-	return 1 - float64(sc.levenshtein(-1))/float64(maxLen)
+	return 1 - float64(sc.levenshtein(sc.fa, sc.fb, -1))/float64(maxLen)
 }
 
 // EditSimAtLeast reports whether EditSim(a, b) >= t, computing exactly
@@ -68,12 +68,19 @@ func EditSimAtLeast(a, b string, t float64) bool {
 func (sc *editScratch) editSimAtLeast(a, b string, t float64) bool {
 	sc.fa = foldAppend(sc.fa[:0], a)
 	sc.fb = foldAppend(sc.fb[:0], b)
-	if bytes.Equal(sc.fa, sc.fb) {
+	return sc.foldedSimAtLeast(sc.fa, utf8.RuneCount(sc.fa), sc.fb, utf8.RuneCount(sc.fb), t)
+}
+
+// foldedSimAtLeast is the body of editSimAtLeast over already-folded
+// values with known rune counts. FoldedList callers precompute the
+// counts once per value, turning the length cut into O(1) per pair.
+func (sc *editScratch) foldedSimAtLeast(fa []byte, la int, fb []byte, lb int, t float64) bool {
+	if bytes.Equal(fa, fb) {
 		return 1 >= t
 	}
-	maxLen := len(sc.fa)
-	if len(sc.fb) > maxLen {
-		maxLen = len(sc.fb)
+	maxLen := len(fa)
+	if len(fb) > maxLen {
+		maxLen = len(fb)
 	}
 	m := float64(maxLen)
 
@@ -98,7 +105,6 @@ func (sc *editScratch) editSimAtLeast(a, b string, t float64) bool {
 
 	// Length lower bound. Rune counts, not byte lengths: for non-ASCII
 	// the byte-length difference can exceed the rune-level distance.
-	la, lb := utf8.RuneCount(sc.fa), utf8.RuneCount(sc.fb)
 	diff := la - lb
 	if diff < 0 {
 		diff = -diff
@@ -107,22 +113,22 @@ func (sc *editScratch) editSimAtLeast(a, b string, t float64) bool {
 		return false
 	}
 
-	d := sc.levenshtein(dmax)
+	d := sc.levenshtein(fa, fb, dmax)
 	return d <= dmax && 1-float64(d)/m >= t
 }
 
-// levenshtein computes the rune-level edit distance between the folded
-// buffers. If dmax >= 0 and every entry of some DP row exceeds dmax,
+// levenshtein computes the rune-level edit distance between two folded
+// values. If dmax >= 0 and every entry of some DP row exceeds dmax,
 // it returns dmax+1 immediately (row minima never decrease, so the
 // true distance is > dmax).
-func (sc *editScratch) levenshtein(dmax int) int {
-	if isASCII(sc.fa) && isASCII(sc.fb) {
-		return levRows(sc, len(sc.fa), len(sc.fb), func(i, j int) bool {
-			return sc.fa[i] == sc.fb[j]
+func (sc *editScratch) levenshtein(fa, fb []byte, dmax int) int {
+	if isASCII(fa) && isASCII(fb) {
+		return levRows(sc, len(fa), len(fb), func(i, j int) bool {
+			return fa[i] == fb[j]
 		}, dmax)
 	}
-	sc.ra = appendRunes(sc.ra[:0], sc.fa)
-	sc.rb = appendRunes(sc.rb[:0], sc.fb)
+	sc.ra = appendRunes(sc.ra[:0], fa)
+	sc.rb = appendRunes(sc.rb[:0], fb)
 	return levRows(sc, len(sc.ra), len(sc.rb), func(i, j int) bool {
 		return sc.ra[i] == sc.rb[j]
 	}, dmax)

@@ -14,7 +14,7 @@ func levenshtein(a, b string) int {
 	sc := editPool.Get().(*editScratch)
 	sc.fa = append(sc.fa[:0], a...)
 	sc.fb = append(sc.fb[:0], b...)
-	d := sc.levenshtein(-1)
+	d := sc.levenshtein(sc.fa, sc.fb, -1)
 	editPool.Put(sc)
 	return d
 }

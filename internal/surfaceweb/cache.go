@@ -113,19 +113,22 @@ func (c *CachedEngine) shard(key string) *cacheShard {
 
 // lookup serves key from the cache, collapsing concurrent misses into
 // one call to exec. It reports whether the value came from the cache
-// (including waiting on another caller's in-flight execution).
-func (c *CachedEngine) lookup(key string, exec func() cacheValue) (cacheValue, bool) {
-	sh := c.shard(key)
+// (including waiting on another caller's in-flight execution). The key
+// is passed as bytes and probed zero-copy; it is materialized to a
+// string only when this caller has to register the miss.
+func (c *CachedEngine) lookup(keyb []byte, exec func() cacheValue) (cacheValue, bool) {
+	sh := &c.shards[hash32b(keyb)%uint32(len(c.shards))]
 	sh.mu.Lock()
-	if v, ok := sh.vals[key]; ok {
+	if v, ok := sh.vals[string(keyb)]; ok {
 		sh.mu.Unlock()
 		return v, true
 	}
-	if f, ok := sh.inflight[key]; ok {
+	if f, ok := sh.inflight[string(keyb)]; ok {
 		sh.mu.Unlock()
 		<-f.done
 		return f.val, true
 	}
+	key := string(keyb)
 	f := &flight{done: make(chan struct{})}
 	sh.inflight[key] = f
 	sh.mu.Unlock()
@@ -140,6 +143,12 @@ func (c *CachedEngine) lookup(key string, exec func() cacheValue) (cacheValue, b
 	c.mEntries.Inc()
 	return f.val, false
 }
+
+// keyScratch is the pooled key-construction buffer of the scalar
+// NumHits/Search probes.
+type keyScratch struct{ buf []byte }
+
+var keyPool = sync.Pool{New: func() any { return new(keyScratch) }}
 
 // account records one logical query in the raw view and the hit/miss
 // outcome.
@@ -166,9 +175,12 @@ func (c *CachedEngine) account(query, op string, hit bool) {
 // request.
 func (c *CachedEngine) NumHits(query string) int {
 	cq := c.inner.Compile(query)
-	v, hit := c.lookup("h\x00"+cq.Key(), func() cacheValue {
+	ks := keyPool.Get().(*keyScratch)
+	ks.buf = cq.AppendKey(append(ks.buf[:0], 'h', 0))
+	v, hit := c.lookup(ks.buf, func() cacheValue {
 		return cacheValue{hits: c.inner.NumHitsCompiled(cq, query)}
 	})
+	keyPool.Put(ks)
 	c.account(query, "numhits", hit)
 	return v.hits
 }
@@ -178,10 +190,15 @@ func (c *CachedEngine) NumHits(query string) int {
 // and the returned slice is the caller's to keep.
 func (c *CachedEngine) Search(query string, k int) []Snippet {
 	cq := c.inner.Compile(query)
-	key := "s\x00" + strconv.Itoa(k) + "\x00" + cq.Key()
-	v, hit := c.lookup(key, func() cacheValue {
+	ks := keyPool.Get().(*keyScratch)
+	buf := append(ks.buf[:0], 's', 0)
+	buf = strconv.AppendInt(buf, int64(k), 10)
+	buf = append(buf, 0)
+	ks.buf = cq.AppendKey(buf)
+	v, hit := c.lookup(ks.buf, func() cacheValue {
 		return cacheValue{snips: c.inner.SearchCompiled(cq, query, k)}
 	})
+	keyPool.Put(ks)
 	c.account(query, "search", hit)
 	out := make([]Snippet, len(v.snips))
 	copy(out, v.snips)

@@ -72,7 +72,7 @@ func ParseQuery(q string) Query {
 		if len(out.Phrase) == 0 {
 			out.Phrase = nlp.Words(phrase)
 		} else {
-			out.Required = append(out.Required, nlp.Words(phrase)...)
+			out.Required = nlp.AppendWords(out.Required, phrase)
 		}
 		if start > i {
 			plain = append(plain, q[i:start])
@@ -85,7 +85,7 @@ func ParseQuery(q string) Query {
 	for _, chunk := range plain {
 		for _, f := range strings.Fields(chunk) {
 			f = strings.TrimPrefix(f, "+")
-			out.Required = append(out.Required, nlp.Words(f)...)
+			out.Required = nlp.AppendWords(out.Required, f)
 		}
 	}
 	return out
@@ -108,22 +108,32 @@ type CompiledQuery struct {
 // relevance scores — but their order is normalized by sorting; phrase
 // order is significant and kept.
 func (cq CompiledQuery) Key() string {
-	buf := make([]byte, 0, 11*(len(cq.Phrase)+len(cq.Required))+1)
+	return string(cq.AppendKey(nil))
+}
+
+// AppendKey appends the canonical cache key (see Key) to dst and
+// returns the extended slice. Callers holding a reusable buffer avoid
+// the per-probe key allocation Key incurs.
+func (cq CompiledQuery) AppendKey(dst []byte) []byte {
 	for _, id := range cq.Phrase {
-		buf = strconv.AppendUint(buf, uint64(id), 10)
-		buf = append(buf, ',')
+		dst = strconv.AppendUint(dst, uint64(id), 10)
+		dst = append(dst, ',')
 	}
-	buf = append(buf, '|')
+	dst = append(dst, '|')
 	if len(cq.Required) > 0 {
-		req := make([]uint32, len(cq.Required))
-		copy(req, cq.Required)
+		var stack [16]uint32
+		req := stack[:0]
+		if len(cq.Required) > len(stack) {
+			req = make([]uint32, 0, len(cq.Required))
+		}
+		req = append(req, cq.Required...)
 		sort.Slice(req, func(i, j int) bool { return req[i] < req[j] })
 		for _, id := range req {
-			buf = strconv.AppendUint(buf, uint64(id), 10)
-			buf = append(buf, ',')
+			dst = strconv.AppendUint(dst, uint64(id), 10)
+			dst = append(dst, ',')
 		}
 	}
-	return string(buf)
+	return dst
 }
 
 // postings maps document ID to the token positions of a term.
@@ -329,6 +339,11 @@ func (e *Engine) NumHitsCompiled(cq CompiledQuery, charged string) int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	e.charge(charged)
+	if len(cq.Phrase) == 1 && len(cq.Required) == 0 {
+		// A one-word phrase matches exactly the documents in the term's
+		// posting map; counting them needs no position walk.
+		return len(e.index[cq.Phrase[0]])
+	}
 	sc := searchPool.Get().(*searchScratch)
 	n := len(e.matchLocked(cq, sc))
 	searchPool.Put(sc)
@@ -536,6 +551,16 @@ func hash32(s string) uint32 {
 	var h uint32 = 2166136261
 	for i := 0; i < len(s); i++ {
 		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// hash32b is hash32 over a byte slice; the two agree on equal contents.
+func hash32b(b []byte) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
 		h *= 16777619
 	}
 	return h

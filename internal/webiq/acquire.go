@@ -1,6 +1,7 @@
 package webiq
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sort"
@@ -535,30 +536,114 @@ func (a *Acquirer) collectBorrowValues(ds *schema.Dataset, ifc *schema.Interface
 	return out
 }
 
+// donorSimScratch holds the pre-folded forms both similarity tests of
+// domainsVerySimilar consume: sim's fold (trim + Unicode lower) for the
+// exact-match count and the edit comparisons, and the ASCII foldValue
+// form for the distinct-fold guard. Folding each list once replaces the
+// per-pair folding that dominated borrow-donor selection.
+type donorSimScratch struct {
+	fa, fb sim.FoldedList
+	wa, wb asciiFoldList
+	ia, ib []int
+}
+
+var donorSimPool = sync.Pool{New: func() any { return new(donorSimScratch) }}
+
+// asciiFoldList is the appendFoldValue analogue of sim.FoldedList: the
+// ASCII-lowered forms of a value list in one reusable arena.
+type asciiFoldList struct {
+	arena []byte
+	offs  []int
+}
+
+func (fl *asciiFoldList) reset(vs []string) {
+	fl.arena = fl.arena[:0]
+	fl.offs = append(fl.offs[:0], 0)
+	for _, v := range vs {
+		fl.arena = appendFoldValue(fl.arena, v)
+		fl.offs = append(fl.offs, len(fl.arena))
+	}
+}
+
+func (fl *asciiFoldList) at(i int) []byte { return fl.arena[fl.offs[i]:fl.offs[i+1]] }
+
 // domainsVerySimilar reports whether at least minMatches pairs of
 // values, one from each domain, are very similar (exact fold match or
 // high edit similarity).
 func domainsVerySimilar(a, b []string, minMatches int) bool {
-	matches := sim.SharedValues(a, b)
+	sc := donorSimPool.Get().(*donorSimScratch)
+	defer donorSimPool.Put(sc)
+	sc.fa.Reset(a)
+	sc.fb.Reset(b)
+
+	// Distinct folded values present in both lists — sim.SharedValues
+	// over the pre-folded forms, via sort-merge instead of per-call maps.
+	matches := sc.sharedFolded()
 	if matches >= minMatches {
 		return true
 	}
 	// Look for near-identical pairs beyond the exact matches. The O(n²)
 	// scan uses the thresholded comparison, which rejects dissimilar
-	// pairs (the overwhelming majority) without a full edit-distance
-	// computation or any allocation.
-	for _, x := range a {
+	// pairs (the overwhelming majority) by the precomputed rune-count
+	// cut without a full edit-distance computation or any allocation.
+	sc.wa.reset(a)
+	sc.wb.reset(b)
+	for i := range a {
 		if matches >= minMatches {
 			return true
 		}
-		for _, y := range b {
-			if sim.EditSimAtLeast(x, y, 0.9) && foldValue(x) != foldValue(y) {
+		for j := range b {
+			if sim.EditSimAtLeastFolded(sc.fa.At(i), sc.fa.Runes(i), sc.fb.At(j), sc.fb.Runes(j), 0.9) &&
+				!bytes.Equal(sc.wa.at(i), sc.wb.at(j)) {
 				matches++
 				break
 			}
 		}
 	}
 	return matches >= minMatches
+}
+
+// sortFoldedIdx orders idx by the folded values it indexes.
+func sortFoldedIdx(fl *sim.FoldedList, idx []int) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && bytes.Compare(fl.At(idx[j]), fl.At(idx[j-1])) < 0; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// sharedFolded counts distinct folded values present in both lists by
+// sorting index slices over the arenas and merging.
+func (sc *donorSimScratch) sharedFolded() int {
+	ia, ib := sc.ia[:0], sc.ib[:0]
+	for i := 0; i < sc.fa.Len(); i++ {
+		ia = append(ia, i)
+	}
+	for j := 0; j < sc.fb.Len(); j++ {
+		ib = append(ib, j)
+	}
+	// Insertion sort: value lists are short, and sort.Slice would
+	// allocate its reflection swapper on every call.
+	sortFoldedIdx(&sc.fa, ia)
+	sortFoldedIdx(&sc.fb, ib)
+	sc.ia, sc.ib = ia, ib
+	n := 0
+	for i, j := 0, 0; i < len(ia) && j < len(ib); {
+		va, vb := sc.fa.At(ia[i]), sc.fb.At(ib[j])
+		switch c := bytes.Compare(va, vb); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			n++
+			for i++; i < len(ia) && bytes.Equal(sc.fa.At(ia[i]), va); i++ {
+			}
+			for j++; j < len(ib) && bytes.Equal(sc.fb.At(ib[j]), va); j++ {
+			}
+		}
+	}
+	return n
 }
 
 // nonInstances gathers values of the other attributes on the interface —

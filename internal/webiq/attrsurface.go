@@ -68,26 +68,46 @@ func trainClassifierCtx(ctx context.Context, v *Validator, label string, positiv
 	// identical too.
 	posScores := make([][]float64, len(positives))
 	negScores := make([][]float64, len(negatives))
-	var errMu sync.Mutex
 	var firstErr error
-	parallelForCtx(ctx, len(positives)+len(negatives), v.cfg.Parallelism, func(i int) {
-		var sc []float64
-		var err error
-		if i < len(positives) {
-			sc, err = v.ScoresCtx(ctx, phrases, positives[i])
-			posScores[i] = sc
-		} else {
-			sc, err = v.ScoresCtx(ctx, phrases, negatives[i-len(positives)])
-			negScores[i-len(positives)] = sc
-		}
-		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
+	if v.batchable() {
+		// Batched scoring: the examples are scored in contiguous chunks,
+		// each a single engine pass, spread over the worker pool.
+		n := len(positives) + len(negatives)
+		scores := make([][]float64, n)
+		errs := make([]error, n)
+		xs := make([]string, 0, n)
+		xs = append(xs, positives...)
+		xs = append(xs, negatives...)
+		v.scoresBatchChunkedCtx(ctx, phrases, xs, scores, errs)
+		copy(posScores, scores[:len(positives)])
+		copy(negScores, scores[len(positives):])
+		for _, err := range errs {
+			if err != nil {
 				firstErr = err
+				break
 			}
-			errMu.Unlock()
 		}
-	})
+	} else {
+		var errMu sync.Mutex
+		parallelForCtx(ctx, len(positives)+len(negatives), v.cfg.Parallelism, func(i int) {
+			var sc []float64
+			var err error
+			if i < len(positives) {
+				sc, err = v.ScoresCtx(ctx, phrases, positives[i])
+				posScores[i] = sc
+			} else {
+				sc, err = v.ScoresCtx(ctx, phrases, negatives[i-len(positives)])
+				negScores[i-len(positives)] = sc
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		})
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -302,9 +322,13 @@ func (as *AttrSurface) ValidateBorrowedCheckedCtx(ctx context.Context, attrID, l
 	// borrowed order exactly as the sequential loop did.
 	scores := make([][]float64, len(borrowed))
 	errs := make([]error, len(borrowed))
-	parallelForCtx(ctx, len(borrowed), as.cfg.Parallelism, func(i int) {
-		scores[i], errs[i] = as.validator.ScoresCtx(ctx, phrases, borrowed[i])
-	})
+	if as.validator.batchable() {
+		as.validator.scoresBatchChunkedCtx(ctx, phrases, borrowed, scores, errs)
+	} else {
+		parallelForCtx(ctx, len(borrowed), as.cfg.Parallelism, func(i int) {
+			scores[i], errs[i] = as.validator.ScoresCtx(ctx, phrases, borrowed[i])
+		})
+	}
 	for i, b := range borrowed {
 		if errs[i] != nil || scores[i] == nil {
 			// The value could not be scored (backend failure, or the

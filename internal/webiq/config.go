@@ -27,6 +27,15 @@ type SearchEngine interface {
 	NumHits(query string) int
 }
 
+// BatchSearchEngine is implemented by engines that can answer many
+// hit-count queries in one pass (*surfaceweb.Engine and
+// *surfaceweb.CachedEngine both do). The Validator's batched scoring
+// uses it when available; results and accounting must be identical to
+// issuing the queries one by one.
+type BatchSearchEngine interface {
+	NumHitsBatch(queries []string) []int
+}
+
 // Config bundles the tunables of all WebIQ components.
 type Config struct {
 	// K is the target number of instances per attribute; acquiring at
@@ -85,6 +94,13 @@ type Config struct {
 	// engine"; the flag implements the possibility the paper notes and
 	// the corresponding bench quantifies its cost/benefit.
 	SurfaceForPredef bool
+	// ScalarValidation forces the one-(V,x)-pair-at-a-time validation
+	// path even when the engine supports batched hit counting. The
+	// batched path is specified to be observationally identical —
+	// scores, ledger decisions, and query accounting — so this exists
+	// for the A/B equivalence tests and as an escape hatch, not as a
+	// tuning knob.
+	ScalarValidation bool
 	// CacheDiscovery memoizes Surface discovery per attribute label.
 	// This is an approximation: two same-labeled attributes on different
 	// interfaces narrow their queries with different sibling keywords,

@@ -2,8 +2,26 @@ package webiq
 
 import (
 	"context"
+	"runtime"
 	"sync"
 )
+
+// clampWorkers bounds a configured worker count by the CPUs the
+// scheduler can actually run simultaneously (the smaller of NumCPU and
+// GOMAXPROCS): the work sent to these pools is CPU-bound, so workers
+// beyond that only preempt each other. Results are identical for any
+// worker count — callers write into per-index slots — so the clamp
+// changes scheduling, never output.
+func clampWorkers(workers int) int {
+	limit := runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p < limit {
+		limit = p
+	}
+	if workers > limit {
+		return limit
+	}
+	return workers
+}
 
 // parallelFor runs f(i) for every i in [0, n) on up to workers
 // goroutines, blocking until all calls return. With workers <= 1 (or a
@@ -13,6 +31,7 @@ import (
 // index order and the outcome is identical to the sequential loop
 // whenever each f(i) is independent of the others.
 func parallelFor(n, workers int, f func(int)) {
+	workers = clampWorkers(workers)
 	if workers > n {
 		workers = n
 	}
@@ -54,6 +73,7 @@ func parallelFor(n, workers int, f func(int)) {
 // written. With a background context it behaves exactly like
 // parallelFor.
 func parallelForCtx(ctx context.Context, n, workers int, f func(int)) {
+	workers = clampWorkers(workers)
 	if workers > n {
 		workers = n
 	}

@@ -208,15 +208,21 @@ outer:
 // whitespace, and drops empties and pure stopwords.
 func cleanCandidates(raw []string) []string {
 	var out []string
+	var sc nlp.TokenScanner
 	for _, c := range raw {
-		c = strings.Join(strings.Fields(c), " ")
+		c = normalizeSpace(c)
 		if c == "" {
 			continue
 		}
-		words := nlp.Words(c)
+		// All-stopword check over the scanned word norms; stops at the
+		// first non-stopword without materializing the word list.
 		allStop := true
-		for _, w := range words {
-			if !nlp.IsStopword(w) {
+		for sc.Reset(c); sc.Scan(); {
+			t := sc.Token()
+			if t.Kind == nlp.Punct {
+				continue
+			}
+			if !nlp.IsStopword(t.Norm) {
 				allStop = false
 				break
 			}
@@ -227,4 +233,29 @@ func cleanCandidates(raw []string) []string {
 		out = append(out, c)
 	}
 	return out
+}
+
+// normalizeSpace returns strings.Join(strings.Fields(s), " ") without
+// allocating when s is already normalized: no leading, trailing, or
+// doubled spaces and no whitespace byte other than ' '. Any non-ASCII
+// byte falls back to the allocating path, since multi-byte encodings
+// can hide Unicode whitespace.
+func normalizeSpace(s string) string {
+	if s == "" {
+		return ""
+	}
+	if s[0] == ' ' || s[len(s)-1] == ' ' {
+		return strings.Join(strings.Fields(s), " ")
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r' {
+			return strings.Join(strings.Fields(s), " ")
+		}
+		// i+1 is in range: the last byte is known not to be a space.
+		if c == ' ' && s[i+1] == ' ' {
+			return strings.Join(strings.Fields(s), " ")
+		}
+	}
+	return s
 }

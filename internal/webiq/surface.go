@@ -130,6 +130,7 @@ func (s *Surface) extractCtx(ctx context.Context, a *schema.Attribute, ifc *sche
 	}
 
 	siblings := siblingLabels(a, ifc)
+	rej := labelRejectSet(a.Label)
 	freq := map[string]int{}
 	var order []string
 	for _, np := range ls.NPs {
@@ -154,7 +155,7 @@ func (s *Surface) extractCtx(ctx context.Context, a *schema.Attribute, ifc *sche
 			}
 			for _, snip := range snips {
 				for _, c := range ExtractFromSnippet(q, snip.Text) {
-					if s.rejectCandidate(a.Label, c) {
+					if rejectWith(rej, c) {
 						continue
 					}
 					if _, seen := freq[c]; !seen {
@@ -218,9 +219,24 @@ func (s *Surface) verifyScored(ctx context.Context, a *schema.Attribute, cands [
 	}
 
 	phrases := s.validator.Phrases(a.Label)
+	// Batchable validators score the whole candidate list in one engine
+	// pass up front; the decision loop below then consumes the
+	// precomputed scores. The fault-injection and forced-scalar paths
+	// keep per-value scoring so error ordering is untouched.
+	var confs []float64
+	var confErrs []error
+	if s.validator.batchable() {
+		confs, confErrs = s.validator.ConfidenceBatchCtx(ctx, phrases, values)
+	}
 	scored := make([]Candidate, 0, len(values))
-	for _, v := range values {
-		sc, err := s.validator.ConfidenceCtx(ctx, phrases, v)
+	for i, v := range values {
+		var sc float64
+		var err error
+		if confs != nil {
+			sc, err = confs[i], confErrs[i]
+		} else {
+			sc, err = s.validator.ConfidenceCtx(ctx, phrases, v)
+		}
 		if err != nil {
 			// Web validation is unavailable for this candidate: accept
 			// it with the degradation recorded rather than silently
@@ -295,19 +311,35 @@ func (s *Surface) verifyScored(ctx context.Context, a *schema.Attribute, cands [
 // rejectCandidate drops degenerate candidates: the label itself, label
 // words, or single characters.
 func (s *Surface) rejectCandidate(label, c string) bool {
+	return rejectWith(labelRejectSet(label), c)
+}
+
+// labelRejectSet precomputes the degenerate forms rejected for a label:
+// the lowered label itself plus every label word with its plural and
+// singular. extractCtx builds it once per attribute instead of
+// re-deriving the words for every extracted candidate.
+func labelRejectSet(label string) map[string]bool {
+	rej := map[string]bool{strings.ToLower(label): true}
+	for _, w := range nlp.Words(label) {
+		rej[w] = true
+		rej[nlp.Pluralize(w)] = true
+		rej[nlp.Singularize(w)] = true
+	}
+	return rej
+}
+
+// rejectWith is rejectCandidate against a precomputed reject set; the
+// pooled buffer keeps the lowered-candidate probe allocation-free.
+func rejectWith(rej map[string]bool, c string) bool {
 	if len(c) <= 1 {
 		return true
 	}
-	cl := strings.ToLower(c)
-	if cl == strings.ToLower(label) {
-		return true
-	}
-	for _, w := range nlp.Words(label) {
-		if cl == w || cl == nlp.Pluralize(w) || cl == nlp.Singularize(w) {
-			return true
-		}
-	}
-	return false
+	bp := foldBuf()
+	buf := appendLower((*bp)[:0], c)
+	ok := rej[string(buf)]
+	*bp = buf
+	putFoldBuf(bp)
+	return ok
 }
 
 // siblingLabels lists the labels of the other attributes on the same

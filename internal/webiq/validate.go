@@ -241,29 +241,30 @@ func (v *Validator) ScoresCtx(ctx context.Context, phrases []string, x string) (
 // attribute with the given validation phrases: the average PMI across
 // phrases.
 func (v *Validator) Confidence(phrases []string, x string) float64 {
-	if len(phrases) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, p := range phrases {
-		sum += v.PMI(p, x)
-	}
-	return sum / float64(len(phrases))
+	c, _ := v.ConfidenceCtx(context.Background(), phrases, x)
+	return c
 }
 
 // ConfidenceCtx is Confidence with error propagation: it fails on the
-// first phrase whose hit counts are unavailable.
+// first phrase whose hit counts are unavailable. It delegates to
+// ScoresCtx — the single scoring path, scalar or batched, that every
+// confidence computation goes through.
 func (v *Validator) ConfidenceCtx(ctx context.Context, phrases []string, x string) (float64, error) {
 	if len(phrases) == 0 {
 		return 0, nil
 	}
-	var sum float64
-	for _, p := range phrases {
-		pm, err := v.PMICtx(ctx, p, x)
-		if err != nil {
-			return 0, err
-		}
-		sum += pm
+	scores, err := v.ScoresCtx(ctx, phrases, x)
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(len(phrases)), nil
+	return mean(scores), nil
+}
+
+// mean averages a non-empty score vector.
+func mean(scores []float64) float64 {
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return sum / float64(len(scores))
 }
