@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-gate eval-json eval-gate check lint explain-demo chaos fuzz
+.PHONY: build vet test race bench bench-json bench-gate eval-json eval-gate check lint explain-demo chaos fuzz snapshot snapshot-verify snapshot-smoke
 
 build:
 	$(GO) build ./...
@@ -19,25 +19,33 @@ race:
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...
 
-# Machine-readable snapshot of the pipeline benchmark (seed path,
-# cached+parallel path, and the parallel-N scaling curve), committed as
-# BENCH_pipeline.json. GOMAXPROCS is pinned to 8 so the scaling curve is
-# measured against the same scheduler width everywhere.
+# Machine-readable snapshot of the pipeline and cold-start benchmarks
+# (seed path, cached+parallel path, the parallel-N scaling curve, and
+# rebuild-vs-snapshot-load cold start), committed as BENCH_pipeline.json.
+# GOMAXPROCS is pinned to 8 so the scaling curve is measured against the
+# same scheduler width everywhere. ColdStart runs at -benchtime 1x: one
+# iteration is a full cold start, and benchjson parses the two
+# concatenated `go test` outputs as one report.
 bench-json:
-	GOMAXPROCS=8 $(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	( GOMAXPROCS=8 $(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . && \
+	  GOMAXPROCS=8 $(GO) test -run=^$$ -bench=BenchmarkColdStart -benchmem -benchtime 1x . ) \
+		| $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 
-# Perf-regression gate: rerun the pipeline benchmark and compare against
-# the committed baseline. allocs/op and B/op are deterministic enough
-# for a tight 10% bound; ns/op is noisy on shared runners, so wall clock
-# rides with its own looser 25% bound — big slowdowns still fail CI,
-# small jitter does not. eff% is the parallel-N scaling efficiency
-# (100·speedup/N, reported by the benchmark); the < prefix marks it
-# lower-is-worse, so an 8-core run whose scaling efficiency drops more
-# than 25% below the committed curve fails the gate.
+# Perf-regression gate: rerun the benchmarks and compare against the
+# committed baseline. allocs/op and B/op are deterministic enough for a
+# tight 10% bound; ns/op is noisy on shared runners, so wall clock rides
+# with its own looser 25% bound — big slowdowns still fail CI, small
+# jitter does not. eff% is the parallel-N scaling efficiency
+# (100·speedup/N, reported by the benchmark) and xrebuild is how many
+# times faster loading a snapshot is than rebuilding the same world; the
+# < prefix marks both lower-is-worse, so a run whose scaling efficiency
+# or snapshot-load advantage drops more than 25% below the committed
+# curve fails the gate.
 bench-gate:
-	GOMAXPROCS=8 $(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . \
+	( GOMAXPROCS=8 $(GO) test -run=^$$ -bench=BenchmarkPipeline -benchmem -benchtime 3x . && \
+	  GOMAXPROCS=8 $(GO) test -run=^$$ -bench=BenchmarkColdStart -benchmem -benchtime 1x . ) \
 		| $(GO) run ./cmd/benchjson -compare BENCH_pipeline.json - \
-			-max-regress 10% -metrics "allocs/op,B/op,ns/op=25%,<eff%=25%"
+			-max-regress 10% -metrics "allocs/op,B/op,ns/op=25%,<eff%=25%,<xrebuild=25%"
 
 # Matching-quality snapshot: evaluate the full pipeline on the paper's
 # five domains plus 20 synthetic sweep domains and write the aggregate
@@ -72,10 +80,27 @@ chaos:
 		-run 'Chaos|Injector|Retrier|Breaker|Bulkhead|Client|Admission|ServerDrain|ParallelForCtx|AcquireAllCtx' \
 		./internal/resilience/ ./internal/webiq/ ./internal/server/
 
-# Short fuzz pass over the deep-web response-analysis heuristics,
-# seeded with the injector's malformed-page corpus.
+# Short fuzz passes: the deep-web response-analysis heuristics (seeded
+# with the injector's malformed-page corpus) and the binary snapshot
+# loader (seeded with a real snapshot plus truncated/bit-flipped
+# variants — corruption must produce an error, never a panic).
 fuzz:
 	$(GO) test -fuzz FuzzAnalyzeResponse -fuzztime 30s ./internal/deepweb/
+	$(GO) test -fuzz FuzzLoadBytes -fuzztime 30s ./internal/snapshot/
+
+# Build the world snapshot webiq-serve -snapshot boots from, then
+# re-verify every checksum and structural invariant.
+snapshot:
+	$(GO) run ./cmd/webiq-snapshot build -o world.snap
+
+snapshot-verify:
+	$(GO) run ./cmd/webiq-snapshot verify world.snap
+
+# End-to-end cold-start smoke test: build a snapshot, boot webiq-serve
+# from it, and require /readyz to answer 200 (all domains ready) plus a
+# rendered /unified/{domain} — the instant-cold-start contract CI holds.
+snapshot-smoke:
+	./scripts/snapshot_smoke.sh
 
 # Provenance smoke test: boot the server, build a domain's unified
 # interface, and assert every instance is attributed with evidence via

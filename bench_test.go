@@ -12,6 +12,8 @@ package webiq_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +27,7 @@ import (
 	"webiq/internal/matcher"
 	"webiq/internal/nlp"
 	"webiq/internal/schema"
+	"webiq/internal/snapshot"
 	"webiq/internal/surfaceweb"
 	iq "webiq/internal/webiq"
 )
@@ -138,6 +141,84 @@ func BenchmarkPipeline(b *testing.B) {
 // report their speedup relative to it. Runs that filter out parallel-1
 // simply omit the scaling metrics.
 var parallelBaseNs atomic.Pointer[float64]
+
+// BenchmarkColdStart measures time-to-ready from nothing: a full
+// rebuild (corpus generation, indexing, and the whole acquisition +
+// matching + unification pipeline for every domain) versus loading the
+// same world from a binary snapshot, at the server's corpus scale and
+// at 10x. The snapshot-load runs report xrebuild — how many times
+// faster loading is than rebuilding in the same invocation — which the
+// bench gate holds with a lower-is-worse bound, so a change that turns
+// snapshot loading back into parsing fails CI. Run with -benchtime 1x:
+// one iteration is a full cold start, and more only smooths noise.
+func BenchmarkColdStart(b *testing.B) {
+	for _, scale := range []float64{1, 10} {
+		b.Run(fmt.Sprintf("rebuild-%gx", scale), func(b *testing.B) {
+			var last *snapshot.World
+			for i := 0; i < b.N; i++ {
+				w, err := snapshot.BuildWorld(snapshot.BuildConfig{Seed: 1, Scale: scale})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = w
+			}
+			b.StopTimer()
+			coldRebuildNs.Store(scale, float64(b.Elapsed().Nanoseconds())/float64(b.N))
+			// Stash the built world's bytes so the load sub-benchmark
+			// does not have to rebuild it untimed.
+			if _, ok := coldSnapBytes.Load(scale); !ok {
+				if raw, err := last.Bytes(); err == nil {
+					coldSnapBytes.Store(scale, raw)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("snapshot-load-%gx", scale), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "world.snap")
+			if err := os.WriteFile(path, coldWorldBytes(b, scale), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := snapshot.Load(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Close()
+			}
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if v, ok := coldRebuildNs.Load(scale); ok && nsPerOp > 0 {
+				b.ReportMetric(v.(float64)/nsPerOp, "xrebuild")
+			}
+		})
+	}
+}
+
+// coldRebuildNs and coldSnapBytes carry the rebuild timing and the
+// serialized world between BenchmarkColdStart sub-benchmarks (the
+// parallelBaseNs pattern); runs that filter out the rebuild side just
+// omit the xrebuild metric and build their own snapshot.
+var (
+	coldRebuildNs sync.Map // scale float64 -> ns/op float64
+	coldSnapBytes sync.Map // scale float64 -> []byte
+)
+
+func coldWorldBytes(b *testing.B, scale float64) []byte {
+	b.Helper()
+	if raw, ok := coldSnapBytes.Load(scale); ok {
+		return raw.([]byte)
+	}
+	w, err := snapshot.BuildWorld(snapshot.BuildConfig{Seed: 1, Scale: scale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := w.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldSnapBytes.Store(scale, raw)
+	return raw
+}
 
 // BenchmarkTable1Acquisition regenerates Table 1's acquisition columns:
 // per-domain instance acquisition with Surface and Surface+Deep.

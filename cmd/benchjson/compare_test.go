@@ -280,3 +280,61 @@ func TestCompareReportsLowerWorse(t *testing.T) {
 		}
 	})
 }
+
+// TestCompareReportsColdStart pins the cold-start gate conventions:
+// BenchmarkColdStart runs are NEW-informational before the baseline is
+// refreshed, and once committed, the snapshot-load advantage (xrebuild,
+// lower is worse) is gated alongside ns/op without any unit-specific
+// code in benchjson.
+func TestCompareReportsColdStart(t *testing.T) {
+	metrics := []metricSpec{
+		{unit: "ns/op", threshold: 0.25},
+		{unit: "xrebuild", threshold: 0.25, lowerWorse: true},
+	}
+	coldRuns := func(loadNs, xrebuild float64) []Run {
+		return []Run{
+			run("BenchmarkColdStart/rebuild-10x-8", 1, map[string]float64{"ns/op": 18e9}),
+			run("BenchmarkColdStart/snapshot-load-10x-8", 1,
+				map[string]float64{"ns/op": loadNs, "xrebuild": xrebuild}),
+		}
+	}
+
+	t.Run("first run is NEW and informational", func(t *testing.T) {
+		old := Report{Runs: []Run{
+			run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1000}),
+		}}
+		new_ := Report{Runs: append(
+			[]Run{run("BenchmarkPipeline/seed-8", 3, map[string]float64{"ns/op": 1000})},
+			coldRuns(1e8, 180)...,
+		)}
+		var sb strings.Builder
+		if !compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("ColdStart runs absent from the baseline must not fail the gate:\n%s", sb.String())
+		}
+		if !strings.Contains(sb.String(), "NEW  BenchmarkColdStart/snapshot-load-10x") {
+			t.Errorf("output missing NEW marker for the cold-start run:\n%s", sb.String())
+		}
+	})
+
+	t.Run("xrebuild collapse fails once committed", func(t *testing.T) {
+		old := Report{Runs: coldRuns(1e8, 180)}
+		// Snapshot load got 3x slower: xrebuild collapses 180 -> 60.
+		new_ := Report{Runs: coldRuns(3e8, 60)}
+		var sb strings.Builder
+		if compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("a 3x slower snapshot load must fail the xrebuild gate:\n%s", sb.String())
+		}
+		if !strings.Contains(sb.String(), "REGRESSION") {
+			t.Errorf("output missing REGRESSION marker:\n%s", sb.String())
+		}
+	})
+
+	t.Run("faster rebuild shrinking xrebuild within bound passes", func(t *testing.T) {
+		old := Report{Runs: coldRuns(1e8, 180)}
+		new_ := Report{Runs: coldRuns(1e8, 150)}
+		var sb strings.Builder
+		if !compareReports(&sb, old, new_, metrics) {
+			t.Fatalf("-17%% xrebuild should pass the 25%% bound:\n%s", sb.String())
+		}
+	})
+}

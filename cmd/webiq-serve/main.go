@@ -27,6 +27,7 @@ import (
 	"webiq/internal/obs"
 	"webiq/internal/resilience"
 	"webiq/internal/server"
+	"webiq/internal/snapshot"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 1, "random seed for all generators")
+	snapPath := flag.String("snapshot", "", "boot from a webiq-snapshot world file instead of rebuilding: every domain is ready immediately (the file's seed overrides -seed)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	slow := flag.Duration("slow", 0, "log requests at or above this duration as NDJSON lines (with trace IDs) to stderr; 0 disables")
@@ -67,7 +69,23 @@ func main() {
 	}
 
 	start := time.Now()
-	srv := server.New(*seed, opts...)
+	var srv *server.Server
+	if *snapPath != "" {
+		world, err := snapshot.Load(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = server.NewFromSnapshot(world, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded snapshot %s (seed %d, scale %g, %d docs) in %v; all domains ready",
+			*snapPath, world.Meta.Seed, world.Meta.Scale, world.Meta.Docs,
+			time.Since(start).Round(time.Millisecond))
+	} else {
+		srv = server.New(*seed, opts...)
+	}
+	srv.RecordStartup(time.Since(start))
 	if *slow > 0 {
 		srv.SetSlowLog(os.Stderr, *slow)
 	}

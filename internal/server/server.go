@@ -51,6 +51,7 @@ import (
 	"webiq/internal/obs"
 	"webiq/internal/resilience"
 	"webiq/internal/schema"
+	"webiq/internal/snapshot"
 	"webiq/internal/surfaceweb"
 	"webiq/internal/translate"
 	"webiq/internal/unify"
@@ -67,6 +68,11 @@ type Server struct {
 	httpm   *obs.HTTPMetrics
 	ready   *obs.GaugeVec   // webiq_unified_ready{domain}
 	builds  *obs.CounterVec // webiq_unified_builds_total{domain}
+	startup *obs.Gauge      // webiq_startup_seconds
+
+	// startupNs mirrors the startup gauge for /stats (gauges are
+	// write-only); set once by RecordStartup.
+	startupNs atomic.Int64
 
 	// Admission control and fault injection (see Options); nil/zero
 	// when the corresponding option is absent.
@@ -135,15 +141,15 @@ type unifiedBuild struct {
 	err  error
 }
 
-// New builds the server: datasets and sources for every domain, plus
-// the Surface-Web corpus used when a unified interface is requested
-// (acquisition runs lazily, once per domain, under per-domain
-// singleflight).
-func New(seed int64, opts ...Option) *Server {
+// newServer does the construction shared by New and NewFromSnapshot:
+// options, tracer, metric families, and the provided search engine
+// (mutable and empty, or snapshot-backed and frozen). The caller
+// populates datasets/pools/pipeline state and then calls finish.
+func newServer(engine *surfaceweb.Engine, opts ...Option) *Server {
 	s := &Server{
 		mux:          http.NewServeMux(),
 		domains:      kb.Domains(),
-		engine:       surfaceweb.NewEngine(),
+		engine:       engine,
 		reg:          obs.NewRegistry(),
 		datasets:     map[string]*schema.Dataset{},
 		pools:        map[string]*deepweb.Pool{},
@@ -164,6 +170,16 @@ func New(seed int64, opts ...Option) *Server {
 	s.engine.Instrument(s.reg)
 	s.ready = s.reg.GaugeVec("webiq_unified_ready", "1 when the domain's unified interface has been built, 0 while pending.", "domain")
 	s.builds = s.reg.CounterVec("webiq_unified_builds_total", "Unified-interface builds performed, by domain.", "domain")
+	s.startup = s.reg.Gauge("webiq_startup_seconds", "Wall-clock seconds from process start until the server was constructed and ready to listen.")
+	return s
+}
+
+// New builds the server: datasets and sources for every domain, plus
+// the Surface-Web corpus used when a unified interface is requested
+// (acquisition runs lazily, once per domain, under per-domain
+// singleflight).
+func New(seed int64, opts ...Option) *Server {
+	s := newServer(surfaceweb.NewEngine(), opts...)
 	corpusCfg := surfaceweb.DefaultCorpusConfig()
 	corpusCfg.Seed = seed
 	surfaceweb.BuildCorpus(s.engine, s.domains, corpusCfg)
@@ -180,7 +196,68 @@ func New(seed int64, opts ...Option) *Server {
 		s.pools[dom.Key] = pool
 		s.ready.With(dom.Key).Set(0)
 	}
+	s.finish()
+	return s
+}
 
+// NewFromSnapshot builds the server from a pre-built world: the frozen
+// snapshot index serves as the search engine, datasets come from the
+// file, deep-web pools are rebuilt deterministically from them, and the
+// stored unified interfaces, ledgers, and degradations are installed so
+// every domain is ready before the first request — no corpus build, no
+// lazy acquisition. Responses are byte-identical to a fresh server with
+// the snapshot's seed after its lazy builds finish, except that
+// restored build ledgers carry no trace IDs (the offline build has no
+// tracer).
+//
+// The world must stay open (not Closed) for the server's lifetime.
+func NewFromSnapshot(world *snapshot.World, opts ...Option) (*Server, error) {
+	if world == nil || world.Index == nil {
+		return nil, fmt.Errorf("server: nil snapshot world")
+	}
+	s := newServer(world.NewEngine(), opts...)
+	deepCfg := deepweb.DefaultConfig()
+	deepCfg.Seed = world.Meta.Seed
+	for _, dom := range s.domains {
+		ds := world.Dataset(dom.Key)
+		if ds == nil {
+			return nil, fmt.Errorf("server: snapshot has no dataset for domain %q", dom.Key)
+		}
+		s.datasets[dom.Key] = ds
+		pool := deepweb.BuildPool(ds, dom, deepCfg)
+		pool.Instrument(s.reg)
+		s.pools[dom.Key] = pool
+	}
+	for _, dw := range world.Domains {
+		ds := s.datasets[dw.Domain]
+		if ds == nil {
+			return nil, fmt.Errorf("server: snapshot world for unknown domain %q", dw.Domain)
+		}
+		// Replay after Instrument so webiq_decisions_total matches a
+		// server that ran the builds itself.
+		ledger := obs.NewLedger(nil)
+		ledger.Instrument(s.reg)
+		for _, d := range dw.Decisions {
+			ledger.Record(d)
+		}
+		s.unified[dw.Domain] = dw.Unified
+		s.translators[dw.Domain] = translate.New(dw.Unified, ds, s.pools[dw.Domain])
+		s.ledgers[dw.Domain] = ledger
+		s.degradations[dw.Domain] = dw.Degradations
+		s.ready.With(dw.Domain).Set(1)
+	}
+	for _, dom := range s.domains {
+		if s.unified[dom.Key] == nil {
+			return nil, fmt.Errorf("server: snapshot has no unified interface for domain %q", dom.Key)
+		}
+	}
+	s.finish()
+	return s, nil
+}
+
+// finish wires the optional fault clients and the HTTP surface; it runs
+// after the pipeline substrate is in place.
+func (s *Server) finish() {
 	if s.faults.Enabled() {
 		inj := resilience.NewInjector(s.faults, s.faultSeed)
 		s.engClient = resilience.NewEngineClient(
@@ -209,7 +286,15 @@ func New(seed int64, opts ...Option) *Server {
 	s.mux.Handle("/readyz", s.httpm.WrapFunc("readyz", s.handleReadyz))
 	s.mux.Handle("/stats", s.httpm.WrapFunc("stats", s.handleStats))
 	s.mux.Handle("/metrics", s.httpm.Wrap("metrics", s.reg.Handler()))
-	return s
+}
+
+// RecordStartup publishes how long process startup took, as the
+// webiq_startup_seconds gauge and the startup_seconds field of /stats.
+// Call it once, after construction, with the time since process start —
+// the number a snapshot-backed server exists to shrink.
+func (s *Server) RecordStartup(d time.Duration) {
+	s.startupNs.Store(int64(d))
+	s.startup.Set(d.Seconds())
 }
 
 // probePool routes a deep-web probe to the owning domain's pool; it is
@@ -583,6 +668,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // of the signal next to raw query counts. Routes carries the
 // precomputed p50/p95/p99 latency summaries per route.
 type statsInfo struct {
+	// StartupSeconds is how long the process took to construct the
+	// server (see RecordStartup); 0 until recorded.
+	StartupSeconds       float64                     `json:"startup_seconds"`
 	CorpusPages          int                         `json:"corpus_pages"`
 	SearchQueries        int                         `json:"search_queries"`
 	SearchVirtualSeconds float64                     `json:"search_virtual_seconds"`
@@ -610,6 +698,7 @@ type admissionInfo struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	info := statsInfo{
+		StartupSeconds:       time.Duration(s.startupNs.Load()).Seconds(),
 		CorpusPages:          s.engine.NumDocs(),
 		SearchQueries:        s.engine.QueryCount(),
 		SearchVirtualSeconds: s.engine.VirtualTime().Seconds(),

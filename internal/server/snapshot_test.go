@@ -1,0 +1,270 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webiq/internal/kb"
+	"webiq/internal/snapshot"
+)
+
+// Fresh and snapshot-backed servers are built once per test binary
+// (both run the full pipeline for every domain) and shared read-only.
+var (
+	snapPairOnce sync.Once
+	snapSrv      *Server
+	freshSrv     *Server
+	snapPairErr  error
+)
+
+const snapSeed = 1
+
+func snapshotPair(t *testing.T) (snap, fresh *Server) {
+	t.Helper()
+	snapPairOnce.Do(func() {
+		world, err := snapshot.BuildWorld(snapshot.BuildConfig{Seed: snapSeed})
+		if err != nil {
+			snapPairErr = fmt.Errorf("build world: %w", err)
+			return
+		}
+		raw, err := world.Bytes()
+		if err != nil {
+			snapPairErr = fmt.Errorf("serialize world: %w", err)
+			return
+		}
+		// Go through the serialized form so the test covers the
+		// snapshot server as deployed: zero-copy arrays, JSON-restored
+		// interfaces.
+		loaded, err := snapshot.LoadBytes(raw)
+		if err != nil {
+			snapPairErr = fmt.Errorf("load world: %w", err)
+			return
+		}
+		snapSrv, snapPairErr = NewFromSnapshot(loaded)
+		if snapPairErr != nil {
+			return
+		}
+		freshSrv = New(snapSeed)
+	})
+	if snapPairErr != nil {
+		t.Fatalf("build snapshot/fresh server pair: %v", snapPairErr)
+	}
+	return snapSrv, freshSrv
+}
+
+// TestSnapshotServerReadyImmediately pins the cold-start payoff: every
+// domain reports ready before any request has triggered a build, while
+// a fresh server starts entirely unready.
+func TestSnapshotServerReadyImmediately(t *testing.T) {
+	snap, _ := snapshotPair(t)
+	code, body := get(t, snap, "/readyz")
+	if code != 200 {
+		t.Fatalf("/readyz on a snapshot server = %d, want 200; body %s", code, body)
+	}
+	var info struct {
+		Ready   bool            `json:"ready"`
+		Domains map[string]bool `json:"domains"`
+	}
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("bad /readyz JSON: %v", err)
+	}
+	if !info.Ready {
+		t.Error("snapshot server not ready at boot")
+	}
+	for _, dom := range kb.Domains() {
+		if !info.Domains[dom.Key] {
+			t.Errorf("domain %s not ready at boot", dom.Key)
+		}
+	}
+
+	// A brand-new fresh server (no requests yet) must be the opposite.
+	cold := New(snapSeed + 1)
+	if code, _ := get(t, cold, "/readyz"); code != 503 {
+		t.Errorf("/readyz on a cold fresh server = %d, want 503", code)
+	}
+}
+
+// TestSnapshotServerUnifiedBytes is the tentpole equivalence at the
+// HTTP boundary: the rendered /unified/{domain} HTML must be
+// byte-identical between the snapshot-backed server and a fresh server
+// that built the same seed lazily.
+func TestSnapshotServerUnifiedBytes(t *testing.T) {
+	snap, fresh := snapshotPair(t)
+	for _, dom := range kb.Domains() {
+		path := "/unified/" + dom.Key
+		sc, sb := get(t, snap, path)
+		fc, fb := get(t, fresh, path)
+		if sc != 200 || fc != 200 {
+			t.Fatalf("%s: status snapshot=%d fresh=%d", path, sc, fc)
+		}
+		if sb != fb {
+			t.Errorf("%s: HTML differs between snapshot and fresh servers", path)
+		}
+	}
+}
+
+// TestSnapshotServerSourcesBytes extends byte-equivalence to the
+// dataset-backed routes: the source index and every rendered interface
+// form.
+func TestSnapshotServerSourcesBytes(t *testing.T) {
+	snap, fresh := snapshotPair(t)
+	sc, sb := get(t, snap, "/sources")
+	fc, fb := get(t, fresh, "/sources")
+	if sc != 200 || fc != 200 || sb != fb {
+		t.Fatalf("/sources differs: status snapshot=%d fresh=%d", sc, fc)
+	}
+	var sources []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(sb), &sources); err != nil {
+		t.Fatalf("bad /sources JSON: %v", err)
+	}
+	if len(sources) == 0 {
+		t.Fatal("no sources listed")
+	}
+	for _, src := range sources[:min(len(sources), 10)] {
+		path := "/source/" + src.ID
+		sc, sb := get(t, snap, path)
+		fc, fb := get(t, fresh, path)
+		if sc != 200 || fc != 200 {
+			t.Fatalf("%s: status snapshot=%d fresh=%d", path, sc, fc)
+		}
+		if sb != fb {
+			t.Errorf("%s: form HTML differs between snapshot and fresh servers", path)
+		}
+	}
+}
+
+// TestSnapshotServerExplain compares build provenance: identical except
+// the trace ID, which only a live traced build has.
+func TestSnapshotServerExplain(t *testing.T) {
+	snap, fresh := snapshotPair(t)
+	for _, dom := range kb.Domains() {
+		path := "/unified/" + dom.Key + "/explain"
+		sc, sb := get(t, snap, path)
+		fc, fb := get(t, fresh, path)
+		if sc != 200 || fc != 200 {
+			t.Fatalf("%s: status snapshot=%d fresh=%d", path, sc, fc)
+		}
+		var sm, fm map[string]any
+		if err := json.Unmarshal([]byte(sb), &sm); err != nil {
+			t.Fatalf("%s: bad snapshot JSON: %v", path, err)
+		}
+		if err := json.Unmarshal([]byte(fb), &fm); err != nil {
+			t.Fatalf("%s: bad fresh JSON: %v", path, err)
+		}
+		if sm["trace_id"] != nil {
+			t.Errorf("%s: snapshot explain has a trace ID %v, offline builds have no tracer", path, sm["trace_id"])
+		}
+		// Trace and span IDs are the documented difference: offline
+		// builds run without a tracer, so embedded decisions carry
+		// empty IDs. Everything else must match.
+		stripTraceIDs(sm)
+		stripTraceIDs(fm)
+		ss, _ := json.Marshal(sm)
+		fs, _ := json.Marshal(fm)
+		if string(ss) != string(fs) {
+			t.Errorf("%s: provenance differs beyond the trace ID", path)
+		}
+	}
+}
+
+// stripTraceIDs removes trace_id/span_id keys recursively, the one
+// field family where offline and traced builds legitimately differ.
+func stripTraceIDs(v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		delete(x, "trace_id")
+		delete(x, "span_id")
+		for _, child := range x {
+			stripTraceIDs(child)
+		}
+	case []any:
+		for _, child := range x {
+			stripTraceIDs(child)
+		}
+	}
+}
+
+// TestSnapshotServerUnifiedSearch drives a probe through the restored
+// translators and pools.
+func TestSnapshotServerUnifiedSearch(t *testing.T) {
+	snap, fresh := snapshotPair(t)
+	for _, path := range []string{
+		"/unified/book/search?attr=Author&value=Mark+Twain",
+		"/unified/book/search?attr=Nope&value=x",
+	} {
+		sc, sb := get(t, snap, path)
+		fc, fb := get(t, fresh, path)
+		if sc != fc {
+			t.Fatalf("%s: status snapshot=%d fresh=%d", path, sc, fc)
+		}
+		if sb != fb {
+			t.Errorf("%s: search results differ between snapshot and fresh servers", path)
+		}
+	}
+}
+
+// TestSnapshotServerStartupMetric covers RecordStartup: the /stats
+// field and the gauge both expose it.
+func TestSnapshotServerStartupMetric(t *testing.T) {
+	snap, _ := snapshotPair(t)
+	snap.RecordStartup(1500 * time.Millisecond)
+	_, body := get(t, snap, "/stats")
+	var info struct {
+		StartupSeconds float64 `json:"startup_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("bad /stats JSON: %v", err)
+	}
+	if info.StartupSeconds != 1.5 {
+		t.Errorf("startup_seconds = %g, want 1.5", info.StartupSeconds)
+	}
+	_, metrics := get(t, snap, "/metrics")
+	if !strings.Contains(metrics, "webiq_startup_seconds 1.5") {
+		t.Error("/metrics missing webiq_startup_seconds gauge")
+	}
+}
+
+// TestSnapshotServerDecisionCounters checks ledger replay restored the
+// decision metrics a fresh server accumulates while building.
+func TestSnapshotServerDecisionCounters(t *testing.T) {
+	snap, fresh := snapshotPair(t)
+	// Fresh server has built every domain by now (earlier tests hit
+	// all /unified routes); counters must agree.
+	_, sm := get(t, snap, "/metrics")
+	_, fm := get(t, fresh, "/metrics")
+	want := grepMetric(fm, "webiq_decisions_total")
+	got := grepMetric(sm, "webiq_decisions_total")
+	if len(want) == 0 {
+		t.Fatal("fresh server exposes no decision counters")
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("decision counter %s: snapshot %q, fresh %q", k, got[k], v)
+		}
+	}
+}
+
+func grepMetric(metrics, name string) map[string]string {
+	out := map[string]string{}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, name) {
+			if k, v, ok := strings.Cut(line, " "); ok {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"webiq/internal/dataset"
+	"webiq/internal/deepweb"
+	"webiq/internal/kb"
+	"webiq/internal/matcher"
+	"webiq/internal/obs"
+	"webiq/internal/schema"
+	"webiq/internal/surfaceweb"
+	"webiq/internal/unify"
+	iq "webiq/internal/webiq"
+)
+
+// Meta is the snapshot's build metadata, stored as the meta section and
+// cross-checked against the fixed-width header on load.
+type Meta struct {
+	GoVersion string   `json:"go_version"`
+	Seed      int64    `json:"seed"`
+	Scale     float64  `json:"scale"`
+	Domains   []string `json:"domains"`
+	Docs      int      `json:"docs"`
+	Terms     int      `json:"terms"`
+	Postings  int      `json:"postings"`
+	Decisions int      `json:"decisions"`
+}
+
+// DomainWorld is everything the pipeline produced for one domain: the
+// built unified interface, the acquisition report (kept as raw JSON so
+// stored bytes round-trip exactly), the provenance ledger's decisions,
+// and any degradations.
+//
+// Offline builds run without a tracer, so restored decisions carry
+// empty trace IDs — /explain output differs from a fresh server build
+// in exactly that field.
+type DomainWorld struct {
+	Domain       string                  `json:"domain"`
+	Unified      *unify.UnifiedInterface `json:"unified"`
+	ReportJSON   json.RawMessage         `json:"report"`
+	Decisions    []obs.Decision          `json:"decisions"`
+	Degradations []iq.Degradation        `json:"degradations,omitempty"`
+}
+
+// World is a fully built WebIQ universe: the frozen surface-web index,
+// the generated (post-acquisition) datasets, and the per-domain
+// pipeline outputs, in kb.Domains() order throughout.
+type World struct {
+	Meta     Meta
+	Index    *surfaceweb.FrozenIndex
+	Datasets []*schema.Dataset
+	Domains  []DomainWorld
+
+	closer func() error
+}
+
+// Close releases the snapshot's backing mapping, if any. The world and
+// every structure built from it (engine, datasets) must not be used
+// afterwards. Worlds built in memory by BuildWorld close as a no-op.
+func (w *World) Close() error {
+	if w == nil || w.closer == nil {
+		return nil
+	}
+	c := w.closer
+	w.closer = nil
+	return c()
+}
+
+// NewEngine wraps the world's frozen index in a read-only search
+// engine. Each call returns a fresh engine with its own accounting
+// clock; all of them share the immutable index.
+func (w *World) NewEngine() *surfaceweb.Engine {
+	return surfaceweb.NewFrozenEngine(w.Index)
+}
+
+// Dataset returns the stored dataset for a domain key, or nil.
+func (w *World) Dataset(domain string) *schema.Dataset {
+	for _, ds := range w.Datasets {
+		if ds.Domain == domain {
+			return ds
+		}
+	}
+	return nil
+}
+
+// RestoreLedger rebuilds a provenance ledger from stored decisions.
+// Record stamps Seq = current length, so replaying in order reproduces
+// the stored sequence numbers and per-attribute indexes exactly.
+func RestoreLedger(decisions []obs.Decision) *obs.Ledger {
+	l := obs.NewLedger(nil)
+	for _, d := range decisions {
+		l.Record(d)
+	}
+	return l
+}
+
+// BuildConfig parameterizes an offline world build.
+type BuildConfig struct {
+	Seed  int64
+	Scale float64 // corpus size multiplier; 0 means 1 (the server's size)
+}
+
+// BuildWorld runs the full WebIQ pipeline offline — corpus, datasets,
+// deep-web pools, acquisition, matching, unification for every domain —
+// and returns the result with the index frozen at the pre-pipeline
+// vocabulary. At Scale 1 the outputs are byte-identical (report JSON,
+// ledger NDJSON, unified interfaces) to what a fresh server with the
+// same seed builds lazily per request.
+//
+// All domains are always built: the corpus generator draws from one
+// sequential stream across domains, so a subset would change every
+// document after the first omitted domain.
+func BuildWorld(cfg BuildConfig) (*World, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Scale < 0 {
+		return nil, errf("negative corpus scale %g", cfg.Scale)
+	}
+	domains := kb.Domains()
+	engine := surfaceweb.NewEngine()
+	ccfg := surfaceweb.DefaultCorpusConfig()
+	ccfg.Seed = cfg.Seed
+	if cfg.Scale != 1 {
+		ccfg = ccfg.Scaled(cfg.Scale)
+	}
+	surfaceweb.BuildCorpus(engine, domains, ccfg)
+	// Vocabulary before any query compiles: query-only terms interned
+	// during the pipeline must not leak into the frozen table, or a
+	// fresh engine and a snapshot-loaded one would disagree on term IDs.
+	v0 := engine.Terms().Len()
+
+	dataCfg := dataset.DefaultConfig()
+	dataCfg.Seed = cfg.Seed
+	deepCfg := deepweb.DefaultConfig()
+	deepCfg.Seed = cfg.Seed
+
+	w := &World{Meta: Meta{GoVersion: runtime.Version(), Seed: cfg.Seed, Scale: cfg.Scale}}
+	for _, dom := range domains {
+		ds := dataset.Generate(dom, dataCfg)
+		pool := deepweb.BuildPool(ds, dom, deepCfg)
+
+		// Mirror server.buildUnified's wiring exactly, minus
+		// observability (tracer, registry, fault clients) — none of
+		// which changes pipeline outputs.
+		ledger := obs.NewLedger(nil)
+		icfg := iq.DefaultConfig()
+		val := iq.NewValidator(engine, icfg)
+		acq := iq.NewAcquirer(
+			iq.NewSurface(engine, val, icfg),
+			iq.NewAttrDeep(pool, icfg),
+			iq.NewAttrSurface(val, icfg),
+			iq.AllComponents(), icfg)
+		acq.SetLedger(ledger)
+		acq.SetAccounting(
+			func() (time.Duration, int) { return engine.VirtualTime(), engine.QueryCount() },
+			func() (time.Duration, int) { return pool.VirtualTime(), pool.QueryCount() },
+		)
+		rep := acq.AcquireAll(ds)
+
+		m := matcher.New(matcher.DefaultConfig())
+		m.SetLedger(ledger)
+		res := m.Match(ds)
+		u := unify.Build(ds, res)
+
+		repJSON, err := json.Marshal(rep)
+		if err != nil {
+			return nil, errf("marshal report for %s: %v", dom.Key, err)
+		}
+		w.Datasets = append(w.Datasets, ds)
+		w.Domains = append(w.Domains, DomainWorld{
+			Domain:       dom.Key,
+			Unified:      u,
+			ReportJSON:   repJSON,
+			Decisions:    ledger.Decisions(),
+			Degradations: rep.Degradations,
+		})
+		w.Meta.Domains = append(w.Meta.Domains, dom.Key)
+		w.Meta.Decisions += ledger.Len()
+	}
+
+	fi, err := engine.ExtractFrozen(v0)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: freeze index: %w", err)
+	}
+	w.Index = fi
+	w.Meta.Docs = fi.NumDocs()
+	w.Meta.Terms = fi.Terms().Len()
+	w.Meta.Postings = len(fi.Data().PostDoc)
+	return w, nil
+}

@@ -1,0 +1,273 @@
+// Package snapshot persists a fully built WebIQ world — interned term
+// table, frozen inverted index, document text, generated datasets, and
+// built unified interfaces — in a versioned, checksum-gated binary file
+// laid out for instant cold start: every large array is stored as raw
+// little-endian machine words at an 8-byte-aligned offset, so loading a
+// snapshot is an mmap plus structural validation, with zero parse work
+// on the index and corpus payloads.
+//
+// File layout (all integers little-endian, fixed width):
+//
+//	offset  size  field
+//	0       8     magic "WIQSNAP\x00"
+//	8       4     format version (uint32)
+//	12      4     section count (uint32)
+//	16      8     build seed (int64)
+//	24      8     corpus scale (float64 bits)
+//	32      8     build fingerprint (uint64; see fingerprint)
+//	40      8     section table offset (uint64; 64 in version 1)
+//	48      8     reserved (0)
+//	56      8     CRC64-ECMA of header bytes [0,56)
+//
+// The section table is an array of 32-byte entries
+//
+//	{id uint32, reserved uint32, off uint64, len uint64, crc uint64}
+//
+// followed by one trailing CRC64 over all entry bytes. Every section
+// payload starts at an 8-byte-aligned file offset (zero padding between
+// sections) and carries its own CRC64, verified in full on every load.
+// Any mismatch — magic, version, bounds, alignment, checksum — is a
+// hard refusal with a descriptive error, never a panic.
+//
+// Versioning policy: readers require an exact format-version match and
+// the presence of every section they know; unknown section IDs are
+// ignored, so additive extensions need no version bump. Any change to
+// the header, an existing section's layout, or the meaning of its
+// contents bumps FormatVersion.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"unsafe"
+)
+
+// Magic identifies a WebIQ snapshot file.
+const Magic = "WIQSNAP\x00"
+
+// FormatVersion is the snapshot format this build reads and writes.
+const FormatVersion = 1
+
+const (
+	headerSize  = 64
+	entrySize   = 32
+	maxSections = 1024 // sanity bound against corrupt counts
+)
+
+// Section IDs of format version 1, in file order.
+const (
+	secMeta       uint32 = 1  // build metadata (JSON)
+	secTermOff    uint32 = 2  // term string offsets (uint32)
+	secTermBlob   uint32 = 3  // term string blob (bytes)
+	secPostOff    uint32 = 4  // per-term posting offsets (uint64)
+	secPostDoc    uint32 = 5  // posting documents (uint32)
+	secPostPosOff uint32 = 6  // per-posting position offsets (uint64)
+	secPositions  uint32 = 7  // token positions (uint32)
+	secDocTokOff  uint32 = 8  // per-document token offsets (uint64)
+	secTokTerm    uint32 = 9  // token terms (uint32)
+	secTokStart   uint32 = 10 // token start bytes (uint32)
+	secTokEnd     uint32 = 11 // token end bytes (uint32)
+	secTextOff    uint32 = 12 // per-document text offsets (uint64)
+	secTextBlob   uint32 = 13 // document text blob (bytes)
+	secTitleOff   uint32 = 14 // per-document title offsets (uint64)
+	secTitleBlob  uint32 = 15 // document title blob (bytes)
+	secDatasets   uint32 = 16 // post-acquisition datasets (JSON)
+	secWorld      uint32 = 17 // unified interfaces + ledgers + reports (JSON)
+)
+
+// sectionNames maps IDs to the names webiq-snapshot info prints.
+var sectionNames = map[uint32]string{
+	secMeta: "meta", secTermOff: "term-offsets", secTermBlob: "term-blob",
+	secPostOff: "posting-offsets", secPostDoc: "posting-docs",
+	secPostPosOff: "position-offsets", secPositions: "positions",
+	secDocTokOff: "doc-token-offsets", secTokTerm: "token-terms",
+	secTokStart: "token-starts", secTokEnd: "token-ends",
+	secTextOff: "text-offsets", secTextBlob: "text-blob",
+	secTitleOff: "title-offsets", secTitleBlob: "title-blob",
+	secDatasets: "datasets", secWorld: "world",
+}
+
+// requiredSections lists every section a version-1 reader needs, in the
+// order the writer emits them.
+var requiredSections = []uint32{
+	secMeta, secTermOff, secTermBlob, secPostOff, secPostDoc,
+	secPostPosOff, secPositions, secDocTokOff, secTokTerm, secTokStart,
+	secTokEnd, secTextOff, secTextBlob, secTitleOff, secTitleBlob,
+	secDatasets, secWorld,
+}
+
+// SectionName returns the human-readable name of a section ID.
+func SectionName(id uint32) string {
+	if n, ok := sectionNames[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("unknown-%d", id)
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+func checksum(b []byte) uint64 { return crc64.Checksum(b, crcTable) }
+
+// header is the decoded fixed-width file header.
+type header struct {
+	version     uint32
+	sections    uint32
+	seed        int64
+	scale       float64
+	fingerprint uint64
+	tableOff    uint64
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("snapshot: "+format, args...)
+}
+
+// hostLittleEndian reports whether the running machine is little-endian.
+// The zero-parse load path reinterprets file bytes as native integers,
+// so big-endian hosts must refuse snapshots rather than misread them.
+func hostLittleEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+func encodeHeader(h header) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf[0:8], Magic)
+	binary.LittleEndian.PutUint32(buf[8:12], h.version)
+	binary.LittleEndian.PutUint32(buf[12:16], h.sections)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(h.seed))
+	binary.LittleEndian.PutUint64(buf[24:32], math.Float64bits(h.scale))
+	binary.LittleEndian.PutUint64(buf[32:40], h.fingerprint)
+	binary.LittleEndian.PutUint64(buf[40:48], h.tableOff)
+	binary.LittleEndian.PutUint64(buf[48:56], 0)
+	binary.LittleEndian.PutUint64(buf[56:64], checksum(buf[:56]))
+	return buf
+}
+
+func decodeHeader(data []byte) (header, error) {
+	var h header
+	if len(data) < headerSize {
+		return h, errf("file truncated: %d bytes, header needs %d", len(data), headerSize)
+	}
+	if string(data[0:8]) != Magic {
+		return h, errf("bad magic %q: not a WebIQ snapshot", data[0:8])
+	}
+	if got, want := binary.LittleEndian.Uint64(data[56:64]), checksum(data[:56]); got != want {
+		return h, errf("header checksum mismatch: file %#x, computed %#x", got, want)
+	}
+	h.version = binary.LittleEndian.Uint32(data[8:12])
+	if h.version != FormatVersion {
+		return h, errf("format version %d, this build reads %d", h.version, FormatVersion)
+	}
+	h.sections = binary.LittleEndian.Uint32(data[12:16])
+	if h.sections == 0 || h.sections > maxSections {
+		return h, errf("implausible section count %d", h.sections)
+	}
+	h.seed = int64(binary.LittleEndian.Uint64(data[16:24]))
+	h.scale = math.Float64frombits(binary.LittleEndian.Uint64(data[24:32]))
+	h.fingerprint = binary.LittleEndian.Uint64(data[32:40])
+	h.tableOff = binary.LittleEndian.Uint64(data[40:48])
+	return h, nil
+}
+
+// SectionInfo describes one section-table entry.
+type SectionInfo struct {
+	ID   uint32 `json:"id"`
+	Name string `json:"name"`
+	Off  uint64 `json:"off"`
+	Len  uint64 `json:"len"`
+	CRC  uint64 `json:"crc"`
+}
+
+// decodeTable parses and checksums the section table.
+func decodeTable(data []byte, h header) ([]SectionInfo, error) {
+	n := uint64(h.sections)
+	end := h.tableOff + n*entrySize + 8
+	if h.tableOff < headerSize || end < h.tableOff || end > uint64(len(data)) {
+		return nil, errf("section table [%d,%d) outside file of %d bytes", h.tableOff, end, len(data))
+	}
+	entries := data[h.tableOff : h.tableOff+n*entrySize]
+	if got, want := binary.LittleEndian.Uint64(data[end-8:end]), checksum(entries); got != want {
+		return nil, errf("section table checksum mismatch: file %#x, computed %#x", got, want)
+	}
+	out := make([]SectionInfo, n)
+	for i := range out {
+		e := entries[i*entrySize:]
+		out[i] = SectionInfo{
+			ID:  binary.LittleEndian.Uint32(e[0:4]),
+			Off: binary.LittleEndian.Uint64(e[8:16]),
+			Len: binary.LittleEndian.Uint64(e[16:24]),
+			CRC: binary.LittleEndian.Uint64(e[24:32]),
+		}
+		out[i].Name = SectionName(out[i].ID)
+	}
+	return out, nil
+}
+
+// sectionBytes bounds-checks one entry against the file and returns its
+// payload (without verifying the CRC; see verifySection).
+func sectionBytes(data []byte, s SectionInfo, tableEnd uint64) ([]byte, error) {
+	if s.Off%8 != 0 {
+		return nil, errf("section %s at offset %d: not 8-byte aligned", s.Name, s.Off)
+	}
+	if s.Off < tableEnd || s.Off > uint64(len(data)) || s.Len > uint64(len(data))-s.Off {
+		return nil, errf("section %s [%d,+%d) outside file of %d bytes", s.Name, s.Off, s.Len, len(data))
+	}
+	return data[s.Off : s.Off+s.Len], nil
+}
+
+func verifySection(payload []byte, s SectionInfo) error {
+	if got := checksum(payload); got != s.CRC {
+		return errf("section %s checksum mismatch: file %#x, computed %#x", s.Name, s.CRC, got)
+	}
+	return nil
+}
+
+// castU32 reinterprets a payload as a []uint32 without copying. The
+// base must be 4-byte aligned (guaranteed: sections start 8-aligned in
+// an mmap or aligned buffer) and the length a multiple of 4.
+func castU32(name string, b []byte) ([]uint32, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b)%4 != 0 {
+		return nil, errf("section %s: %d bytes is not a whole number of uint32s", name, len(b))
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil, errf("section %s: payload not 4-byte aligned in memory", name)
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4), nil
+}
+
+// castU64 reinterprets a payload as a []uint64 without copying.
+func castU64(name string, b []byte) ([]uint64, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b)%8 != 0 {
+		return nil, errf("section %s: %d bytes is not a whole number of uint64s", name, len(b))
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, errf("section %s: payload not 8-byte aligned in memory", name)
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8), nil
+}
+
+// asString views a payload as a string without copying. The bytes are
+// never mutated after load (read-only mapping), so the aliasing is safe.
+func asString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// fingerprint derives the build fingerprint from the generator
+// identity: Go toolchain version, seed, corpus scale, and format
+// version. Info surfaces it so operators can tell two snapshots apart
+// at a glance.
+func fingerprint(goVersion string, seed int64, scale float64) uint64 {
+	return checksum([]byte(fmt.Sprintf("%s|seed=%d|scale=%g|v%d", goVersion, seed, scale, FormatVersion)))
+}

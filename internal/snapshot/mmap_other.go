@@ -1,0 +1,9 @@
+//go:build !unix
+
+package snapshot
+
+// mapFile reads the snapshot into an aligned buffer on platforms
+// without a usable mmap.
+func mapFile(path string) ([]byte, func() error, error) {
+	return readFileFallback(path)
+}

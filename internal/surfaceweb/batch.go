@@ -78,27 +78,13 @@ func (e *Engine) NumHitsBatchCompiled(qs []BatchQuery) []int {
 		e.charge(qs[i].Charged)
 	}
 
-	sc := batchPool.Get().(*batchScratch)
-	order := sc.order[:0]
-	for i := range qs {
-		order = append(order, i)
+	if e.ro != nil {
+		e.ro.numHitsBatchFrozen(qs, out)
+		return out
 	}
-	// Phrase-lexicographic order clusters shared prefixes so adjacent
-	// queries reuse the deepest common frame. The sort is stable in
-	// effect because ties are broken by input index.
-	sort.Slice(order, func(a, b int) bool {
-		pa, pb := qs[order[a]].CQ.Phrase, qs[order[b]].CQ.Phrase
-		for i := 0; i < len(pa) && i < len(pb); i++ {
-			if pa[i] != pb[i] {
-				return pa[i] < pb[i]
-			}
-		}
-		if len(pa) != len(pb) {
-			return len(pa) < len(pb)
-		}
-		return order[a] < order[b]
-	})
-	sc.order = order
+
+	sc := batchPool.Get().(*batchScratch)
+	order := batchOrder(sc, qs)
 
 	var prev []uint32 // phrase whose prefixes the frames currently hold
 	depth := 0        // number of valid frames
@@ -175,6 +161,31 @@ func (e *Engine) NumHitsBatchCompiled(qs []BatchQuery) []int {
 	}
 	batchPool.Put(sc)
 	return out
+}
+
+// batchOrder fills sc.order with the batch's processing permutation:
+// phrase-lexicographic order clusters shared prefixes so adjacent
+// queries reuse the deepest common frame. The sort is stable in effect
+// because ties are broken by input index.
+func batchOrder(sc *batchScratch, qs []BatchQuery) []int {
+	order := sc.order[:0]
+	for i := range qs {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := qs[order[a]].CQ.Phrase, qs[order[b]].CQ.Phrase
+		for i := 0; i < len(pa) && i < len(pb); i++ {
+			if pa[i] != pb[i] {
+				return pa[i] < pb[i]
+			}
+		}
+		if len(pa) != len(pb) {
+			return len(pa) < len(pb)
+		}
+		return order[a] < order[b]
+	})
+	sc.order = order
+	return order
 }
 
 // countFrameLocked counts the distinct documents of a fully-extended

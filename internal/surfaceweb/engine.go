@@ -162,6 +162,11 @@ type Engine struct {
 	index map[uint32]postings
 	next  int
 
+	// ro, when non-nil, is the frozen flat-array storage the read path
+	// serves from instead of the maps above (see freeze.go). It is set
+	// only at construction (NewFrozenEngine) and never cleared.
+	ro *FrozenIndex
+
 	queries     atomic.Int64
 	virtualTime atomic.Int64 // nanoseconds
 
@@ -192,7 +197,16 @@ func (e *Engine) Instrument(r *obs.Registry) {
 	e.mQueries = r.Counter("webiq_engine_queries_total", "Search-engine queries served.")
 	e.mLatency = r.Histogram("webiq_engine_query_virtual_seconds", "Simulated per-query retrieval latency in seconds.", nil)
 	e.mDocs = r.Gauge("webiq_engine_corpus_docs", "Pages indexed in the synthetic Surface-Web corpus.")
-	e.mDocs.Set(float64(len(e.docs)))
+	e.mDocs.Set(float64(e.docCountLocked()))
+}
+
+// docCountLocked returns the corpus size; callers hold e.mu (either
+// mode).
+func (e *Engine) docCountLocked() int {
+	if e.ro != nil {
+		return e.ro.numDocs
+	}
+	return len(e.docs)
 }
 
 type indexedDoc struct {
@@ -216,10 +230,15 @@ func NewEngine() *Engine {
 // compiled against it.
 func (e *Engine) Terms() *nlp.TermTable { return e.terms }
 
-// Add indexes a document and returns its assigned ID.
+// Add indexes a document and returns its assigned ID. It panics on a
+// frozen engine: snapshot-loaded corpora never grow, and silently
+// dropping a document would desynchronize index and text.
 func (e *Engine) Add(title, text string) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.ro != nil {
+		panic("surfaceweb: Add on a frozen engine")
+	}
 	id := e.next
 	e.next++
 	var toks []docToken
@@ -252,7 +271,7 @@ func (e *Engine) Add(title, text string) int {
 func (e *Engine) NumDocs() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.docs)
+	return e.docCountLocked()
 }
 
 // QueryCount returns the number of queries served so far.
@@ -341,11 +360,19 @@ func (e *Engine) NumHitsCompiled(cq CompiledQuery, charged string) int {
 	e.charge(charged)
 	if len(cq.Phrase) == 1 && len(cq.Required) == 0 {
 		// A one-word phrase matches exactly the documents in the term's
-		// posting map; counting them needs no position walk.
+		// posting list; counting them needs no position walk.
+		if e.ro != nil {
+			return e.ro.docCount(cq.Phrase[0])
+		}
 		return len(e.index[cq.Phrase[0]])
 	}
 	sc := searchPool.Get().(*searchScratch)
-	n := len(e.matchLocked(cq, sc))
+	var n int
+	if e.ro != nil {
+		n = len(e.ro.match(cq, sc))
+	} else {
+		n = len(e.matchLocked(cq, sc))
+	}
 	searchPool.Put(sc)
 	return n
 }
@@ -364,11 +391,23 @@ func (e *Engine) SearchCompiled(cq CompiledQuery, charged string, k int) []Snipp
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	e.charge(charged)
+	ro := e.ro
 	sc := searchPool.Get().(*searchScratch)
-	ids := e.matchLocked(cq, sc)
+	var ids []int
+	if ro != nil {
+		ids = ro.match(cq, sc)
+	} else {
+		ids = e.matchLocked(cq, sc)
+	}
 	ranked := sc.ranked[:0]
 	for _, id := range ids {
-		ranked = append(ranked, scoredDoc{id: id, score: e.relevanceLocked(id, cq)})
+		var score int
+		if ro != nil {
+			score = ro.relevance(id, cq)
+		} else {
+			score = e.relevanceLocked(id, cq)
+		}
+		ranked = append(ranked, scoredDoc{id: id, score: score})
 	}
 	sc.ranked = ranked
 	sort.Slice(ranked, func(i, j int) bool {
@@ -382,7 +421,13 @@ func (e *Engine) SearchCompiled(cq CompiledQuery, charged string, k int) []Snipp
 	}
 	out := make([]Snippet, 0, len(ranked))
 	for _, r := range ranked {
-		out = append(out, Snippet{DocID: r.id, Text: e.snippetLocked(r.id, cq)})
+		var text string
+		if ro != nil {
+			text = ro.snippet(r.id, cq, e.SnippetRadius)
+		} else {
+			text = e.snippetLocked(r.id, cq)
+		}
+		out = append(out, Snippet{DocID: r.id, Text: text})
 	}
 	searchPool.Put(sc)
 	return out
@@ -394,11 +439,16 @@ type scoredDoc struct {
 	score int
 }
 
+// termSpan is a posting-entry range of one term in a frozen index.
+type termSpan struct{ lo, hi uint64 }
+
 // searchScratch holds the per-query working set — the posting-list
-// slice, matched IDs, and ranking buffer — pooled so steady-state
-// query execution allocates only its result snippets.
+// slice (mutable path) or span list (frozen path), matched IDs, and
+// ranking buffer — pooled so steady-state query execution allocates
+// only its result snippets.
 type searchScratch struct {
 	lists  []postings
+	spans  []termSpan
 	ids    []int
 	ranked []scoredDoc
 }

@@ -1,0 +1,600 @@
+package surfaceweb
+
+// Frozen read-only engine storage.
+//
+// A built engine's maps (docs, index) are ideal for incremental
+// indexing but expensive to persist: rebuilding them on process start
+// re-tokenizes the whole corpus. FrozenIndex is the same data in
+// CSR-style flat arrays — per-term posting spans into one contiguous
+// document array, per-entry position spans into one contiguous position
+// array, per-document token/text/title spans into contiguous blobs.
+// Every array is a plain []uint32/[]uint64 or string, so a snapshot
+// file can serve them directly from an mmap with zero parse work.
+//
+// An Engine wrapping a FrozenIndex (see NewFrozenEngine) answers every
+// read — NumHits, Search, batched hit counts, vocabulary statistics —
+// with results identical to the mutable engine it was extracted from;
+// Add panics. Construction from untrusted bytes goes through
+// NewFrozenIndex, which validates the structural invariants the read
+// path relies on and refuses malformed data with an error, never a
+// panic. (Content integrity — bit flips inside structurally valid
+// arrays — is the snapshot checksum's job.)
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"webiq/internal/nlp"
+)
+
+// FrozenData is the flattened wire form of a frozen index: the raw
+// arrays a FrozenIndex serves from. The snapshot layer reads and writes
+// this struct; NewFrozenIndex validates it.
+//
+// Layout invariants (validated):
+//
+//	TermOff[t]..TermOff[t+1]        entries of term t in PostDoc (docs ascending)
+//	PostPosOff[e]..PostPosOff[e+1]  token positions of entry e in Positions
+//	DocTokOff[d]..DocTokOff[d+1]    tokens of document d in TokTerm/TokStart/TokEnd
+//	TextOff[d]..TextOff[d+1]        text of document d in TextBlob
+//	TitleOff[d]..TitleOff[d+1]      title of document d in TitleBlob
+//
+// Token start/end are byte offsets into the document's own text (not
+// the blob), matching the spans the mutable engine records at indexing
+// time.
+type FrozenData struct {
+	TermOff    []uint64
+	PostDoc    []uint32
+	PostPosOff []uint64
+	Positions  []uint32
+
+	DocTokOff []uint64
+	TokTerm   []uint32
+	TokStart  []uint32
+	TokEnd    []uint32
+
+	TextOff  []uint64
+	TextBlob string
+
+	TitleOff  []uint64
+	TitleBlob string
+}
+
+// FrozenIndex is a validated read-only index over FrozenData arrays.
+type FrozenIndex struct {
+	terms   *nlp.TermTable
+	d       FrozenData
+	numDocs int
+	vocab   int // terms with at least one posting == mutable Vocabulary()
+}
+
+// Terms returns the frozen term table the index was built against.
+func (f *FrozenIndex) Terms() *nlp.TermTable { return f.terms }
+
+// Data returns the underlying flat arrays (shared, not copied) for
+// serialization.
+func (f *FrozenIndex) Data() FrozenData { return f.d }
+
+// NumDocs returns the number of documents in the frozen corpus.
+func (f *FrozenIndex) NumDocs() int { return f.numDocs }
+
+func frozenErr(format string, args ...any) error {
+	return fmt.Errorf("surfaceweb: frozen index: "+format, args...)
+}
+
+// checkOffsets validates one offset table: n+1 entries spanning a
+// backing array of length total, starting at 0, non-decreasing.
+func checkOffsets(name string, off []uint64, n int, total int) error {
+	if len(off) != n+1 {
+		return frozenErr("%s has %d offsets, want %d", name, len(off), n+1)
+	}
+	if off[0] != 0 {
+		return frozenErr("%s starts at %d, want 0", name, off[0])
+	}
+	for i := 0; i < n; i++ {
+		if off[i] > off[i+1] {
+			return frozenErr("%s not monotonic at %d", name, i)
+		}
+	}
+	if off[n] != uint64(total) {
+		return frozenErr("%s ends at %d, want backing length %d", name, off[n], total)
+	}
+	return nil
+}
+
+// NewFrozenIndex validates d against terms and wraps it. All structural
+// invariants the lock-free read path indexes by are checked here, so a
+// malformed or truncated flattening is refused with an error rather
+// than panicking later under a query.
+func NewFrozenIndex(terms *nlp.TermTable, d FrozenData) (*FrozenIndex, error) {
+	if terms == nil || !terms.Frozen() {
+		return nil, frozenErr("term table must be frozen")
+	}
+	if len(d.TermOff) == 0 {
+		return nil, frozenErr("empty term offset table")
+	}
+	v := len(d.TermOff) - 1
+	if v != terms.Len() {
+		return nil, frozenErr("%d posting spans, want one per term (%d)", v, terms.Len())
+	}
+	if err := checkOffsets("term offsets", d.TermOff, v, len(d.PostDoc)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("position offsets", d.PostPosOff, len(d.PostDoc), len(d.Positions)); err != nil {
+		return nil, err
+	}
+	if len(d.TextOff) == 0 {
+		return nil, frozenErr("empty text offset table")
+	}
+	n := len(d.TextOff) - 1
+	if err := checkOffsets("text offsets", d.TextOff, n, len(d.TextBlob)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("title offsets", d.TitleOff, n, len(d.TitleBlob)); err != nil {
+		return nil, err
+	}
+	if len(d.TokStart) != len(d.TokTerm) || len(d.TokEnd) != len(d.TokTerm) {
+		return nil, frozenErr("token arrays disagree: %d terms, %d starts, %d ends",
+			len(d.TokTerm), len(d.TokStart), len(d.TokEnd))
+	}
+	if err := checkOffsets("token offsets", d.DocTokOff, n, len(d.TokTerm)); err != nil {
+		return nil, err
+	}
+	// Token byte spans must be ordered and inside their document's text:
+	// the snippet path slices text[TokStart[a]:TokEnd[b]] for a <= b.
+	for doc := 0; doc < n; doc++ {
+		textLen := d.TextOff[doc+1] - d.TextOff[doc]
+		prevEnd := uint32(0)
+		for k := d.DocTokOff[doc]; k < d.DocTokOff[doc+1]; k++ {
+			s, e := d.TokStart[k], d.TokEnd[k]
+			if s < prevEnd || e < s || uint64(e) > textLen {
+				return nil, frozenErr("document %d token %d span [%d,%d) outside text of %d bytes",
+					doc, k-d.DocTokOff[doc], s, e, textLen)
+			}
+			prevEnd = e
+		}
+	}
+	// Posting docs must be in range and strictly ascending per term —
+	// the read path binary-searches them and treats doc transitions as
+	// distinct-document boundaries.
+	vocab := 0
+	for t := 0; t < v; t++ {
+		lo, hi := d.TermOff[t], d.TermOff[t+1]
+		if lo < hi {
+			vocab++
+		}
+		for e := lo; e < hi; e++ {
+			doc := d.PostDoc[e]
+			if uint64(doc) >= uint64(n) {
+				return nil, frozenErr("term %d posts document %d, corpus has %d", t, doc, n)
+			}
+			if e > lo && doc <= d.PostDoc[e-1] {
+				return nil, frozenErr("term %d posting documents not ascending at entry %d", t, e-lo)
+			}
+		}
+	}
+	return &FrozenIndex{terms: terms, d: d, numDocs: n, vocab: vocab}, nil
+}
+
+// NewFrozenEngine wraps a frozen index in an Engine with the standard
+// latency and snippet settings. The engine serves every read lock-free
+// from the flat arrays; Add panics.
+func NewFrozenEngine(fi *FrozenIndex) *Engine {
+	return &Engine{
+		terms:         fi.terms,
+		ro:            fi,
+		MinLatency:    100 * time.Millisecond,
+		MaxLatency:    500 * time.Millisecond,
+		SnippetRadius: 10,
+	}
+}
+
+// Frozen reports whether the engine serves from a frozen index.
+func (e *Engine) Frozen() bool { return e.ro != nil }
+
+// ExtractFrozen flattens a built engine into a FrozenIndex. vocabLimit
+// caps the persisted vocabulary: passing the table length captured
+// right after the corpus was built excludes query-only terms interned
+// later (they have no postings and no tokens), so a snapshot-loaded
+// table matches a freshly built one. vocabLimit < 0 keeps every term.
+// Document IDs must be dense (no gaps); the corpus builder always
+// produces that. Extracting an already-frozen engine returns its index.
+func (e *Engine) ExtractFrozen(vocabLimit int) (*FrozenIndex, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ro != nil {
+		return e.ro, nil
+	}
+	n := e.next
+	if len(e.docs) != n {
+		return nil, frozenErr("corpus has %d documents but %d IDs assigned", len(e.docs), n)
+	}
+	v := e.terms.Len()
+	if vocabLimit >= 0 && vocabLimit < v {
+		v = vocabLimit
+	}
+	offsets, blob := e.terms.Flatten(v)
+	terms, err := nlp.NewFrozenTermTable(offsets, string(blob))
+	if err != nil {
+		return nil, err
+	}
+
+	var d FrozenData
+	totalToks := 0
+	for id := 0; id < n; id++ {
+		doc, ok := e.docs[id]
+		if !ok {
+			return nil, frozenErr("document IDs not dense: %d missing", id)
+		}
+		totalToks += len(doc.tokens)
+	}
+	d.DocTokOff = make([]uint64, n+1)
+	d.TextOff = make([]uint64, n+1)
+	d.TitleOff = make([]uint64, n+1)
+	d.TokTerm = make([]uint32, 0, totalToks)
+	d.TokStart = make([]uint32, 0, totalToks)
+	d.TokEnd = make([]uint32, 0, totalToks)
+	var text, title strings.Builder
+	for id := 0; id < n; id++ {
+		doc := e.docs[id]
+		d.DocTokOff[id] = uint64(len(d.TokTerm))
+		d.TextOff[id] = uint64(text.Len())
+		d.TitleOff[id] = uint64(title.Len())
+		for _, t := range doc.tokens {
+			if uint64(t.term) >= uint64(v) {
+				return nil, frozenErr("vocabulary limit %d excludes indexed term %d", v, t.term)
+			}
+			d.TokTerm = append(d.TokTerm, t.term)
+			d.TokStart = append(d.TokStart, t.start)
+			d.TokEnd = append(d.TokEnd, t.end)
+		}
+		text.WriteString(doc.doc.Text)
+		title.WriteString(doc.doc.Title)
+	}
+	d.DocTokOff[n] = uint64(len(d.TokTerm))
+	d.TextOff[n] = uint64(text.Len())
+	d.TitleOff[n] = uint64(title.Len())
+	d.TextBlob = text.String()
+	d.TitleBlob = title.String()
+
+	d.TermOff = make([]uint64, v+1)
+	d.PostPosOff = append(d.PostPosOff, 0)
+	var docIDs []int
+	for t := 0; t < v; t++ {
+		d.TermOff[t] = uint64(len(d.PostDoc))
+		p := e.index[uint32(t)]
+		if len(p) == 0 {
+			continue
+		}
+		docIDs = docIDs[:0]
+		for id := range p {
+			docIDs = append(docIDs, id)
+		}
+		sort.Ints(docIDs)
+		for _, id := range docIDs {
+			d.PostDoc = append(d.PostDoc, uint32(id))
+			for _, pos := range p[id] {
+				d.Positions = append(d.Positions, uint32(pos))
+			}
+			d.PostPosOff = append(d.PostPosOff, uint64(len(d.Positions)))
+		}
+	}
+	d.TermOff[v] = uint64(len(d.PostDoc))
+	return NewFrozenIndex(terms, d)
+}
+
+// termRange returns the posting-entry span of a term. Unknown terms —
+// including nlp.NoTerm from a frozen table miss — get the empty span,
+// which every caller treats as "matches nothing".
+func (f *FrozenIndex) termRange(term uint32) (lo, hi uint64) {
+	if uint64(term) >= uint64(len(f.d.TermOff)-1) {
+		return 0, 0
+	}
+	return f.d.TermOff[term], f.d.TermOff[term+1]
+}
+
+// docCount returns how many documents contain the term — the frozen
+// len(e.index[term]).
+func (f *FrozenIndex) docCount(term uint32) int {
+	lo, hi := f.termRange(term)
+	return int(hi - lo)
+}
+
+// findEntry binary-searches the term's posting span for a document.
+func (f *FrozenIndex) findEntry(term uint32, doc int) (uint64, bool) {
+	lo, hi := f.termRange(term)
+	i := lo + uint64(sort.Search(int(hi-lo), func(k int) bool {
+		return f.d.PostDoc[lo+uint64(k)] >= uint32(doc)
+	}))
+	if i < hi && f.d.PostDoc[i] == uint32(doc) {
+		return i, true
+	}
+	return 0, false
+}
+
+// posSpan returns the token positions of posting entry e.
+func (f *FrozenIndex) posSpan(e uint64) []uint32 {
+	return f.d.Positions[f.d.PostPosOff[e]:f.d.PostPosOff[e+1]]
+}
+
+// docTokens returns the token span of a document: base index into the
+// token arrays and token count.
+func (f *FrozenIndex) docTokens(doc int) (base, count uint64) {
+	base = f.d.DocTokOff[doc]
+	return base, f.d.DocTokOff[doc+1] - base
+}
+
+// text returns a document's text (a substring of the blob, no copy).
+func (f *FrozenIndex) text(doc int) string {
+	return f.d.TextBlob[f.d.TextOff[doc]:f.d.TextOff[doc+1]]
+}
+
+// title returns a document's title.
+func (f *FrozenIndex) title(doc int) string {
+	return f.d.TitleBlob[f.d.TitleOff[doc]:f.d.TitleOff[doc+1]]
+}
+
+// phraseAt is the frozen phraseAt: does the phrase occur in doc at any
+// of the given start positions?
+func (f *FrozenIndex) phraseAt(doc int, positions []uint32, phrase []uint32) bool {
+	base, count := f.docTokens(doc)
+starts:
+	for _, pos := range positions {
+		if uint64(pos)+uint64(len(phrase)) > count {
+			continue
+		}
+		for j := 1; j < len(phrase); j++ {
+			if f.d.TokTerm[base+uint64(pos)+uint64(j)] != phrase[j] {
+				continue starts
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// match is the frozen matchLocked: documents matching the compiled
+// query, collected into sc.ids. Required spans are intersected from the
+// smallest, and docs come out in ascending order (callers count or
+// re-rank, so order differences from the map-based matcher are
+// invisible).
+func (f *FrozenIndex) match(cq CompiledQuery, sc *searchScratch) []int {
+	spans := sc.spans[:0]
+	sc.ids = sc.ids[:0]
+	for _, term := range cq.Required {
+		lo, hi := f.termRange(term)
+		if lo == hi {
+			sc.spans = spans
+			return nil
+		}
+		spans = append(spans, termSpan{lo: lo, hi: hi})
+	}
+	sc.spans = spans
+	sort.Slice(spans, func(i, j int) bool { return spans[i].hi-spans[i].lo < spans[j].hi-spans[j].lo })
+
+	inAll := func(doc uint32, from int) bool {
+		for _, s := range spans[from:] {
+			i := s.lo + uint64(sort.Search(int(s.hi-s.lo), func(k int) bool {
+				return f.d.PostDoc[s.lo+uint64(k)] >= doc
+			}))
+			if i >= s.hi || f.d.PostDoc[i] != doc {
+				return false
+			}
+		}
+		return true
+	}
+
+	ids := sc.ids
+	switch {
+	case len(cq.Phrase) > 0:
+		lo, hi := f.termRange(cq.Phrase[0])
+		for e := lo; e < hi; e++ {
+			doc := f.d.PostDoc[e]
+			if !f.phraseAt(int(doc), f.posSpan(e), cq.Phrase) {
+				continue
+			}
+			if inAll(doc, 0) {
+				ids = append(ids, int(doc))
+			}
+		}
+	case len(spans) > 0:
+		s := spans[0]
+		for e := s.lo; e < s.hi; e++ {
+			doc := f.d.PostDoc[e]
+			if inAll(doc, 1) {
+				ids = append(ids, int(doc))
+			}
+		}
+	}
+	sc.ids = ids
+	return ids
+}
+
+// relevance is the frozen relevanceLocked: phrase occurrences weigh 3,
+// required-term occurrences weigh 1.
+func (f *FrozenIndex) relevance(id int, cq CompiledQuery) int {
+	score := 0
+	if len(cq.Phrase) > 0 {
+		if e, ok := f.findEntry(cq.Phrase[0], id); ok {
+			base, count := f.docTokens(id)
+		starts:
+			for _, pos := range f.posSpan(e) {
+				if uint64(pos)+uint64(len(cq.Phrase)) > count {
+					continue
+				}
+				for j := 1; j < len(cq.Phrase); j++ {
+					if f.d.TokTerm[base+uint64(pos)+uint64(j)] != cq.Phrase[j] {
+						continue starts
+					}
+				}
+				score += 3
+			}
+		}
+	}
+	for _, term := range cq.Required {
+		if e, ok := f.findEntry(term, id); ok {
+			score += int(f.d.PostPosOff[e+1] - f.d.PostPosOff[e])
+		}
+	}
+	return score
+}
+
+// snippet is the frozen snippetLocked: the token window around the
+// first phrase match, sliced straight out of the text blob.
+func (f *FrozenIndex) snippet(id int, cq CompiledQuery, radius int) string {
+	base, count := f.docTokens(id)
+	n := int(count)
+	start, end := 0, min(n, 2*radius)
+	if len(cq.Phrase) > 0 {
+		if pos, ok := f.firstPhrasePos(id, cq.Phrase); ok {
+			start = max(0, pos-radius)
+			end = min(n, pos+len(cq.Phrase)+radius)
+		}
+	}
+	if start >= end {
+		return ""
+	}
+	text := f.text(id)
+	return text[f.d.TokStart[base+uint64(start)]:f.d.TokEnd[base+uint64(end-1)]]
+}
+
+func (f *FrozenIndex) firstPhrasePos(id int, phrase []uint32) (int, bool) {
+	e, ok := f.findEntry(phrase[0], id)
+	if !ok {
+		return 0, false
+	}
+	base, count := f.docTokens(id)
+starts:
+	for _, pos := range f.posSpan(e) {
+		if uint64(pos)+uint64(len(phrase)) > count {
+			continue
+		}
+		for j := 1; j < len(phrase); j++ {
+			if f.d.TokTerm[base+uint64(pos)+uint64(j)] != phrase[j] {
+				continue starts
+			}
+		}
+		return int(pos), true
+	}
+	return 0, false
+}
+
+// countScalar is the frozen countScalarLocked.
+func (f *FrozenIndex) countScalar(cq *CompiledQuery) int {
+	sc := searchPool.Get().(*searchScratch)
+	n := len(f.match(*cq, sc))
+	searchPool.Put(sc)
+	return n
+}
+
+// countFrame is the frozen countFrameLocked: distinct documents of a
+// fully-extended phrase frame that also carry every required term.
+func (f *FrozenIndex) countFrame(frame []tokenHit, required []uint32) int {
+	if len(frame) == 0 {
+		return 0
+	}
+	var spans []termSpan
+	for _, term := range required {
+		lo, hi := f.termRange(term)
+		if lo == hi {
+			return 0
+		}
+		spans = append(spans, termSpan{lo: lo, hi: hi})
+	}
+	n := 0
+	curDoc := int32(-1)
+docs:
+	for _, h := range frame {
+		if h.doc == curDoc {
+			continue
+		}
+		curDoc = h.doc
+		doc := uint32(h.doc)
+		for _, s := range spans {
+			i := s.lo + uint64(sort.Search(int(s.hi-s.lo), func(k int) bool {
+				return f.d.PostDoc[s.lo+uint64(k)] >= doc
+			}))
+			if i >= s.hi || f.d.PostDoc[i] != doc {
+				continue docs
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// numHitsBatchFrozen answers a pre-charged batch against the frozen
+// index with the same roll-up frame algorithm as the mutable path (see
+// batch.go); results land in out by input index.
+func (f *FrozenIndex) numHitsBatchFrozen(qs []BatchQuery, out []int) {
+	sc := batchPool.Get().(*batchScratch)
+	order := batchOrder(sc, qs)
+
+	var prev []uint32
+	depth := 0
+	for oi, qi := range order {
+		cq := &qs[qi].CQ
+		p := cq.Phrase
+		switch {
+		case len(p) == 0:
+			out[qi] = f.countScalar(cq)
+			continue
+		case len(p) == 1 && len(cq.Required) == 0:
+			out[qi] = f.docCount(p[0])
+			continue
+		}
+		common := 0
+		for common < depth && common < len(p) && common < len(prev) && prev[common] == p[common] {
+			common++
+		}
+		if common == 0 {
+			// Same isolated-phrase fallback as the mutable path: frames
+			// that no neighbor would reuse cost more than a scalar walk.
+			shared := false
+			if oi+1 < len(order) {
+				np := qs[order[oi+1]].CQ.Phrase
+				shared = len(np) > 0 && np[0] == p[0]
+			}
+			if !shared {
+				out[qi] = f.countScalar(cq)
+				continue
+			}
+		}
+		for d := common; d < len(p); d++ {
+			for len(sc.frames) <= d {
+				sc.frames = append(sc.frames, nil)
+			}
+			if d == 0 {
+				frame := sc.frames[0][:0]
+				lo, hi := f.termRange(p[0])
+				for e := lo; e < hi; e++ {
+					doc := int32(f.d.PostDoc[e])
+					for _, pos := range f.posSpan(e) {
+						frame = append(frame, tokenHit{doc: doc, pos: int32(pos)})
+					}
+				}
+				sc.frames[0] = frame
+				continue
+			}
+			term := p[d]
+			dst := sc.frames[d][:0]
+			curDoc := int32(-1)
+			var base, count uint64
+			for _, h := range sc.frames[d-1] {
+				if h.doc != curDoc {
+					curDoc = h.doc
+					base, count = f.docTokens(int(h.doc))
+				}
+				if at := uint64(h.pos) + uint64(d); at < count && f.d.TokTerm[base+at] == term {
+					dst = append(dst, h)
+				}
+			}
+			sc.frames[d] = dst
+		}
+		prev, depth = p, len(p)
+		out[qi] = f.countFrame(sc.frames[len(p)-1], cq.Required)
+	}
+	batchPool.Put(sc)
+}

@@ -25,10 +25,19 @@ const snapshotVersion = 1
 // WriteSnapshot serializes the engine's corpus.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
 	e.mu.RLock()
-	snap := snapshot{Version: snapshotVersion, Docs: make([]Document, 0, len(e.docs))}
-	for id := 0; id < e.next; id++ {
-		if d, ok := e.docs[id]; ok {
-			snap.Docs = append(snap.Docs, d.doc)
+	var snap snapshot
+	snap.Version = snapshotVersion
+	if ro := e.ro; ro != nil {
+		snap.Docs = make([]Document, 0, ro.numDocs)
+		for id := 0; id < ro.numDocs; id++ {
+			snap.Docs = append(snap.Docs, Document{ID: id, Title: ro.title(id), Text: ro.text(id)})
+		}
+	} else {
+		snap.Docs = make([]Document, 0, len(e.docs))
+		for id := 0; id < e.next; id++ {
+			if d, ok := e.docs[id]; ok {
+				snap.Docs = append(snap.Docs, d.doc)
+			}
 		}
 	}
 	e.mu.RUnlock()
@@ -60,6 +69,9 @@ func ReadSnapshot(r io.Reader) (*Engine, error) {
 func (e *Engine) Vocabulary() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.ro != nil {
+		return e.ro.vocab
+	}
 	return len(e.index)
 }
 
@@ -76,5 +88,8 @@ func (e *Engine) TermFrequency(term string) int {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.ro != nil {
+		return e.ro.docCount(id)
+	}
 	return len(e.index[id])
 }
