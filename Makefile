@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-gate eval-json eval-gate check lint explain-demo chaos fuzz snapshot snapshot-verify snapshot-smoke
+.PHONY: build vet test race bench bench-json bench-gate eval-json eval-gate check lint explain-demo chaos fuzz snapshot snapshot-verify snapshot-smoke flight-smoke
 
 build:
 	$(GO) build ./...
@@ -101,6 +101,15 @@ snapshot-verify:
 # rendered /unified/{domain} — the instant-cold-start contract CI holds.
 snapshot-smoke:
 	./scripts/snapshot_smoke.sh
+
+# End-to-end flight-recorder smoke test: boot webiq-serve under the p30
+# chaos profile with breaker-only triggers, drive concurrent traffic
+# until a breaker opens, and require a diagnostic bundle that
+# webiq-flight can render, whose wide events account for every 5xx and
+# shed, and whose p99 trace exemplar resolves via /trace/{id}. Set
+# OUT=dir to keep the bundles and report (CI uploads them).
+flight-smoke:
+	./scripts/flight_smoke.sh
 
 # Provenance smoke test: boot the server, build a domain's unified
 # interface, and assert every instance is attributed with evidence via

@@ -7,9 +7,13 @@
 //
 // Then visit http://localhost:8080/ for the source index. Metrics are
 // exposed in Prometheus text format at /metrics; passing -pprof mounts
-// the net/http/pprof profiling handlers under /debug/pprof/. On SIGINT
-// or SIGTERM the server stops accepting connections and drains in-flight
-// requests for up to the -drain duration before exiting.
+// the net/http/pprof profiling handlers under /debug/pprof/. Passing
+// -flight-dir enables the flight recorder: wide-event capture plus
+// anomaly-triggered diagnostic bundles (inspect them with
+// webiq-flight), controlled by -flight-window and -flight-triggers.
+// On SIGINT or SIGTERM the server stops accepting connections and
+// drains in-flight requests for up to the -drain duration before
+// exiting.
 package main
 
 import (
@@ -39,12 +43,18 @@ func main() {
 	snapPath := flag.String("snapshot", "", "boot from a webiq-snapshot world file instead of rebuilding: every domain is ready immediately (the file's seed overrides -seed)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "how long to wait for in-flight requests on shutdown")
-	slow := flag.Duration("slow", 0, "log requests at or above this duration as NDJSON lines (with trace IDs) to stderr; 0 disables")
+	slow := flag.Duration("slow", 0, "log requests at or above this duration as NDJSON lines (with trace IDs); 0 disables")
+	slowLog := flag.String("slow-log", "", "write the slow-request NDJSON to this file (size-rotated) instead of stderr")
+	slowLogMax := flag.Int64("slow-log-max-bytes", obs.DefRotateMaxBytes, "rotate the -slow-log file when it would exceed this size")
+	slowLogKeep := flag.Int("slow-log-keep", obs.DefRotateKeep, "rotated -slow-log files to keep (file.1 .. file.N)")
 	faults := flag.String("faults", "", "inject the named fault profile into the pipeline backends (p10, p30, latency2x, burst, malformed)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault-injection stream")
 	maxInflight := flag.Int("max-inflight", 0, "bound concurrent requests (admission control); 0 disables")
 	queue := flag.Int("queue", 16, "requests allowed to wait for an admission slot before shedding with 503")
 	traceRetention := flag.Int("trace-retention", obs.DefTraceRetention, "per-trace FIFO store capacity for /trace/{id} lookups; 0 or negative disables the store")
+	flightDir := flag.String("flight-dir", "", "enable the flight recorder: write anomaly-triggered diagnostic bundles to this directory")
+	flightWindow := flag.Duration("flight-window", obs.DefFlightWindow, "how much recent wide-event history a diagnostic bundle includes")
+	flightTriggers := flag.String("flight-triggers", "", "trigger rules for automatic bundles: comma-separated 5xx, slow=DUR, breaker, shed, p99=DUR[:MINCOUNT], debounce=DUR; empty means the defaults, 'none' disables (manual /debug/flight/snapshot only)")
 	flag.Parse()
 
 	var opts []server.Option
@@ -67,6 +77,21 @@ func main() {
 		opts = append(opts, server.WithTraceRetention(*traceRetention))
 		log.Printf("trace retention: %d traces", *traceRetention)
 	}
+	if *flightDir != "" {
+		triggers, err := obs.ParseTriggers(*flightTriggers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, server.WithFlightRecorder(server.FlightConfig{
+			Dir:      *flightDir,
+			Window:   *flightWindow,
+			Triggers: triggers,
+		}))
+		log.Printf("flight recorder on: bundles in %s, triggers %s, window %v", *flightDir, triggers, *flightWindow)
+	}
 
 	start := time.Now()
 	var srv *server.Server
@@ -86,8 +111,19 @@ func main() {
 		srv = server.New(*seed, opts...)
 	}
 	srv.RecordStartup(time.Since(start))
+	defer srv.Close()
 	if *slow > 0 {
-		srv.SetSlowLog(os.Stderr, *slow)
+		if *slowLog != "" {
+			rf, err := obs.OpenRotatingFile(*slowLog, *slowLogMax, *slowLogKeep)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer rf.Close()
+			srv.SetSlowLog(rf, *slow)
+			log.Printf("slow-request log: %s (rotate at %d bytes, keep %d)", *slowLog, *slowLogMax, *slowLogKeep)
+		} else {
+			srv.SetSlowLog(os.Stderr, *slow)
+		}
 	}
 
 	var handler http.Handler = srv

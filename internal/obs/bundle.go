@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// BundleSchema is the bundle format version, bumped on breaking changes
+// so webiq-flight can refuse files it does not understand.
+const BundleSchema = 1
+
+// TraceDump is the reconstructed span tree of one trace included in a
+// bundle.
+type TraceDump struct {
+	TraceID string      `json:"trace_id"`
+	Spans   []*SpanNode `json:"spans"`
+}
+
+// Bundle is one diagnostic dump: everything needed to explain an
+// anomaly after the fact, in a single self-contained JSON file. The
+// profiles are raw pprof protobufs (base64 in the JSON encoding);
+// webiq-flight -extract writes them back out as .pprof files.
+type Bundle struct {
+	Schema int `json:"schema"`
+	// Time is the dump time (RFC3339Nano, UTC).
+	Time string `json:"time"`
+	// Reason names the trigger rule (or "manual" for /debug/flight
+	// snapshots).
+	Reason string `json:"reason"`
+	// TriggerTraceID is the trace of the request that fired the trigger,
+	// when there was one.
+	TriggerTraceID string `json:"trigger_trace_id,omitempty"`
+	// WindowSeconds is how far back the wide events reach.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Identity labels the world being served (snapshot fingerprint,
+	// seed, scale, go version).
+	Identity map[string]string `json:"identity,omitempty"`
+	// WideEvents are the requests completed inside the window, oldest
+	// first.
+	WideEvents []WideEvent `json:"wide_events"`
+	// Runtime is the retained runtime-sample history.
+	Runtime []RuntimeSample `json:"runtime,omitempty"`
+	// InFlight are the root spans still open at dump time (requests and
+	// builds caught mid-flight).
+	InFlight []InFlightRoot `json:"in_flight,omitempty"`
+	// Traces are span trees for the interesting traces: the trigger's,
+	// every in-flight root's, and the error/slow events' in the window.
+	Traces []TraceDump `json:"traces,omitempty"`
+	// Metrics is the full metric snapshot at dump time; MetricsDelta the
+	// change per series since the previous dump (or recorder start).
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+	// Exemplars are per-histogram-series p99-region trace exemplars.
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
+	// CPUProfile / HeapProfile are pprof protobuf payloads (may be
+	// empty when capture was disabled or contended).
+	CPUProfile  []byte `json:"cpu_profile,omitempty"`
+	HeapProfile []byte `json:"heap_profile,omitempty"`
+}
+
+// BundleInfo describes one bundle file on disk.
+type BundleInfo struct {
+	Name    string `json:"name"`
+	Size    int64  `json:"size"`
+	ModTime string `json:"mod_time"`
+}
+
+// Snapshot dumps a bundle immediately (no debounce) and returns it with
+// the path it was written to. Reason defaults to "manual".
+func (f *FlightRecorder) Snapshot(reason, traceID string) (*Bundle, string, error) {
+	if f == nil {
+		return nil, "", fmt.Errorf("obs: flight recorder not enabled")
+	}
+	if reason == "" {
+		reason = "manual"
+	}
+	return f.dump(reason, traceID)
+}
+
+// dump collects and atomically writes one bundle.
+func (f *FlightRecorder) dump(reason, traceID string) (*Bundle, string, error) {
+	if f.opts.Dir == "" {
+		return nil, "", fmt.Errorf("obs: flight recorder has no bundle directory")
+	}
+	now := time.Now()
+	b := &Bundle{
+		Schema:         BundleSchema,
+		Time:           now.UTC().Format(time.RFC3339Nano),
+		Reason:         reason,
+		TriggerTraceID: traceID,
+		WindowSeconds:  f.opts.Window.Seconds(),
+		Identity:       f.opts.Identity,
+		WideEvents:     f.EventsSince(now.Add(-f.opts.Window).UnixNano()),
+		Runtime:        f.opts.Sampler.Samples(),
+		InFlight:       f.opts.Tracer.InFlightRoots(),
+	}
+	if len(b.Runtime) == 0 {
+		// No background sampling: still capture one sample so every
+		// bundle carries the runtime vitals.
+		b.Runtime = []RuntimeSample{take()}
+	}
+
+	// Span trees: the trigger's trace, in-flight roots, and up to a
+	// handful of error/slow events from the window.
+	want := make([]string, 0, 8)
+	seen := map[string]bool{}
+	add := func(id string) {
+		if id != "" && !seen[id] {
+			seen[id] = true
+			want = append(want, id)
+		}
+	}
+	add(traceID)
+	for _, r := range b.InFlight {
+		add(r.TraceID)
+	}
+	const maxEventTraces = 10
+	n := 0
+	for i := len(b.WideEvents) - 1; i >= 0 && n < maxEventTraces; i-- {
+		ev := b.WideEvents[i]
+		if ev.Status >= 500 || ev.Trigger != "" {
+			add(ev.TraceID)
+			n++
+		}
+	}
+	for _, id := range want {
+		if tree := f.opts.Tracer.Tree(id); tree != nil {
+			b.Traces = append(b.Traces, TraceDump{TraceID: id, Spans: tree})
+		}
+	}
+
+	// Metrics snapshot + delta against the previous dump.
+	cur := f.opts.Registry.Values()
+	f.dumpMu.Lock()
+	base := f.baseline
+	f.baseline = cur
+	f.dumpMu.Unlock()
+	b.Metrics = cur
+	if base != nil {
+		delta := map[string]float64{}
+		for k, v := range cur {
+			if d := v - base[k]; d != 0 {
+				delta[k] = d
+			}
+		}
+		b.MetricsDelta = delta
+	}
+	b.Exemplars = f.opts.Registry.ExemplarsNearP99()
+
+	// Profiles: heap immediately; CPU for the configured window, one at
+	// a time process-wide (pprof allows a single CPU profile).
+	var heap bytes.Buffer
+	if p := pprof.Lookup("heap"); p != nil {
+		if err := p.WriteTo(&heap, 0); err == nil {
+			b.HeapProfile = heap.Bytes()
+		}
+	}
+	if d := f.opts.CPUProfileDuration; d > 0 && f.cpuBusy.CompareAndSwap(false, true) {
+		var cpu bytes.Buffer
+		if err := pprof.StartCPUProfile(&cpu); err == nil {
+			time.Sleep(d)
+			pprof.StopCPUProfile()
+			b.CPUProfile = cpu.Bytes()
+		}
+		f.cpuBusy.Store(false)
+	}
+
+	path, err := f.writeBundle(b, now)
+	if err != nil {
+		return nil, "", err
+	}
+	f.mBundles.With(reason).Inc()
+	f.pruneBundles()
+	return b, path, nil
+}
+
+// writeBundle writes the bundle to a temp file and renames it into
+// place, so a reader never sees a partial dump.
+func (f *FlightRecorder) writeBundle(b *Bundle, now time.Time) (string, error) {
+	if err := os.MkdirAll(f.opts.Dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("flight-%s-%s.json",
+		now.UTC().Format("20060102T150405.000"), sanitizeReason(b.Reason))
+	path := filepath.Join(f.opts.Dir, name)
+	tmp, err := os.CreateTemp(f.opts.Dir, ".flight-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+// sanitizeReason maps a trigger reason to a filename-safe slug.
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, c := range reason {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+			b.WriteRune(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteRune(c + ('a' - 'A'))
+		default:
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "bundle"
+	}
+	return b.String()
+}
+
+// Bundles lists the bundle files in the recorder's directory, newest
+// first.
+func (f *FlightRecorder) Bundles() ([]BundleInfo, error) {
+	if f == nil || f.opts.Dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(f.opts.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []BundleInfo
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "flight-") || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, BundleInfo{
+			Name:    e.Name(),
+			Size:    info.Size(),
+			ModTime: info.ModTime().UTC().Format(time.RFC3339Nano),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name > out[j].Name })
+	return out, nil
+}
+
+// BundlePath resolves a bundle name from Bundles to its path, rejecting
+// anything that is not a plain bundle filename (no traversal).
+func (f *FlightRecorder) BundlePath(name string) (string, error) {
+	if f == nil || f.opts.Dir == "" {
+		return "", fmt.Errorf("obs: flight recorder not enabled")
+	}
+	if name == "" || name != filepath.Base(name) ||
+		!strings.HasPrefix(name, "flight-") || !strings.HasSuffix(name, ".json") {
+		return "", fmt.Errorf("obs: invalid bundle name %q", name)
+	}
+	return filepath.Join(f.opts.Dir, name), nil
+}
+
+// pruneBundles deletes the oldest bundles beyond MaxBundles.
+func (f *FlightRecorder) pruneBundles() {
+	limit := f.opts.MaxBundles
+	if limit <= 0 {
+		return
+	}
+	infos, err := f.Bundles()
+	if err != nil || len(infos) <= limit {
+		return
+	}
+	for _, info := range infos[limit:] {
+		os.Remove(filepath.Join(f.opts.Dir, info.Name))
+	}
+}
+
+// ReadBundle loads a bundle file written by dump.
+func ReadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("obs: bundle %s: %v", path, err)
+	}
+	if b.Schema != BundleSchema {
+		return nil, fmt.Errorf("obs: bundle %s has schema %d, this build reads %d", path, b.Schema, BundleSchema)
+	}
+	return &b, nil
+}

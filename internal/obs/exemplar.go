@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Trace exemplars: each histogram bucket remembers the most recent
+// observation that carried a trace ID, so a quantile estimate ("p99 is
+// 1.2s") can link to a concrete request ("…for example trace ab12…")
+// resolvable via /trace/{id}. Storage is one atomic pointer per bucket —
+// no locks on the observe path, constant memory.
+
+// Exemplar is one concrete observation pinned to a bucket.
+type Exemplar struct {
+	// Value is the observed value (seconds for latency histograms).
+	Value float64 `json:"value"`
+	// TraceID identifies the request that produced it.
+	TraceID string `json:"trace_id"`
+	// TimeNS is when it was observed, nanoseconds since the Unix epoch.
+	TimeNS int64 `json:"time_ns"`
+}
+
+// bucketIndex returns the bucket v falls into (len(upper) = +Inf).
+func (h *Histogram) bucketIndex(v float64) int {
+	for i, ub := range h.upper {
+		if v <= ub {
+			return i
+		}
+	}
+	return len(h.upper)
+}
+
+// ObserveExemplar records one observation and, when traceID is
+// non-empty, pins it as the bucket's exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" || h.exemplars == nil {
+		return
+	}
+	h.exemplars[h.bucketIndex(v)].Store(&Exemplar{
+		Value:   v,
+		TraceID: traceID,
+		TimeNS:  time.Now().UnixNano(),
+	})
+}
+
+// ExemplarNear returns an exemplar representative of the q-quantile: the
+// exemplar of the bucket holding the quantile's rank, falling back to
+// higher then lower buckets when that bucket has none. Returns nil when
+// the histogram is empty or no observation ever carried a trace ID.
+func (h *Histogram) ExemplarNear(q float64) *Exemplar {
+	if h == nil || h.exemplars == nil {
+		return nil
+	}
+	total := h.Count()
+	if total == 0 {
+		return nil
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	idx := len(h.upper) // +Inf bucket unless a finite bucket holds the rank
+	cum := uint64(0)
+	for i := range h.upper {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			idx = i
+			break
+		}
+		cum += c
+	}
+	// Prefer the quantile's bucket, then the tail above it (an exemplar
+	// at least as slow as the estimate), then below.
+	for i := idx; i <= len(h.upper); i++ {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			return ex
+		}
+	}
+	for i := idx - 1; i >= 0; i-- {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			return ex
+		}
+	}
+	return nil
+}
+
+// Exemplars returns every pinned exemplar, lowest bucket first.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil || h.exemplars == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			out = append(out, *ex)
+		}
+	}
+	return out
+}
+
+// Values returns the current value of every series, keyed
+// name{label="value",…} (counters and gauges) plus name_count and
+// name_sum for histograms — the flat map diagnostic bundles snapshot
+// and diff. Deterministically ordered iteration is the caller's job
+// (it is a map); keys match the Prometheus exposition's series names.
+func (r *Registry) Values() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	out := map[string]float64{}
+	for _, f := range fams {
+		f.mu.Lock()
+		for key, m := range f.series {
+			var values []string
+			if key != "" || len(f.labels) > 0 {
+				values = splitSeriesKey(key)
+			}
+			lbl := renderLabels(f.labels, values)
+			switch v := m.(type) {
+			case *Counter:
+				out[f.name+lbl] = v.Value()
+			case *Gauge:
+				out[f.name+lbl] = v.Value()
+			case *Histogram:
+				out[f.name+"_count"+lbl] = float64(v.Count())
+				out[f.name+"_sum"+lbl] = v.Sum()
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// ExemplarsNearP99 returns, for every histogram series that has one, an
+// exemplar near the 99th percentile, keyed like Values.
+func (r *Registry) ExemplarsNearP99() map[string]Exemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		if f.kind == kindHistogram {
+			fams = append(fams, f)
+		}
+	}
+	r.mu.Unlock()
+
+	out := map[string]Exemplar{}
+	for _, f := range fams {
+		f.mu.Lock()
+		for key, m := range f.series {
+			h, ok := m.(*Histogram)
+			if !ok {
+				continue
+			}
+			ex := h.ExemplarNear(0.99)
+			if ex == nil {
+				continue
+			}
+			var values []string
+			if key != "" || len(f.labels) > 0 {
+				values = splitSeriesKey(key)
+			}
+			out[f.name+renderLabels(f.labels, values)] = *ex
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// exemplarSlots allocates the per-bucket exemplar pointers (buckets plus
+// +Inf).
+func exemplarSlots(n int) []atomic.Pointer[Exemplar] {
+	return make([]atomic.Pointer[Exemplar], n+1)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExemplarQuantileAgreement pins the contract between Quantile and
+// ExemplarNear: the exemplar returned for q must fall in the same
+// bucket as the quantile estimate (or a higher one when that bucket has
+// no exemplar), so /stats p99 always links to a request that is at
+// least as slow as the bucket the estimate came from.
+func TestExemplarQuantileAgreement(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", []float64{0.01, 0.1, 1, 10})
+	// 97 fast, 3 slow: p99 lands in the (0.1, 1] bucket.
+	for i := 0; i < 97; i++ {
+		h.ObserveExemplar(0.005, fmt.Sprintf("fast-%d", i))
+	}
+	for i := 0; i < 3; i++ {
+		h.ObserveExemplar(0.5, fmt.Sprintf("slow-%d", i))
+	}
+	q := h.Quantile(0.99)
+	ex := h.ExemplarNear(0.99)
+	if ex == nil {
+		t.Fatal("no exemplar near p99")
+	}
+	if h.bucketIndex(q) != h.bucketIndex(ex.Value) {
+		t.Errorf("quantile %.3f (bucket %d) and exemplar %.3f (bucket %d) disagree",
+			q, h.bucketIndex(q), ex.Value, h.bucketIndex(ex.Value))
+	}
+	if ex.TraceID != "slow-2" {
+		t.Errorf("exemplar trace = %q, want the last slow observation", ex.TraceID)
+	}
+	if ex.TimeNS <= 0 {
+		t.Errorf("exemplar time = %d", ex.TimeNS)
+	}
+
+	// p50 sits in the first bucket with its own exemplar.
+	ex50 := h.ExemplarNear(0.50)
+	if ex50 == nil || ex50.Value != 0.005 {
+		t.Errorf("p50 exemplar = %+v, want a fast one", ex50)
+	}
+}
+
+func TestExemplarFallbackAndEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", []float64{0.01, 0.1, 1})
+	if h.ExemplarNear(0.99) != nil {
+		t.Error("empty histogram returned an exemplar")
+	}
+	// Observations without trace IDs never pin exemplars.
+	h.Observe(0.5)
+	h.ObserveExemplar(0.5, "")
+	if h.ExemplarNear(0.99) != nil {
+		t.Error("exemplar pinned without a trace ID")
+	}
+	// One traced observation in a lower bucket: the p99 bucket (0.1,1]
+	// is empty of exemplars, so the search falls back downward.
+	h.ObserveExemplar(0.005, "fast")
+	if ex := h.ExemplarNear(0.99); ex == nil || ex.TraceID != "fast" {
+		t.Errorf("fallback exemplar = %+v", ex)
+	}
+	// Out-of-range and +Inf-bucket values are handled.
+	h.ObserveExemplar(100, "huge")
+	if ex := h.ExemplarNear(2.5); ex == nil {
+		t.Error("q>1 returned no exemplar")
+	}
+	if got := len(h.Exemplars()); got != 2 {
+		t.Errorf("Exemplars() = %d entries, want 2", got)
+	}
+}
+
+func TestRegistryValuesAndExemplars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Add(5)
+	reg.GaugeVec("g", "", "k").With("v").Set(7)
+	h := reg.HistogramVec("h_seconds", "", []float64{1}, "route").With("r")
+	h.ObserveExemplar(0.5, "tr-1")
+
+	vals := reg.Values()
+	if vals["c_total"] != 5 {
+		t.Errorf("c_total = %v", vals["c_total"])
+	}
+	if vals[`g{k="v"}`] != 7 {
+		t.Errorf(`g{k="v"} = %v`, vals[`g{k="v"}`])
+	}
+	if vals[`h_seconds_count{route="r"}`] != 1 || vals[`h_seconds_sum{route="r"}`] != 0.5 {
+		t.Errorf("histogram series = %v", vals)
+	}
+	exs := reg.ExemplarsNearP99()
+	if ex, ok := exs[`h_seconds{route="r"}`]; !ok || ex.TraceID != "tr-1" {
+		t.Errorf("exemplars = %v", exs)
+	}
+	var nilReg *Registry
+	if nilReg.Values() != nil || nilReg.ExemplarsNearP99() != nil {
+		t.Error("nil registry not inert")
+	}
+}

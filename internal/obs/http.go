@@ -132,7 +132,7 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 			span.Label("status", strconv.Itoa(sw.code))
 			span.End()
 		}
-		hist.Observe(elapsed.Seconds())
+		hist.ObserveExemplar(elapsed.Seconds(), traceID)
 		m.requests.With(route, statusClass(sw.code)).Inc()
 		m.inFlight.Dec()
 		m.logSlow(route, req, sw.code, elapsed, traceID)
@@ -173,6 +173,9 @@ type RouteSummary struct {
 	P50   float64 `json:"p50_seconds"`
 	P95   float64 `json:"p95_seconds"`
 	P99   float64 `json:"p99_seconds"`
+	// P99TraceID is a trace exemplar from the p99 region: a concrete
+	// request (resolvable via /trace/{id}) behind the estimate.
+	P99TraceID string `json:"p99_trace_id,omitempty"`
 }
 
 // RouteSummaries returns the latency summary of every wrapped route
@@ -189,14 +192,34 @@ func (m *HTTPMetrics) RouteSummaries() map[string]RouteSummary {
 		if n == 0 {
 			continue
 		}
-		out[route] = RouteSummary{
+		sum := RouteSummary{
 			Count: n,
 			P50:   h.Quantile(0.50),
 			P95:   h.Quantile(0.95),
 			P99:   h.Quantile(0.99),
 		}
+		if ex := h.ExemplarNear(0.99); ex != nil {
+			sum.P99TraceID = ex.TraceID
+		}
+		out[route] = sum
 	}
 	return out
+}
+
+// RouteP99 returns one route's p99 estimate and observation count (0, 0
+// for an unknown route) — the cheap per-request check behind the flight
+// recorder's p99-budget trigger.
+func (m *HTTPMetrics) RouteP99(route string) (float64, uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	h := m.routeHists[route]
+	m.mu.Unlock()
+	if h == nil {
+		return 0, 0
+	}
+	return h.Quantile(0.99), h.Count()
 }
 
 // statusWriter captures the response status code.

@@ -85,6 +85,9 @@ type metric interface {
 // them unescaped (0xff is not valid UTF-8).
 func seriesKey(values []string) string { return strings.Join(values, "\xff") }
 
+// splitSeriesKey is the inverse of seriesKey.
+func splitSeriesKey(key string) []string { return strings.Split(key, "\xff") }
+
 // register returns the family with the given shape, creating it on
 // first use. Re-registering the same name with a different kind or
 // label arity panics: it is a programming error that would silently
@@ -278,10 +281,17 @@ type Histogram struct {
 	counts  []atomic.Uint64
 	inf     atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds one trace exemplar per bucket (last slot = +Inf);
+	// see exemplar.go.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(buckets []float64) *Histogram {
-	return &Histogram{upper: buckets, counts: make([]atomic.Uint64, len(buckets))}
+	return &Histogram{
+		upper:     buckets,
+		counts:    make([]atomic.Uint64, len(buckets)),
+		exemplars: exemplarSlots(len(buckets)),
+	}
 }
 
 // Observe records one observation.

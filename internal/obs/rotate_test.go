@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRotatingFileRotatesAndCaps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.ndjson")
+	r, err := OpenRotatingFile(path, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := bytes.Repeat([]byte("x"), 39)
+	line = append(line, '\n') // 40 bytes: 2 lines fit under 100, 3rd rotates
+	for i := 0; i < 9; i++ {
+		if _, err := r.Write(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 { // live + .1 + .2, .3+ deleted
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("files = %v, want live + 2 rotated", names)
+	}
+	for _, name := range []string{"slow.ndjson", "slow.ndjson.1", "slow.ndjson.2"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if st.Size() > 100 {
+			t.Errorf("%s is %d bytes, cap 100", name, st.Size())
+		}
+		if st.Size()%40 != 0 {
+			t.Errorf("%s is %d bytes: a line was split across files", name, st.Size())
+		}
+	}
+}
+
+func TestRotatingFileAppendsOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	r, err := OpenRotatingFile(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(r, "one")
+	r.Close()
+	r2, err := OpenRotatingFile(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(r2, "two")
+	r2.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "one\ntwo\n" {
+		t.Errorf("reopen truncated: %q", data)
+	}
+	if _, err := r2.Write([]byte("x")); err == nil {
+		t.Error("write after Close succeeded")
+	}
+}
+
+func TestRotatingFileConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRotatingFile(filepath.Join(dir, "c.log"), 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				fmt.Fprintf(r, "writer %d line %03d\n", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

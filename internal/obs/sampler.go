@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RuntimeSample is one observation of the Go runtime: the process-level
+// vitals a diagnostic bundle needs to explain a latency spike that was
+// not the pipeline's fault (GC pressure, goroutine pileup, heap growth).
+type RuntimeSample struct {
+	// TimeNS is the sample time, nanoseconds since the Unix epoch.
+	TimeNS int64 `json:"time_ns"`
+	// Goroutines is runtime.NumGoroutine().
+	Goroutines int `json:"goroutines"`
+	// HeapInuseBytes / HeapAllocBytes / SysBytes are the MemStats heap
+	// figures.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	// GCPauseP99NS is the 99th-percentile stop-the-world pause over the
+	// runtime's retained pause history (up to the last 256 GCs).
+	GCPauseP99NS int64 `json:"gc_pause_p99_ns"`
+	// NumGC is the cumulative completed-GC count.
+	NumGC uint32 `json:"num_gc"`
+	// GOMAXPROCS is the scheduler width.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// DefSamplerCapacity is how many samples a RuntimeSampler retains.
+const DefSamplerCapacity = 360
+
+// RuntimeSampler takes RuntimeSamples on demand (rate-limited) or on a
+// background ticker, retaining the most recent ones in a ring. On-demand
+// use needs no goroutine: Sample refreshes only when the last sample is
+// older than the min interval, so mounting it under /stats is free
+// between scrapes. All methods are nil-safe.
+type RuntimeSampler struct {
+	capacity    int
+	minInterval time.Duration
+
+	mu      sync.Mutex
+	samples []RuntimeSample // ring, oldest-first once full
+	start   int             // index of oldest
+	count   int
+	stop    chan struct{}
+}
+
+// NewRuntimeSampler returns a sampler retaining capacity samples
+// (DefSamplerCapacity when <= 0), refreshing on demand at most once per
+// minInterval (1s when <= 0).
+func NewRuntimeSampler(capacity int, minInterval time.Duration) *RuntimeSampler {
+	if capacity <= 0 {
+		capacity = DefSamplerCapacity
+	}
+	if minInterval <= 0 {
+		minInterval = time.Second
+	}
+	return &RuntimeSampler{capacity: capacity, minInterval: minInterval}
+}
+
+// take reads the runtime into a sample.
+func take() RuntimeSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeSample{
+		TimeNS:         time.Now().UnixNano(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		HeapAllocBytes: ms.HeapAlloc,
+		SysBytes:       ms.Sys,
+		GCPauseP99NS:   pauseP99(&ms),
+		NumGC:          ms.NumGC,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
+}
+
+// pauseP99 estimates the p99 stop-the-world pause from the MemStats
+// circular pause buffer (up to the 256 most recent GCs).
+func pauseP99(ms *runtime.MemStats) int64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pauses[i] = ms.PauseNs[(int(ms.NumGC)-1-i+len(ms.PauseNs))%len(ms.PauseNs)]
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (99*n + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return int64(pauses[idx])
+}
+
+// record appends s to the ring under the lock.
+func (rs *RuntimeSampler) record(s RuntimeSample) {
+	if rs.count < rs.capacity {
+		rs.samples = append(rs.samples, s)
+		rs.count++
+		return
+	}
+	rs.samples[rs.start] = s
+	rs.start = (rs.start + 1) % rs.capacity
+}
+
+// Sample returns a current runtime sample, refreshing the ring when the
+// newest retained sample is older than the min interval (so hot /stats
+// traffic reads a cached sample instead of hammering ReadMemStats).
+func (rs *RuntimeSampler) Sample() RuntimeSample {
+	if rs == nil {
+		return take()
+	}
+	rs.mu.Lock()
+	if rs.count > 0 {
+		last := rs.samples[(rs.start+rs.count-1)%rs.capacity]
+		if time.Now().UnixNano()-last.TimeNS < int64(rs.minInterval) {
+			rs.mu.Unlock()
+			return last
+		}
+	}
+	rs.mu.Unlock()
+	// ReadMemStats stops the world briefly; take it outside the lock.
+	s := take()
+	rs.mu.Lock()
+	rs.record(s)
+	rs.mu.Unlock()
+	return s
+}
+
+// Samples returns the retained samples, oldest first.
+func (rs *RuntimeSampler) Samples() []RuntimeSample {
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]RuntimeSample, 0, rs.count)
+	for i := 0; i < rs.count; i++ {
+		out = append(out, rs.samples[(rs.start+i)%rs.capacity])
+	}
+	return out
+}
+
+// Start begins background sampling every interval until Stop. A second
+// Start is a no-op while the first runs.
+func (rs *RuntimeSampler) Start(interval time.Duration) {
+	if rs == nil || interval <= 0 {
+		return
+	}
+	rs.mu.Lock()
+	if rs.stop != nil {
+		rs.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	rs.stop = stop
+	rs.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s := take()
+				rs.mu.Lock()
+				// A Stop while take() ran must win: only record while
+				// this goroutine's stop channel is still the live one.
+				if rs.stop == stop {
+					rs.record(s)
+				}
+				rs.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Stop halts background sampling; on-demand Sample keeps working.
+func (rs *RuntimeSampler) Stop() {
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	if rs.stop != nil {
+		close(rs.stop)
+		rs.stop = nil
+	}
+	rs.mu.Unlock()
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampleBounds(t *testing.T) {
+	s := take()
+	if s.Goroutines < 1 {
+		t.Errorf("goroutines = %d", s.Goroutines)
+	}
+	if s.HeapInuseBytes == 0 || s.HeapAllocBytes == 0 || s.SysBytes == 0 {
+		t.Errorf("zero heap figures: %+v", s)
+	}
+	if s.GOMAXPROCS < 1 || s.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d", s.GOMAXPROCS)
+	}
+	if s.GCPauseP99NS < 0 {
+		t.Errorf("gc pause p99 = %d", s.GCPauseP99NS)
+	}
+	if s.TimeNS <= 0 {
+		t.Errorf("time = %d", s.TimeNS)
+	}
+	// After forcing a GC the pause stats must be populated.
+	runtime.GC()
+	s2 := take()
+	if s2.NumGC == 0 {
+		t.Error("NumGC = 0 after runtime.GC()")
+	}
+}
+
+func TestSamplerOnDemandRateLimit(t *testing.T) {
+	rs := NewRuntimeSampler(4, time.Hour)
+	a := rs.Sample()
+	b := rs.Sample()
+	if a.TimeNS != b.TimeNS {
+		t.Error("second Sample inside the min interval took a fresh sample")
+	}
+	if got := len(rs.Samples()); got != 1 {
+		t.Errorf("retained %d samples, want 1", got)
+	}
+}
+
+func TestSamplerRingAndBackground(t *testing.T) {
+	rs := NewRuntimeSampler(3, time.Nanosecond)
+	for i := 0; i < 5; i++ {
+		time.Sleep(time.Millisecond)
+		rs.Sample()
+	}
+	got := rs.Samples()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].TimeNS < got[i-1].TimeNS {
+			t.Error("samples not oldest-first")
+		}
+	}
+
+	// Background sampling fills the ring and Stop halts it.
+	bg := NewRuntimeSampler(8, time.Nanosecond)
+	bg.Start(time.Millisecond)
+	bg.Start(time.Millisecond) // second Start no-ops
+	deadline := time.Now().Add(5 * time.Second)
+	for len(bg.Samples()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sampler produced no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	bg.Stop()
+	bg.Stop() // idempotent
+	n := len(bg.Samples())
+	time.Sleep(10 * time.Millisecond)
+	if got := len(bg.Samples()); got != n {
+		t.Errorf("sampler kept running after Stop: %d -> %d", n, got)
+	}
+}

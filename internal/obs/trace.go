@@ -68,6 +68,23 @@ type Tracer struct {
 	traces     map[string][]SpanRecord
 	traceOrder []string // FIFO for eviction
 	maxTraces  int
+	// inflight tracks root spans (trace identity, no parent) that have
+	// started but not Ended, keyed by span ID — the flight recorder's
+	// "what was live when the anomaly hit" view. Values are immutable
+	// snapshots, so reading them races with nothing.
+	inflight map[string]InFlightRoot
+}
+
+// InFlightRoot is a root span that has started but not yet finished —
+// a request or build caught mid-flight by a diagnostic bundle.
+type InFlightRoot struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	Name    string `json:"name"`
+	// StartedAtNS is the wall-clock start, nanoseconds since the Unix
+	// epoch; RunningNS how long it had been running when snapshotted.
+	StartedAtNS int64 `json:"started_at_ns"`
+	RunningNS   int64 `json:"running_ns"`
 }
 
 // NewTracer returns a tracer. If w is non-nil every finished span is
@@ -133,6 +150,19 @@ func (t *Tracer) start(name, traceID, spanID, parentID string) *Span {
 		ParentID: parentID,
 		Name:     name,
 		StartNS:  now.Sub(t.epoch).Nanoseconds(),
+	}
+	if traceID != "" && parentID == "" {
+		t.mu.Lock()
+		if t.inflight == nil {
+			t.inflight = map[string]InFlightRoot{}
+		}
+		t.inflight[spanID] = InFlightRoot{
+			TraceID:     traceID,
+			SpanID:      spanID,
+			Name:        name,
+			StartedAtNS: now.UnixNano(),
+		}
+		t.mu.Unlock()
 	}
 	return s
 }
@@ -266,6 +296,9 @@ func (t *Tracer) Event(name string, labels map[string]string, count int) {
 func (t *Tracer) emit(rec SpanRecord) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if rec.TraceID != "" && rec.ParentID == "" {
+		delete(t.inflight, rec.SpanID)
+	}
 	t.records = append(t.records, rec)
 	if rec.TraceID != "" && t.maxTraces > 0 && t.traces != nil {
 		if _, ok := t.traces[rec.TraceID]; !ok {
@@ -282,6 +315,24 @@ func (t *Tracer) emit(rec SpanRecord) {
 		// best-effort and must never fail the pipeline.
 		_ = t.enc.Encode(rec)
 	}
+}
+
+// InFlightRoots snapshots the root spans that have started but not yet
+// Ended, oldest first, with RunningNS filled in as of the call.
+func (t *Tracer) InFlightRoots() []InFlightRoot {
+	if t == nil {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	out := make([]InFlightRoot, 0, len(t.inflight))
+	for _, r := range t.inflight {
+		r.RunningNS = now - r.StartedAtNS
+		out = append(out, r)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].StartedAtNS < out[j].StartedAtNS })
+	return out
 }
 
 // Records returns a copy of all finished records in emission order.

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTraceStoreFIFOEviction pins the per-trace store's eviction
+// contract under concurrent writers (run with -race): the store never
+// holds more than the retention limit, the traces that survive are the
+// most recently admitted ones, and evicted traces resolve to nil.
+func TestTraceStoreFIFOEviction(t *testing.T) {
+	const retain = 16
+	tr := NewTracer(nil)
+	tr.SetTraceRetention(retain)
+
+	const writers, per = 8, 50
+	ids := make([][]string, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ids[w] = make([]string, per)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				root := tr.StartRoot("req")
+				ids[w][i] = root.TraceID()
+				child := tr.StartChild(root, "work")
+				child.End()
+				root.End()
+				if i%8 == 0 {
+					tr.InFlightRoots() // concurrent reads
+					tr.TraceRecords(ids[w][i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Count retained traces: exactly the retention cap survives.
+	retained := 0
+	for w := 0; w < writers; w++ {
+		for _, id := range ids[w] {
+			if tr.TraceRecords(id) != nil {
+				retained++
+			}
+		}
+	}
+	if retained != retain {
+		t.Errorf("store retains %d traces, want exactly %d", retained, retain)
+	}
+
+	// Every writer's FIRST trace (admitted ~400 traces ago) must be
+	// evicted, and each writer's LAST trace retained-or-not is fine —
+	// but the newest trace overall must survive (FIFO, not random).
+	for w := 0; w < writers; w++ {
+		if tr.TraceRecords(ids[w][0]) != nil {
+			t.Errorf("writer %d's first trace survived FIFO eviction", w)
+		}
+	}
+
+	// Nothing left in flight once every span has Ended.
+	if live := tr.InFlightRoots(); len(live) != 0 {
+		t.Errorf("%d in-flight roots after all spans ended: %+v", len(live), live)
+	}
+}
+
+// TestTraceStoreFIFOOrder pins strict FIFO order single-threaded: with
+// retention 3, admitting traces 1..5 keeps exactly 3,4,5.
+func TestTraceStoreFIFOOrder(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetTraceRetention(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		s := tr.StartRoot(fmt.Sprintf("op%d", i))
+		ids = append(ids, s.TraceID())
+		s.End()
+	}
+	for i, id := range ids {
+		got := tr.TraceRecords(id)
+		if i < 2 && got != nil {
+			t.Errorf("trace %d survived, want evicted", i)
+		}
+		if i >= 2 && got == nil {
+			t.Errorf("trace %d evicted, want retained", i)
+		}
+	}
+}
+
+func TestInFlightRootsSnapshot(t *testing.T) {
+	tr := NewTracer(nil)
+	a := tr.StartRoot("build-a")
+	b := tr.StartRoot("build-b")
+	tr.StartChild(a, "child") // children never appear as in-flight roots
+	live := tr.InFlightRoots()
+	if len(live) != 2 {
+		t.Fatalf("in-flight roots = %d, want 2", len(live))
+	}
+	if live[0].StartedAtNS > live[1].StartedAtNS {
+		t.Error("roots not oldest-first")
+	}
+	for _, r := range live {
+		if r.TraceID == "" || r.SpanID == "" || r.RunningNS < 0 {
+			t.Errorf("bad in-flight root: %+v", r)
+		}
+	}
+	a.End()
+	if live := tr.InFlightRoots(); len(live) != 1 || live[0].Name != "build-b" {
+		t.Errorf("after End: %+v", live)
+	}
+	b.End()
+}

@@ -68,6 +68,9 @@ type Breaker struct {
 	// Optional metrics (nil-safe).
 	gState       *obs.Gauge
 	cTransitions stateCounter
+	// onTransition, when set, is invoked on a fresh goroutine for every
+	// state change (the flight recorder's breaker-open trigger).
+	onTransition func(from, to BreakerState)
 }
 
 // stateCounter is the metric slice the breaker bumps on transitions;
@@ -101,15 +104,34 @@ func (b *Breaker) instrument(g *obs.Gauge, c stateCounter) {
 	b.mu.Unlock()
 }
 
+// SetTransitionHook installs fn to be called on every state change,
+// with the old and new state. The hook runs on its own goroutine so it
+// may safely call back into the breaker (State etc.); nil-safe, and a
+// nil fn clears the hook.
+func (b *Breaker) SetTransitionHook(fn func(from, to BreakerState)) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
 // transition moves the breaker to s under b.mu.
 func (b *Breaker) transition(s BreakerState) {
 	if b.state == s {
 		return
 	}
+	from := b.state
 	b.state = s
 	b.gState.Set(float64(s))
 	if b.cTransitions != nil {
 		b.cTransitions.With(s.String()).Inc()
+	}
+	if fn := b.onTransition; fn != nil {
+		// Dispatched off-lock: the hook must not be able to deadlock the
+		// breaker, and trigger dumps are slow (pprof capture).
+		go fn(from, s)
 	}
 }
 

@@ -99,6 +99,13 @@ func (c *client) do(ctx context.Context, fn func(ctx context.Context) error) err
 // BreakerState exposes the breaker position (for /stats).
 func (c *client) BreakerState() BreakerState { return c.br.State() }
 
+// OnBreakerTransition installs fn to run (on its own goroutine) on
+// every breaker state change — the flight recorder hooks its
+// breaker-open trigger here.
+func (c *client) OnBreakerTransition(fn func(from, to BreakerState)) {
+	c.br.SetTransitionHook(fn)
+}
+
 // EngineClient is the resilient search-engine client: every Search and
 // NumHits passes bulkhead -> bounded retry with backoff+jitter ->
 // circuit breaker -> the wrapped FallibleEngine.

@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitionHook pins the hook contract: every state change
+// reports (from, to) exactly once, asynchronously, and the hook may
+// call back into the breaker without deadlocking.
+func TestBreakerTransitionHook(t *testing.T) {
+	clock := NewFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Second, HalfOpenProbes: 1}, clock)
+
+	type hop struct{ from, to BreakerState }
+	var mu sync.Mutex
+	var hops []hop
+	done := make(chan struct{}, 8)
+	b.SetTransitionHook(func(from, to BreakerState) {
+		b.State() // re-entrant call must not deadlock
+		mu.Lock()
+		hops = append(hops, hop{from, to})
+		mu.Unlock()
+		done <- struct{}{}
+	})
+
+	fail := fmt.Errorf("boom: %w", ErrTransient)
+	wait := func() {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("transition hook never fired")
+		}
+	}
+
+	// closed -> open.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(fail)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(fail)
+	wait()
+
+	// open -> half-open after cooldown, then half-open -> closed.
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	b.Record(nil)
+	wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []hop{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(hops) != len(want) {
+		t.Fatalf("hops = %+v, want %+v", hops, want)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Errorf("hop %d = %+v, want %+v", i, hops[i], want[i])
+		}
+	}
+}
+
+func TestBreakerTransitionHookNilSafe(t *testing.T) {
+	var b *Breaker
+	b.SetTransitionHook(func(from, to BreakerState) {})
+	live := NewBreaker(BreakerConfig{FailureThreshold: 1}, NewFakeClock())
+	live.SetTransitionHook(nil) // clearing an unset hook is fine
+	if err := live.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	live.Record(ErrTransient) // transitions with no hook installed
+	if got := live.State(); got != BreakerOpen {
+		t.Fatalf("state = %v", got)
+	}
+}

@@ -82,9 +82,12 @@ func (a *admission) stats() (inFlight, queued, capacity, queueCap int, draining 
 	return len(a.slots), int(a.queued.Load()), a.cfg.MaxInFlight, a.cfg.MaxQueued, a.draining.Load()
 }
 
-// shed writes the 503 + Retry-After rejection.
+// shed writes the 503 + Retry-After rejection. X-Shed-Reason is how the
+// flight middleware (sitting outside this layer) learns the request was
+// shed rather than served slowly.
 func (a *admission) shed(w http.ResponseWriter, reason string) {
 	a.mShed.With(reason).Inc()
+	w.Header().Set("X-Shed-Reason", reason)
 	w.Header().Set("Retry-After", strconv.Itoa(int((a.cfg.RetryAfter+time.Second-1)/time.Second)))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)

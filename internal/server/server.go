@@ -89,6 +89,16 @@ type Server struct {
 	traceRetention    int
 	traceRetentionSet bool
 
+	// Flight recorder (WithFlightRecorder); the config is held until
+	// finish so the recorder can see the resilient clients. The runtime
+	// sampler exists unconditionally — /stats serves its on-demand
+	// sample — but only samples in the background when the recorder is
+	// on. snapInfo identifies the snapshot world, when booted from one.
+	flightCfg *FlightConfig
+	flight    *obs.FlightRecorder
+	sampler   *obs.RuntimeSampler
+	snapInfo  *snapshotInfo
+
 	mu           sync.Mutex
 	datasets     map[string]*schema.Dataset
 	pools        map[string]*deepweb.Pool
@@ -167,6 +177,7 @@ func newServer(engine *surfaceweb.Engine, opts ...Option) *Server {
 	if s.traceRetentionSet {
 		s.tracer.SetTraceRetention(s.traceRetention)
 	}
+	s.sampler = obs.NewRuntimeSampler(0, time.Second)
 	s.engine.Instrument(s.reg)
 	s.ready = s.reg.GaugeVec("webiq_unified_ready", "1 when the domain's unified interface has been built, 0 while pending.", "domain")
 	s.builds = s.reg.CounterVec("webiq_unified_builds_total", "Unified-interface builds performed, by domain.", "domain")
@@ -216,6 +227,11 @@ func NewFromSnapshot(world *snapshot.World, opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("server: nil snapshot world")
 	}
 	s := newServer(world.NewEngine(), opts...)
+	s.snapInfo = &snapshotInfo{
+		Fingerprint: fmt.Sprintf("%016x", world.Fingerprint),
+		Seed:        world.Meta.Seed,
+		Scale:       world.Meta.Scale,
+	}
 	deepCfg := deepweb.DefaultConfig()
 	deepCfg.Seed = world.Meta.Seed
 	for _, dom := range s.domains {
@@ -270,22 +286,29 @@ func (s *Server) finish() {
 		s.srcClient.Instrument(s.reg)
 	}
 	s.adm.instrument(s.reg)
+	s.setupFlight()
 
 	s.httpm = obs.NewHTTPMetrics(s.reg)
 	s.httpm.SetTracer(s.tracer)
 	// Operational endpoints (health, readiness, stats, metrics) bypass
 	// the admission queue: they must stay reachable exactly when the
-	// queue is full or draining.
-	adm := func(h http.Handler) http.Handler { return s.adm.wrap(h) }
-	s.mux.Handle("/", adm(s.httpm.WrapFunc("index", s.handleIndex)))
-	s.mux.Handle("/sources", adm(s.httpm.WrapFunc("sources", s.handleSources)))
-	s.mux.Handle("/source/", adm(s.httpm.WrapFunc("source", s.handleSource)))
-	s.mux.Handle("/unified/", adm(s.httpm.WrapFunc("unified", s.handleUnified)))
-	s.mux.Handle("/trace/", adm(s.httpm.WrapFunc("trace", s.handleTrace)))
+	// queue is full or draining. The flight middleware sits outermost so
+	// shed requests — which never reach the metrics middleware — still
+	// leave a wide event; with the recorder off it is the identity.
+	adm := func(route string, h http.Handler) http.Handler {
+		return s.flightWrap(route, s.adm.wrap(h))
+	}
+	s.mux.Handle("/", adm("index", s.httpm.WrapFunc("index", s.handleIndex)))
+	s.mux.Handle("/sources", adm("sources", s.httpm.WrapFunc("sources", s.handleSources)))
+	s.mux.Handle("/source/", adm("source", s.httpm.WrapFunc("source", s.handleSource)))
+	s.mux.Handle("/unified/", adm("unified", s.httpm.WrapFunc("unified", s.handleUnified)))
+	s.mux.Handle("/trace/", adm("trace", s.httpm.WrapFunc("trace", s.handleTrace)))
 	s.mux.Handle("/healthz", s.httpm.WrapFunc("healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.httpm.WrapFunc("readyz", s.handleReadyz))
 	s.mux.Handle("/stats", s.httpm.WrapFunc("stats", s.handleStats))
 	s.mux.Handle("/metrics", s.httpm.Wrap("metrics", s.reg.Handler()))
+	s.mux.Handle("/debug/flight", s.httpm.WrapFunc("debug-flight", s.handleFlight))
+	s.mux.Handle("/debug/flight/", s.httpm.WrapFunc("debug-flight", s.handleFlight))
 }
 
 // RecordStartup publishes how long process startup took, as the
@@ -613,10 +636,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"trace_id": id, "spans": tree})
 }
 
+// healthzInfo is the /healthz JSON shape.
+type healthzInfo struct {
+	Status string `json:"status"`
+	// Snapshot identifies the world when booted via -snapshot, so probes
+	// (and incident bundles) can pin exactly what build was serving.
+	Snapshot *snapshotInfo `json:"snapshot,omitempty"`
+}
+
 // handleHealthz is the liveness probe: the process is serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	writeJSON(w, healthzInfo{Status: "ok", Snapshot: s.snapInfo})
 }
 
 // readyzInfo is the /readyz JSON shape.
@@ -685,6 +715,11 @@ type statsInfo struct {
 	// DegradationsByDomain counts the graceful-degradation events
 	// absorbed while building each domain's unified interface.
 	DegradationsByDomain map[string]int `json:"degradations_by_domain,omitempty"`
+	// Runtime is the current Go-runtime sample (goroutines, heap, GC
+	// pause p99), refreshed at most once per second.
+	Runtime obs.RuntimeSample `json:"runtime"`
+	// Snapshot identifies the snapshot world, when booted via -snapshot.
+	Snapshot *snapshotInfo `json:"snapshot,omitempty"`
 }
 
 // admissionInfo is the /stats view of the admission queue.
@@ -705,6 +740,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ProbesByPool:         map[string]int{},
 		ProbeVirtualByPool:   map[string]float64{},
 		Routes:               s.httpm.RouteSummaries(),
+		Runtime:              s.sampler.Sample(),
+		Snapshot:             s.snapInfo,
 	}
 	if s.adm != nil {
 		inFlight, queued, capacity, queueCap, draining := s.adm.stats()

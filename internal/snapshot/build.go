@@ -54,6 +54,11 @@ type World struct {
 	Index    *surfaceweb.FrozenIndex
 	Datasets []*schema.Dataset
 	Domains  []DomainWorld
+	// Fingerprint is the build fingerprint over (go version, seed,
+	// scale) — the identity a snapshot-backed server reports on
+	// /healthz and /stats so an incident bundle pins which world the
+	// process was serving.
+	Fingerprint uint64
 
 	closer func() error
 }
@@ -140,6 +145,7 @@ func BuildWorld(cfg BuildConfig) (*World, error) {
 	deepCfg.Seed = cfg.Seed
 
 	w := &World{Meta: Meta{GoVersion: runtime.Version(), Seed: cfg.Seed, Scale: cfg.Scale}}
+	w.Fingerprint = fingerprint(w.Meta.GoVersion, w.Meta.Seed, w.Meta.Scale)
 	for _, dom := range domains {
 		ds := dataset.Generate(dom, dataCfg)
 		pool := deepweb.BuildPool(ds, dom, deepCfg)

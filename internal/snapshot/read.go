@@ -182,6 +182,7 @@ func parse(data []byte) (*World, []SectionInfo, error) {
 	if fp := fingerprint(w.Meta.GoVersion, w.Meta.Seed, w.Meta.Scale); fp != h.fingerprint {
 		return nil, nil, errf("fingerprint mismatch: header %#x, recomputed %#x", h.fingerprint, fp)
 	}
+	w.Fingerprint = h.fingerprint
 
 	termOff, err := castU32("term-offsets", byID[secTermOff])
 	if err != nil {
