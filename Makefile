@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json bench-gate eval-json eval-gate check lint explain-demo chaos fuzz snapshot snapshot-verify snapshot-smoke flight-smoke
+.PHONY: build vet test race bench bench-json bench-gate eval-json eval-gate check lint explain-demo chaos fuzz snapshot snapshot-verify snapshot-smoke flight-smoke cluster-smoke cluster-chaos
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,20 @@ snapshot-smoke:
 # OUT=dir to keep the bundles and report (CI uploads them).
 flight-smoke:
 	./scripts/flight_smoke.sh
+
+# Cluster fault-tolerance gate: boot a 3-node replicated cluster from
+# one snapshot, drive mixed load through two nodes, SIGKILL the third
+# (the primary of the airfare shard) mid-run, and require every domain
+# to stay servable, the non-503 error rate to stay within 1%, and a
+# breaker-open-peer flight bundle on a survivor. cluster-smoke is the
+# 10s CI variant; cluster-chaos adds a SIGSTOP/SIGCONT partition phase
+# and runs 30s of load. Set OUT=dir to keep the bundles + loadgen
+# summary (CI uploads them).
+cluster-smoke:
+	./scripts/cluster_chaos.sh smoke
+
+cluster-chaos:
+	./scripts/cluster_chaos.sh chaos
 
 # Provenance smoke test: boot the server, build a domain's unified
 # interface, and assert every instance is attributed with evidence via

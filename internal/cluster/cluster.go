@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"webiq/internal/obs"
+	"webiq/internal/resilience"
+)
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// Self is this node's ID; it must appear in Members.
+	Self string
+	// Members is the full node set, self included. Every node is given
+	// the same set, in any order, and computes the same ring.
+	Members []Member
+	// Replication is how many distinct nodes own each domain (primary +
+	// R-1 replicas); <= 0 takes 2, and R is clamped to the node count.
+	Replication int
+	// VirtualNodes per member on the ring (DefVirtualNodes when <= 0).
+	VirtualNodes int
+	// ProbeInterval is the health-probe period (1s when <= 0).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each peer probe (500ms when <= 0).
+	ProbeTimeout time.Duration
+	// DeadAfter is how many consecutive failed probes mark a peer dead
+	// (3 when <= 0); the first failure already marks it suspect.
+	DeadAfter int
+	// Probe overrides the default /readyz HTTP probe (tests).
+	Probe ProbeFunc
+	// Forward tunes the peer-forwarding clients.
+	Forward ForwarderOptions
+}
+
+// Stats is the cluster block served on /stats and /cluster/stats.
+type Stats struct {
+	Self        string              `json:"self"`
+	Replication int                 `json:"replication"`
+	Nodes       []string            `json:"nodes"`
+	Owners      map[string][]string `json:"owners"`
+	Members     []MemberStatus      `json:"members"`
+	Breakers    map[string]string   `json:"peer_breakers"`
+	Forwards    map[string]int64    `json:"forwards"`
+}
+
+// Cluster is one node's routing brain: the ring says who should serve
+// a domain, membership says who currently can, and the forwarder gets
+// the request there. It holds no domain data itself — every node
+// serves from its own snapshot/build — so "ownership" is purely a
+// routing contract, and the worst a stale view can cause is an extra
+// hop or a locally-served request, never a wrong answer.
+type Cluster struct {
+	cfg        Config
+	ring       *Ring
+	membership *Membership
+	forwarder  *Forwarder
+	self       Member
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  bool
+	done     chan struct{}
+
+	// Served-request accounting by routing mode (owner-local, hop,
+	// forwarded, failover, local-fallback); mirrored to a metric and
+	// reported in Stats.
+	mu     sync.Mutex
+	served map[string]int64
+	cServe *obs.CounterVec // webiq_cluster_requests_total{mode}
+}
+
+// New builds the node's cluster view. It does not start probing; call
+// Start (and eventually Stop).
+func New(cfg Config) *Cluster {
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	}
+	ids := make([]string, 0, len(cfg.Members))
+	peers := make([]Member, 0, len(cfg.Members))
+	var self Member
+	for _, m := range cfg.Members {
+		ids = append(ids, m.ID)
+		if m.ID == cfg.Self {
+			self = m
+			continue
+		}
+		peers = append(peers, m)
+	}
+	if cfg.Forward.Client == nil {
+		cfg.Forward.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	// Peer breakers trip faster than the backend default of 5: every
+	// peer has replicas holding the same data, so failing over is cheap
+	// and a dead peer should stop eating retry budgets within a couple
+	// of requests — before the membership probes even demote it.
+	if cfg.Forward.Breaker.FailureThreshold <= 0 {
+		cfg.Forward.Breaker = resilience.BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         2 * time.Second,
+			HalfOpenProbes:   1,
+		}
+	}
+	return &Cluster{
+		cfg:        cfg,
+		ring:       NewRing(ids, cfg.VirtualNodes),
+		membership: NewMembership(peers, cfg.DeadAfter, cfg.ProbeTimeout, cfg.Probe),
+		forwarder:  NewForwarder(cfg.Self, peers, cfg.Forward),
+		self:       self,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		served:     make(map[string]int64, 5),
+	}
+}
+
+// Instrument registers the cluster metric families on r.
+func (c *Cluster) Instrument(r *obs.Registry) {
+	c.membership.Instrument(r)
+	c.forwarder.Instrument(r)
+	c.mu.Lock()
+	c.cServe = r.CounterVec("webiq_cluster_requests_total",
+		"Domain requests served, by routing mode (owner-local, hop, forwarded, failover, local-fallback).", "mode")
+	c.mu.Unlock()
+}
+
+// Start launches the background health prober.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(),
+					c.cfg.ProbeInterval+time.Duration(len(c.cfg.Members))*c.cfg.ProbeTimeout)
+				c.membership.ProbeNow(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop halts the prober; idempotent, and safe without Start.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		<-c.done
+	}
+}
+
+// Self reports this node's ID.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Replication reports the effective replication factor.
+func (c *Cluster) Replication() int { return c.cfg.Replication }
+
+// Ring exposes the placement ring (read-only).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Membership exposes the health table.
+func (c *Cluster) Membership() *Membership { return c.membership }
+
+// Forwarder exposes the peer-forwarding client.
+func (c *Cluster) Forwarder() *Forwarder { return c.forwarder }
+
+// ProbeNow runs one synchronous probe round (tests, and the drain
+// integration path where waiting a full interval would be flaky).
+func (c *Cluster) ProbeNow(ctx context.Context) { c.membership.ProbeNow(ctx) }
+
+// Owners returns the domain's owner set, primary first.
+func (c *Cluster) Owners(domain string) []string {
+	return c.ring.Owners(domain, c.cfg.Replication)
+}
+
+// IsOwner reports whether this node is among the domain's owners.
+func (c *Cluster) IsOwner(domain string) bool {
+	for _, id := range c.Owners(domain) {
+		if id == c.cfg.Self {
+			return true
+		}
+	}
+	return false
+}
+
+// countServe records one served request's routing mode.
+func (c *Cluster) countServe(mode string) {
+	c.mu.Lock()
+	c.served[mode]++
+	cv := c.cServe
+	c.mu.Unlock()
+	if cv != nil {
+		cv.With(mode).Inc()
+	}
+}
+
+// CountLocal records a request served by this node's own handlers:
+// mode "owner-local" when the ring agrees, "hop" when it arrived via a
+// peer forward (the hop guard), "local-fallback" when every owning
+// peer was unavailable and the node served anyway.
+func (c *Cluster) CountLocal(mode string) { c.countServe(mode) }
+
+// ForwardOrder returns the peers to try, in order, for a domain this
+// node does not own: alive owners first (ring order), then suspect
+// owners as a last resort before local fallback. Dead peers and peers
+// whose breaker is open are excluded outright — an open breaker means
+// recent forwards failed, and failover exists to route around exactly
+// that.
+func (c *Cluster) ForwardOrder(domain string) []Member {
+	owners := c.Owners(domain)
+	var alive, suspect []Member
+	for _, id := range owners {
+		if id == c.cfg.Self {
+			continue
+		}
+		m, ok := c.membership.Member(id)
+		if !ok {
+			continue
+		}
+		if c.forwarder.BreakerState(id) == resilience.BreakerOpen {
+			continue
+		}
+		switch c.membership.State(id) {
+		case StateAlive:
+			alive = append(alive, m)
+		case StateSuspect:
+			suspect = append(suspect, m)
+		}
+	}
+	return append(alive, suspect...)
+}
+
+// Serve routes one domain request: serve locally when this node owns
+// the domain or the request already hopped; otherwise forward to the
+// primary and fail over down the owner list, landing on a local serve
+// when every owner is unreachable. It returns true when the response
+// was written (a successful forward); false means the caller should
+// run its local handler, after which the routing mode has already been
+// counted.
+func (c *Cluster) Serve(w http.ResponseWriter, r *http.Request, domain string) bool {
+	if r.Header.Get(ForwardedHeader) != "" {
+		c.countServe("hop")
+		return false
+	}
+	if c.IsOwner(domain) {
+		c.countServe("owner-local")
+		return false
+	}
+	order := c.ForwardOrder(domain)
+	for i, peer := range order {
+		res, err := c.forwarder.Forward(r.Context(), peer, r)
+		if err != nil {
+			continue
+		}
+		if i == 0 {
+			c.countServe("forwarded")
+		} else {
+			c.countServe("failover")
+		}
+		for k, vs := range res.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.Header().Set(ServedByHeader, peer.ID)
+		w.WriteHeader(res.Status)
+		w.Write(res.Body)
+		return true
+	}
+	c.countServe("local-fallback")
+	return false
+}
+
+// Served snapshots the routing-mode counters.
+func (c *Cluster) Served() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.served))
+	for k, v := range c.served {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats assembles the cluster block for /stats, with per-domain owner
+// sets for the provided domain keys.
+func (c *Cluster) Stats(domains []string) Stats {
+	owners := make(map[string][]string, len(domains))
+	for _, d := range domains {
+		owners[d] = c.Owners(d)
+	}
+	return Stats{
+		Self:        c.cfg.Self,
+		Replication: c.cfg.Replication,
+		Nodes:       c.ring.Nodes(),
+		Owners:      owners,
+		Members:     c.membership.Statuses(),
+		Breakers:    c.forwarder.BreakerStates(),
+		Forwards:    c.Served(),
+	}
+}

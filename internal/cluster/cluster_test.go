@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"webiq/internal/resilience"
+)
+
+// newTestTrio builds a 3-node cluster view from n1's perspective, with
+// n2 and n3 backed by real httptest servers.
+func newTestTrio(t *testing.T, handler func(node string) http.Handler) (*Cluster, map[string]*httptest.Server) {
+	t.Helper()
+	servers := map[string]*httptest.Server{}
+	members := []Member{{ID: "n1", BaseURL: "http://unused-self"}}
+	for _, id := range []string{"n2", "n3"} {
+		ts := httptest.NewServer(handler(id))
+		t.Cleanup(ts.Close)
+		servers[id] = ts
+		members = append(members, Member{ID: id, BaseURL: ts.URL})
+	}
+	c := New(Config{
+		Self:        "n1",
+		Members:     members,
+		Replication: 2,
+		DeadAfter:   2,
+		Forward: ForwarderOptions{
+			Retry: resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+			Seed:  7,
+		},
+	})
+	t.Cleanup(c.Stop)
+	return c, servers
+}
+
+// TestClusterServeRouting pins Serve's decision table: hop-guarded
+// requests and owned domains serve locally, a non-owned domain
+// forwards to an owner and relays its response with ServedByHeader.
+func TestClusterServeRouting(t *testing.T) {
+	c, _ := newTestTrio(t, func(node string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "answer from %s", node)
+		})
+	})
+
+	// A domain this node owns: local serve, counted owner-local.
+	owned, foreign := "", ""
+	for i := 0; i < 500 && (owned == "" || foreign == ""); i++ {
+		d := fmt.Sprintf("dom-%d", i)
+		if c.IsOwner(d) {
+			if owned == "" {
+				owned = d
+			}
+		} else if foreign == "" {
+			foreign = d
+		}
+	}
+	if owned == "" || foreign == "" {
+		t.Fatalf("could not find owned+foreign domains (owned=%q foreign=%q)", owned, foreign)
+	}
+
+	rec := httptest.NewRecorder()
+	if done := c.Serve(rec, httptest.NewRequest("GET", "/unified/"+owned, nil), owned); done {
+		t.Fatal("owned domain was forwarded, want local serve")
+	}
+
+	// Hop guard: forwarded requests never re-forward, even for foreign
+	// domains.
+	req := httptest.NewRequest("GET", "/unified/"+foreign, nil)
+	req.Header.Set(ForwardedHeader, "n9")
+	if done := c.Serve(httptest.NewRecorder(), req, foreign); done {
+		t.Fatal("hop-guarded request was re-forwarded")
+	}
+
+	// Foreign domain: forwarded to an owner, response relayed.
+	rec = httptest.NewRecorder()
+	if done := c.Serve(rec, httptest.NewRequest("GET", "/unified/"+foreign, nil), foreign); !done {
+		t.Fatal("foreign domain served locally, want forward")
+	}
+	if rec.Code != 200 {
+		t.Fatalf("forwarded status = %d", rec.Code)
+	}
+	served := rec.Header().Get(ServedByHeader)
+	if served != c.Owners(foreign)[0] {
+		t.Fatalf("served by %q, want primary %q", served, c.Owners(foreign)[0])
+	}
+
+	counts := c.Served()
+	for _, mode := range []string{"owner-local", "hop", "forwarded"} {
+		if counts[mode] != 1 {
+			t.Fatalf("served[%s] = %d, want 1 (all: %v)", mode, counts[mode], counts)
+		}
+	}
+}
+
+// TestClusterFailoverToReplica: the primary's server is down, so Serve
+// must fail over to the replica, and after probes mark the primary
+// dead the failover is breaker/probe-free.
+func TestClusterFailoverToReplica(t *testing.T) {
+	c, servers := newTestTrio(t, func(node string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "answer from %s", node)
+		})
+	})
+
+	// A domain owned by [n2, n3] or [n3, n2] — both non-self.
+	foreign := ""
+	for i := 0; i < 500; i++ {
+		d := fmt.Sprintf("dom-%d", i)
+		if !c.IsOwner(d) {
+			foreign = d
+			break
+		}
+	}
+	if foreign == "" {
+		t.Fatal("no foreign domain found")
+	}
+	owners := c.Owners(foreign)
+	servers[owners[0]].Close() // kill the primary
+
+	rec := httptest.NewRecorder()
+	if done := c.Serve(rec, httptest.NewRequest("GET", "/unified/"+foreign, nil), foreign); !done {
+		t.Fatal("foreign domain served locally, want replica failover")
+	}
+	if rec.Code != 200 || rec.Header().Get(ServedByHeader) != owners[1] {
+		t.Fatalf("failover: status %d served-by %q, want 200 from %s",
+			rec.Code, rec.Header().Get(ServedByHeader), owners[1])
+	}
+	if c.Served()["failover"] != 1 {
+		t.Fatalf("served = %v, want failover=1", c.Served())
+	}
+
+	// Kill the replica too: with no owner reachable, Serve falls back
+	// to the local handler — every domain stays servable.
+	servers[owners[1]].Close()
+	rec = httptest.NewRecorder()
+	if done := c.Serve(rec, httptest.NewRequest("GET", "/unified/"+foreign, nil), foreign); done {
+		t.Fatal("all owners dead: want local fallback, got forward")
+	}
+	if c.Served()["local-fallback"] != 1 {
+		t.Fatalf("served = %v, want local-fallback=1", c.Served())
+	}
+}
+
+// TestClusterStatsShape: the Stats block carries ring, membership,
+// breakers, and routing counters.
+func TestClusterStatsShape(t *testing.T) {
+	c, _ := newTestTrio(t, func(string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})
+	})
+	c.ProbeNow(context.Background())
+	st := c.Stats([]string{"airfare", "book"})
+	if st.Self != "n1" || st.Replication != 2 {
+		t.Fatalf("stats identity = %+v", st)
+	}
+	if len(st.Nodes) != 3 {
+		t.Fatalf("nodes = %v", st.Nodes)
+	}
+	if len(st.Owners["airfare"]) != 2 || len(st.Owners["book"]) != 2 {
+		t.Fatalf("owners = %v", st.Owners)
+	}
+	if len(st.Members) != 2 {
+		t.Fatalf("members = %+v", st.Members)
+	}
+	for _, m := range st.Members {
+		if m.State != "alive" {
+			t.Fatalf("member %s state = %s after successful probe", m.ID, m.State)
+		}
+	}
+	if len(st.Breakers) != 2 {
+		t.Fatalf("breakers = %v", st.Breakers)
+	}
+}
+
+// TestClusterProberLifecycle: Start probes on the interval; Stop is
+// idempotent and safe without Start.
+func TestClusterProberLifecycle(t *testing.T) {
+	probe := &scriptedProbe{}
+	probe.set(map[string]bool{"p1": true})
+	c := New(Config{
+		Self:          "self",
+		Members:       []Member{{ID: "self"}, {ID: "p1", BaseURL: "http://p1"}},
+		ProbeInterval: 10 * time.Millisecond,
+		DeadAfter:     2,
+		Probe:         probe.fn,
+	})
+	c.Start()
+	c.Start() // second Start is a no-op, not a second prober
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Membership().State("p1") != StateDead {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never marked the failing peer dead")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+
+	unstarted := New(Config{Self: "a", Members: []Member{{ID: "a"}}})
+	unstarted.Stop() // must not hang
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"webiq/internal/obs"
+	"webiq/internal/resilience"
+)
+
+// ForwardedHeader is the hop guard: a node forwarding a request stamps
+// it with its own node ID, and a node receiving a stamped request
+// serves it locally no matter what the ring says. Every request
+// therefore crosses at most one peer hop — a stale or disagreeing ring
+// can misplace a request, but can never orbit it.
+const ForwardedHeader = "X-WebIQ-Forwarded"
+
+// ServedByHeader names the node whose handler produced the response,
+// so clients (and the chaos harness) can see failover happen.
+const ServedByHeader = "X-WebIQ-Served-By"
+
+// maxForwardBody bounds how much of a peer response the forwarder will
+// buffer. Responses are buffered in full before any byte is written to
+// the client so a mid-body peer failure can still fail over cleanly.
+const maxForwardBody = 8 << 20
+
+// ForwardResult is one buffered peer response.
+type ForwardResult struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// peerClient is the per-peer resilient call chain:
+// bulkhead -> retry+backoff -> breaker -> HTTP.
+type peerClient struct {
+	id   string
+	retr *resilience.Retrier
+	br   *resilience.Breaker
+	bh   *resilience.Bulkhead
+}
+
+// ForwarderOptions tune the forwarder. Zero values take the resilience
+// layer defaults.
+type ForwarderOptions struct {
+	Retry   resilience.RetryPolicy
+	Breaker resilience.BreakerConfig
+	// MaxConcurrentPerPeer bounds in-flight forwards per peer (the
+	// bulkhead); <= 0 means 32.
+	MaxConcurrentPerPeer int
+	Clock                resilience.Clock
+	// Seed drives the retry jitter streams (deterministic tests).
+	Seed int64
+	// Client is the HTTP client used for forwards (http.DefaultClient
+	// when nil); give it a timeout in production wiring.
+	Client *http.Client
+}
+
+// Forwarder sends misrouted requests to owning peers. One peerClient
+// per peer keeps the failure domains apart: a dead peer trips only its
+// own breaker, and forwards to healthy peers never queue behind it.
+type Forwarder struct {
+	self  string
+	httpc *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerClient
+	opts  ForwarderOptions
+
+	// Metrics (nil-safe).
+	cForwards *obs.CounterVec // webiq_cluster_forwards_total{peer,outcome}
+	gBreaker  *obs.GaugeVec   // webiq_cluster_peer_breaker_state{peer}
+}
+
+// NewForwarder builds the forwarder for self, creating one resilient
+// client per peer.
+func NewForwarder(self string, peers []Member, opts ForwarderOptions) *Forwarder {
+	if opts.MaxConcurrentPerPeer <= 0 {
+		opts.MaxConcurrentPerPeer = 32
+	}
+	httpc := opts.Client
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	f := &Forwarder{
+		self:  self,
+		httpc: httpc,
+		peers: make(map[string]*peerClient, len(peers)),
+		opts:  opts,
+	}
+	for _, p := range peers {
+		f.peers[p.ID] = &peerClient{
+			id:   p.ID,
+			retr: resilience.NewRetrier(opts.Retry, opts.Clock, opts.Seed^int64(fnv1a64(p.ID))),
+			br:   resilience.NewBreaker(opts.Breaker, opts.Clock),
+			bh:   resilience.NewBulkhead(opts.MaxConcurrentPerPeer),
+		}
+	}
+	return f
+}
+
+// Instrument registers the forward metrics on r and wires the per-peer
+// breaker gauges.
+func (f *Forwarder) Instrument(r *obs.Registry) {
+	f.cForwards = r.CounterVec("webiq_cluster_forwards_total",
+		"Peer-forward attempts, by peer and outcome (ok, error, breaker-open).", "peer", "outcome")
+	f.gBreaker = r.GaugeVec("webiq_cluster_peer_breaker_state",
+		"Per-peer forwarding circuit breaker: 0 closed, 1 half-open, 2 open.", "peer")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, pc := range f.peers {
+		gauge := f.gBreaker.With(id)
+		gauge.Set(float64(pc.br.State()))
+		pc.br.SetTransitionHook(func(_, to resilience.BreakerState) {
+			gauge.Set(float64(to))
+		})
+	}
+}
+
+// OnBreakerTransition chains fn onto every peer breaker's transition
+// hook (after Instrument's gauge update), tagged with the peer ID —
+// the flight recorder's breaker-open-peer trigger hooks here.
+func (f *Forwarder) OnBreakerTransition(fn func(peer string, from, to resilience.BreakerState)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, pc := range f.peers {
+		gauge := (*obs.Gauge)(nil)
+		if f.gBreaker != nil {
+			gauge = f.gBreaker.With(id)
+		}
+		pc.br.SetTransitionHook(func(from, to resilience.BreakerState) {
+			if gauge != nil {
+				gauge.Set(float64(to))
+			}
+			fn(id, from, to)
+		})
+	}
+}
+
+// BreakerStates snapshots every peer breaker (for /stats).
+func (f *Forwarder) BreakerStates() map[string]string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]string, len(f.peers))
+	for id, pc := range f.peers {
+		out[id] = pc.br.State().String()
+	}
+	return out
+}
+
+// BreakerState reports one peer's breaker position (closed for an
+// unknown peer).
+func (f *Forwarder) BreakerState(peer string) resilience.BreakerState {
+	f.mu.Lock()
+	pc := f.peers[peer]
+	f.mu.Unlock()
+	if pc == nil {
+		return resilience.BreakerClosed
+	}
+	return pc.br.State()
+}
+
+// count bumps the forwards metric (nil-safe).
+func (f *Forwarder) count(peer, outcome string) {
+	if f.cForwards != nil {
+		f.cForwards.With(peer, outcome).Inc()
+	}
+}
+
+// Forward sends r to the named peer and returns the buffered response.
+// The request is stamped with the hop-guard header; transport errors
+// and 5xx peer responses count as failures (they trip the breaker and
+// trigger failover in the caller), every other status is a valid
+// answer to relay.
+func (f *Forwarder) Forward(ctx context.Context, peer Member, r *http.Request) (*ForwardResult, error) {
+	f.mu.Lock()
+	pc := f.peers[peer.ID]
+	f.mu.Unlock()
+	if pc == nil {
+		return nil, fmt.Errorf("cluster: no client for peer %q", peer.ID)
+	}
+	if err := pc.bh.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer pc.bh.Release()
+
+	var out *ForwardResult
+	err := pc.retr.Do(ctx, func(ctx context.Context) error {
+		if err := pc.br.Allow(); err != nil {
+			f.count(peer.ID, "breaker-open")
+			return err
+		}
+		res, err := f.roundTrip(ctx, peer, r)
+		pc.br.Record(err)
+		if err != nil {
+			f.count(peer.ID, "error")
+			return err
+		}
+		out = res
+		f.count(peer.ID, "ok")
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// roundTrip performs one forwarded HTTP call and buffers the response.
+func (f *Forwarder) roundTrip(ctx context.Context, peer Member, r *http.Request) (*ForwardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, r.Method, peer.BaseURL+r.URL.RequestURI(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(ForwardedHeader, f.self)
+	if accept := r.Header.Get("Accept"); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := f.httpc.Do(req)
+	if err != nil {
+		// Transport failures are the transient class: retry within the
+		// policy, then fail over.
+		return nil, fmt.Errorf("%w: forward to %s: %v", resilience.ErrTransient, peer.ID, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		return nil, fmt.Errorf("%w: forward to %s: read: %v", resilience.ErrTransient, peer.ID, err)
+	}
+	if resp.StatusCode >= 500 {
+		return nil, fmt.Errorf("%w: forward to %s: status %d", resilience.ErrTransient, peer.ID, resp.StatusCode)
+	}
+	hdr := make(http.Header, 2)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		hdr.Set("Content-Type", ct)
+	}
+	if tid := resp.Header.Get("X-Trace-ID"); tid != "" {
+		hdr.Set("X-Trace-ID", tid)
+	}
+	return &ForwardResult{Status: resp.StatusCode, Header: hdr, Body: body}, nil
+}

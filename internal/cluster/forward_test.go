@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webiq/internal/obs"
+	"webiq/internal/resilience"
+)
+
+// fastForwardOpts keeps tests quick: no backoff sleeps to speak of,
+// one-failure breaker where wanted.
+func fastForwardOpts(client *http.Client) ForwarderOptions {
+	return ForwarderOptions{
+		Retry:  resilience.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+		Client: client,
+		Seed:   1,
+	}
+}
+
+// TestForwardStampsHopGuard: a forwarded request carries the sender's
+// node ID in X-WebIQ-Forwarded and relays the peer's body and
+// content type.
+func TestForwardStampsHopGuard(t *testing.T) {
+	var gotHop atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHop.Store(r.Header.Get(ForwardedHeader))
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<html>peer answer</html>")
+	}))
+	defer ts.Close()
+
+	peer := Member{ID: "p1", BaseURL: ts.URL}
+	f := NewForwarder("self-node", []Member{peer}, fastForwardOpts(ts.Client()))
+	req := httptest.NewRequest("GET", "/unified/airfare?x=1", nil)
+	res, err := f.Forward(context.Background(), peer, req)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if hop, _ := gotHop.Load().(string); hop != "self-node" {
+		t.Fatalf("hop header = %q, want self-node", hop)
+	}
+	if res.Status != 200 || !strings.Contains(string(res.Body), "peer answer") {
+		t.Fatalf("res = %d %q", res.Status, res.Body)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type %q not relayed", ct)
+	}
+}
+
+// TestForwardRetriesTransientThenSucceeds: one 500 then a 200 succeeds
+// within the retry budget, and the metrics count both attempts.
+func TestForwardRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+
+	peer := Member{ID: "p1", BaseURL: ts.URL}
+	f := NewForwarder("self", []Member{peer}, fastForwardOpts(ts.Client()))
+	reg := obs.NewRegistry()
+	f.Instrument(reg)
+
+	res, err := f.Forward(context.Background(), peer, httptest.NewRequest("GET", "/unified/book", nil))
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if res.Status != 200 {
+		t.Fatalf("status = %d", res.Status)
+	}
+	forwards := reg.CounterVec("webiq_cluster_forwards_total", "", "peer", "outcome")
+	if got := forwards.With("p1", "error").Value(); got != 1 {
+		t.Fatalf("error count = %v, want 1", got)
+	}
+	if got := forwards.With("p1", "ok").Value(); got != 1 {
+		t.Fatalf("ok count = %v, want 1", got)
+	}
+}
+
+// TestForwardBreakerOpensAndReports: persistent peer failure trips the
+// per-peer breaker; further forwards fail fast with ErrBreakerOpen,
+// the state shows on BreakerStates, and the transition hook fires with
+// the peer ID.
+func TestForwardBreakerOpensAndReports(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	peer := Member{ID: "p1", BaseURL: ts.URL}
+	opts := fastForwardOpts(ts.Client())
+	opts.Breaker = resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour, HalfOpenProbes: 1}
+	f := NewForwarder("self", []Member{peer}, opts)
+	reg := obs.NewRegistry()
+	f.Instrument(reg)
+
+	type flip struct {
+		peer     string
+		from, to resilience.BreakerState
+	}
+	flips := make(chan flip, 8)
+	f.OnBreakerTransition(func(p string, from, to resilience.BreakerState) {
+		flips <- flip{p, from, to}
+	})
+
+	// Each Forward makes 2 attempts; one call trips the 2-failure
+	// breaker.
+	if _, err := f.Forward(context.Background(), peer, httptest.NewRequest("GET", "/unified/job", nil)); err == nil {
+		t.Fatal("forward to failing peer succeeded")
+	}
+	select {
+	case fl := <-flips:
+		if fl.peer != "p1" || fl.to != resilience.BreakerOpen {
+			t.Fatalf("transition = %+v, want p1 -> open", fl)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("breaker transition hook never fired")
+	}
+	if st := f.BreakerStates()["p1"]; st != "open" {
+		t.Fatalf("breaker state = %q, want open", st)
+	}
+	if f.BreakerState("p1") != resilience.BreakerOpen {
+		t.Fatal("BreakerState(p1) != open")
+	}
+	// Fast-fail path: no backend call, ErrBreakerOpen surfaces.
+	if _, err := f.Forward(context.Background(), peer, httptest.NewRequest("GET", "/unified/job", nil)); err == nil {
+		t.Fatal("forward with open breaker succeeded")
+	}
+	// Gauge followed the hook.
+	if got := reg.GaugeVec("webiq_cluster_peer_breaker_state", "", "peer").With("p1").Value(); got != float64(resilience.BreakerOpen) {
+		t.Fatalf("breaker gauge = %v, want open(2)", got)
+	}
+}
+
+// TestClusterForwardOrderSkipsUnhealthy: dead peers and open breakers
+// leave the forward order; suspect peers rank after alive ones.
+func TestClusterForwardOrderSkipsUnhealthy(t *testing.T) {
+	probe := &scriptedProbe{}
+	probe.set(map[string]bool{})
+	members := []Member{
+		{ID: "n1", BaseURL: "http://n1"},
+		{ID: "n2", BaseURL: "http://n2"},
+		{ID: "n3", BaseURL: "http://n3"},
+	}
+	c := New(Config{
+		Self: "n0", Members: append([]Member{{ID: "n0", BaseURL: "http://n0"}}, members...),
+		Replication: 3, DeadAfter: 2, Probe: probe.fn,
+	})
+	defer c.Stop()
+
+	// Find a domain whose owner set excludes self so the order includes
+	// three peers.
+	domain := ""
+	for i := 0; i < 200; i++ {
+		d := fmt.Sprintf("dom-%d", i)
+		if !c.IsOwner(d) {
+			domain = d
+			break
+		}
+	}
+	if domain == "" {
+		t.Skip("no domain with 3 non-self owners found (unlucky ring)")
+	}
+	base := c.ForwardOrder(domain)
+	if len(base) != 3 {
+		t.Fatalf("forward order = %v, want 3 peers", base)
+	}
+
+	// Mark the first suspect: it must drop behind the others.
+	probe.set(map[string]bool{base[0].ID: true})
+	c.ProbeNow(context.Background())
+	order := c.ForwardOrder(domain)
+	if len(order) != 3 || order[len(order)-1].ID != base[0].ID {
+		t.Fatalf("suspect peer not demoted: %v (was %v)", order, base)
+	}
+
+	// A second failed probe kills it (DeadAfter=2): it must vanish.
+	c.ProbeNow(context.Background())
+	order = c.ForwardOrder(domain)
+	if len(order) != 2 {
+		t.Fatalf("dead peer still in forward order: %v", order)
+	}
+	for _, m := range order {
+		if m.ID == base[0].ID {
+			t.Fatalf("dead peer %s still present", m.ID)
+		}
+	}
+}

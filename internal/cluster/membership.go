@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"webiq/internal/obs"
+)
+
+// NodeState is a peer's position in the health state machine. The
+// numeric values are exported on the webiq_cluster_peer_state gauge:
+// 0 alive, 1 suspect, 2 dead.
+type NodeState int
+
+// Health states. One failed (or not-ready) probe moves a peer from
+// alive to suspect — forwarding stops immediately, which is what makes
+// a draining node leave the rotation within one probe interval — and
+// DeadAfter consecutive failures move it to dead. A single successful
+// probe restores alive from either state.
+const (
+	StateAlive NodeState = iota
+	StateSuspect
+	StateDead
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	switch s {
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return "alive"
+	}
+}
+
+// Member is one node of the cluster.
+type Member struct {
+	ID      string
+	BaseURL string
+}
+
+// MemberStatus is a point-in-time view of one peer's health, as served
+// on /stats and /cluster/stats.
+type MemberStatus struct {
+	ID       string    `json:"id"`
+	BaseURL  string    `json:"base_url"`
+	State    string    `json:"state"`
+	Failures int       `json:"consecutive_failures,omitempty"`
+	LastErr  string    `json:"last_error,omitempty"`
+	Probes   int       `json:"probes"`
+	state    NodeState // typed state for callers inside the package
+}
+
+// ProbeFunc checks one peer's readiness; returning a non-nil error
+// marks the probe failed. The default implementation GETs
+// {BaseURL}/readyz and fails on transport errors and on any non-2xx
+// status — a draining node answers /readyz with 503, so drain and
+// death look the same to membership, which is the point.
+type ProbeFunc func(ctx context.Context, m Member) error
+
+// HTTPProbe returns the default ProbeFunc over client (http.DefaultClient
+// when nil).
+func HTTPProbe(client *http.Client) ProbeFunc {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func(ctx context.Context, m Member) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.BaseURL+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return fmt.Errorf("cluster: probe %s: /readyz answered %d", m.ID, resp.StatusCode)
+		}
+		return nil
+	}
+}
+
+// memberInfo is one peer's mutable health record.
+type memberInfo struct {
+	member  Member
+	state   NodeState
+	fails   int
+	probes  int
+	lastErr string
+}
+
+// Membership tracks peer health. Probing runs on the caller's schedule
+// (Cluster's prober goroutine, or ProbeNow in tests); the table itself
+// is just a guarded map.
+type Membership struct {
+	deadAfter int
+	probe     ProbeFunc
+	timeout   time.Duration
+
+	mu      sync.Mutex
+	members map[string]*memberInfo
+
+	// Metrics (nil-safe).
+	gState *obs.GaugeVec   // webiq_cluster_peer_state{peer}
+	cFlips *obs.CounterVec // webiq_cluster_peer_transitions_total{peer,state}
+}
+
+// NewMembership builds the table over peers (self excluded by the
+// caller). deadAfter <= 0 takes 3; timeout <= 0 takes 500ms; a nil
+// probe takes HTTPProbe(nil). Every peer starts alive: a cluster boots
+// optimistic and demotes on evidence, rather than refusing to forward
+// until the first probe round lands.
+func NewMembership(peers []Member, deadAfter int, timeout time.Duration, probe ProbeFunc) *Membership {
+	if deadAfter <= 0 {
+		deadAfter = 3
+	}
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	if probe == nil {
+		probe = HTTPProbe(nil)
+	}
+	m := &Membership{
+		deadAfter: deadAfter,
+		probe:     probe,
+		timeout:   timeout,
+		members:   make(map[string]*memberInfo, len(peers)),
+	}
+	for _, p := range peers {
+		m.members[p.ID] = &memberInfo{member: p, state: StateAlive}
+	}
+	return m
+}
+
+// Instrument registers the membership metrics on r.
+func (m *Membership) Instrument(r *obs.Registry) {
+	m.gState = r.GaugeVec("webiq_cluster_peer_state",
+		"Peer health state: 0 alive, 1 suspect, 2 dead.", "peer")
+	m.cFlips = r.CounterVec("webiq_cluster_peer_transitions_total",
+		"Peer health-state transitions, by peer and new state.", "peer", "state")
+	m.mu.Lock()
+	for id, info := range m.members {
+		m.gState.With(id).Set(float64(info.state))
+	}
+	m.mu.Unlock()
+}
+
+// State returns the peer's health (StateDead for an unknown peer, so a
+// misconfigured ID is never forwarded to).
+func (m *Membership) State(id string) NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.members[id]
+	if !ok {
+		return StateDead
+	}
+	return info.state
+}
+
+// Member resolves a peer by ID.
+func (m *Membership) Member(id string) (Member, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.members[id]
+	if !ok {
+		return Member{}, false
+	}
+	return info.member, true
+}
+
+// Statuses snapshots every peer, sorted by ID.
+func (m *Membership) Statuses() []MemberStatus {
+	m.mu.Lock()
+	out := make([]MemberStatus, 0, len(m.members))
+	for _, info := range m.members {
+		out = append(out, MemberStatus{
+			ID:       info.member.ID,
+			BaseURL:  info.member.BaseURL,
+			State:    info.state.String(),
+			Failures: info.fails,
+			LastErr:  info.lastErr,
+			Probes:   info.probes,
+			state:    info.state,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ProbeNow probes every peer once, sequentially, and applies the state
+// machine. The per-peer timeout bounds each probe; a hung peer costs
+// one timeout, not a stuck prober.
+func (m *Membership) ProbeNow(ctx context.Context) {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.members))
+	for id := range m.members {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		member, ok := m.Member(id)
+		if !ok {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, m.timeout)
+		err := m.probe(pctx, member)
+		cancel()
+		m.record(id, err)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// record applies one probe outcome to the state machine.
+func (m *Membership) record(id string, err error) {
+	m.mu.Lock()
+	info, ok := m.members[id]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	info.probes++
+	prev := info.state
+	if err == nil {
+		info.fails = 0
+		info.state = StateAlive
+		info.lastErr = ""
+	} else {
+		info.fails++
+		info.lastErr = err.Error()
+		if info.fails >= m.deadAfter {
+			info.state = StateDead
+		} else {
+			info.state = StateSuspect
+		}
+	}
+	next := info.state
+	m.mu.Unlock()
+	if next != prev {
+		if m.gState != nil {
+			m.gState.With(id).Set(float64(next))
+		}
+		if m.cFlips != nil {
+			m.cFlips.With(id, next.String()).Inc()
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webiq/internal/obs"
+)
+
+// scriptedProbe fails peers listed in the failing set.
+type scriptedProbe struct {
+	failing atomic.Value // map[string]bool
+}
+
+func (p *scriptedProbe) set(failing map[string]bool) { p.failing.Store(failing) }
+
+func (p *scriptedProbe) fn(_ context.Context, m Member) error {
+	f, _ := p.failing.Load().(map[string]bool)
+	if f[m.ID] {
+		return errors.New("probe failed")
+	}
+	return nil
+}
+
+// TestMembershipStateMachine walks one peer through
+// alive -> suspect -> dead -> alive: the first failed probe demotes it
+// immediately (one probe interval is all a draining node needs to
+// leave the forwarding set), deadAfter consecutive failures kill it,
+// one success fully restores it.
+func TestMembershipStateMachine(t *testing.T) {
+	probe := &scriptedProbe{}
+	probe.set(map[string]bool{})
+	m := NewMembership([]Member{{ID: "p1", BaseURL: "http://p1"}}, 3, time.Second, probe.fn)
+
+	if got := m.State("p1"); got != StateAlive {
+		t.Fatalf("initial state = %v, want alive", got)
+	}
+
+	probe.set(map[string]bool{"p1": true})
+	m.ProbeNow(context.Background())
+	if got := m.State("p1"); got != StateSuspect {
+		t.Fatalf("after 1 failure state = %v, want suspect", got)
+	}
+
+	m.ProbeNow(context.Background())
+	if got := m.State("p1"); got != StateSuspect {
+		t.Fatalf("after 2 failures state = %v, want suspect (deadAfter=3)", got)
+	}
+
+	m.ProbeNow(context.Background())
+	if got := m.State("p1"); got != StateDead {
+		t.Fatalf("after 3 failures state = %v, want dead", got)
+	}
+
+	probe.set(map[string]bool{})
+	m.ProbeNow(context.Background())
+	if got := m.State("p1"); got != StateAlive {
+		t.Fatalf("after recovery state = %v, want alive", got)
+	}
+
+	st := m.Statuses()
+	if len(st) != 1 || st[0].ID != "p1" || st[0].State != "alive" || st[0].Probes != 4 {
+		t.Fatalf("statuses = %+v", st)
+	}
+}
+
+// TestMembershipUnknownPeerIsDead: forwarding must never target a peer
+// the table does not know.
+func TestMembershipUnknownPeerIsDead(t *testing.T) {
+	m := NewMembership(nil, 0, 0, func(context.Context, Member) error { return nil })
+	if got := m.State("ghost"); got != StateDead {
+		t.Fatalf("unknown peer state = %v, want dead", got)
+	}
+}
+
+// TestHTTPProbeReadyz pins the default probe semantics: 200 /readyz is
+// alive, 503 (draining or unbuilt domains) and transport errors fail.
+func TestHTTPProbeReadyz(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	probe := HTTPProbe(ts.Client())
+	m := Member{ID: "p", BaseURL: ts.URL}
+	if err := probe(context.Background(), m); err != nil {
+		t.Fatalf("ready peer probe failed: %v", err)
+	}
+	ready.Store(false)
+	if err := probe(context.Background(), m); err == nil {
+		t.Fatal("503 /readyz probe succeeded, want failure")
+	}
+	ts.Close()
+	if err := probe(context.Background(), m); err == nil {
+		t.Fatal("probe of closed server succeeded, want transport error")
+	}
+}
+
+// TestMembershipMetrics: state flips land on the peer-state gauge and
+// the transition counter.
+func TestMembershipMetrics(t *testing.T) {
+	probe := &scriptedProbe{}
+	probe.set(map[string]bool{"p1": true})
+	m := NewMembership([]Member{{ID: "p1", BaseURL: "http://p1"}}, 2, time.Second, probe.fn)
+	reg := obs.NewRegistry()
+	m.Instrument(reg)
+
+	m.ProbeNow(context.Background()) // alive -> suspect
+	m.ProbeNow(context.Background()) // suspect -> dead
+	if got := reg.GaugeVec("webiq_cluster_peer_state", "", "peer").With("p1").Value(); got != float64(StateDead) {
+		t.Fatalf("peer-state gauge = %v, want %v", got, float64(StateDead))
+	}
+	flips := reg.CounterVec("webiq_cluster_peer_transitions_total", "", "peer", "state")
+	if got := flips.With("p1", "suspect").Value(); got != 1 {
+		t.Fatalf("suspect transitions = %v, want 1", got)
+	}
+	if got := flips.With("p1", "dead").Value(); got != 1 {
+		t.Fatalf("dead transitions = %v, want 1", got)
+	}
+}

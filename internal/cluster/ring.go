@@ -1,0 +1,149 @@
+// Package cluster turns a set of webiq-serve processes into one
+// fault-tolerant service. Three pieces compose:
+//
+//   - Ring: a consistent-hash ring with virtual nodes assigning every
+//     domain a primary plus R-1 replica owners, deterministic across
+//     processes so each node computes the same placement locally;
+//   - Membership: a health table (alive / suspect / dead) driven by
+//     periodic peer probes of /readyz with timeouts, so a draining or
+//     dead node leaves the forwarding set within one probe interval;
+//   - Forwarder: a peer-forwarding HTTP client wrapped in the
+//     internal/resilience retry + full-jitter backoff, a per-peer
+//     circuit breaker, and a per-peer bulkhead, so a node receiving a
+//     request for a domain it does not own forwards to the primary and
+//     fails over to replicas when the primary is open, suspect, or
+//     dead.
+//
+// A node with no peers configured never constructs this package:
+// single-node serving is byte-identical to a build without it.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefVirtualNodes is the number of ring points each node projects;
+// 128 keeps both the per-node key share and the keys moved by a
+// join/leave within a factor of ~2 of the ideal 1/N while leaving
+// ring construction trivially cheap.
+const DefVirtualNodes = 128
+
+// fnv1a64 is the ring's hash. It is implemented inline (rather than
+// through hash/fnv) so the placement function is auditably fixed: the
+// ring must be deterministic across processes, architectures, and Go
+// releases, because every node computes ownership locally and they
+// must all agree.
+func fnv1a64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a node set. Keys
+// (domains) are owned by the first distinct nodes clockwise from the
+// key's hash; adding or removing one node moves only the keys whose
+// arc it gained or lost (~1/N of them), which is what lets a cluster
+// resize without a full reshuffle.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted, distinct
+	points []ringPoint
+}
+
+// NewRing builds a ring over nodes with the given virtual-node count
+// (DefVirtualNodes when vnodes <= 0). Node order does not matter and
+// duplicates are dropped: two processes given the same node set in any
+// order build identical rings.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	distinct := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		distinct = append(distinct, n)
+	}
+	sort.Strings(distinct)
+	r := &Ring{vnodes: vnodes, nodes: distinct}
+	r.points = make([]ringPoint, 0, len(distinct)*vnodes)
+	for _, n := range distinct {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: fnv1a64(fmt.Sprintf("%s#%d", n, i)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on node ID so the order
+		// stays total and deterministic.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's node IDs, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Size reports the number of distinct nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Owners returns the n distinct nodes owning key, primary first,
+// walking clockwise from the key's hash. Fewer than n nodes on the
+// ring returns all of them; an empty ring returns nil.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := fnv1a64(key)
+	// First point at or after h, wrapping.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Primary returns the first owner of key ("" on an empty ring).
+func (r *Ring) Primary(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}

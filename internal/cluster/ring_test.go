@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministicAcrossBuildOrder pins the cross-process
+// contract: every node computes placement locally, so two rings built
+// from the same node set — in any order, with duplicates — must agree
+// on every owner list.
+func TestRingDeterministicAcrossBuildOrder(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	a := NewRing(nodes, 0)
+	shuffled := []string{"n4", "n2", "n5", "n1", "n3", "n2", "n1", ""}
+	b := NewRing(shuffled, 0)
+
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("node sets differ: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("domain-%d", i)
+		oa, ob := a.Owners(key, 2), b.Owners(key, 2)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("owners(%q) differ: %v vs %v", key, oa, ob)
+		}
+	}
+}
+
+// TestRingGoldenPlacement pins the exact owner assignment of the five
+// paper domains on a canonical 3-node ring. This is a tripwire: any
+// change to the hash function, virtual-node labeling, or tie-breaking
+// silently remaps every deployed cluster, and must show up as a
+// deliberate golden update here.
+func TestRingGoldenPlacement(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, DefVirtualNodes)
+	got := map[string][]string{}
+	for _, d := range []string{"airfare", "auto", "book", "job", "realestate"} {
+		got[d] = r.Owners(d, 2)
+	}
+	// Golden values computed from FNV-1a 64 over "node#i" points (see
+	// fnv1a64) at DefVirtualNodes=128. Regenerate deliberately if the
+	// placement function ever changes:
+	// for d, o := range got { t.Logf("%q: %v", d, o) }.
+	want := map[string][]string{
+		"airfare":    {"n3", "n1"},
+		"auto":       {"n1", "n3"},
+		"book":       {"n3", "n2"},
+		"job":        {"n3", "n1"},
+		"realestate": {"n2", "n3"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("placement changed:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestRingOwnersBounds covers the edges: more replicas than nodes,
+// empty ring, zero n.
+func TestRingOwnersBounds(t *testing.T) {
+	r := NewRing([]string{"a", "b"}, 8)
+	if got := r.Owners("k", 5); len(got) != 2 {
+		t.Fatalf("Owners(n>size) = %v, want both nodes", got)
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(0) = %v, want nil", got)
+	}
+	empty := NewRing(nil, 8)
+	if got := empty.Owners("k", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	if p := empty.Primary("k"); p != "" {
+		t.Fatalf("empty ring Primary = %q, want empty", p)
+	}
+}
+
+// TestRingBoundedMovementOnJoinLeave is the consistent-hashing
+// property the ring exists for: when one node joins or leaves an
+// N-node ring, fewer than 2/N of the keys change primary. A modulo
+// assignment would move ~(N-1)/N of them.
+func TestRingBoundedMovementOnJoinLeave(t *testing.T) {
+	const numKeys = 10_000
+	nodes := make([]string, 10)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node-%02d", i)
+	}
+	base := NewRing(nodes, DefVirtualNodes)
+	keys := make([]string, numKeys)
+	rng := rand.New(rand.NewSource(42))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d-%d", i, rng.Int63())
+	}
+
+	moved := func(a, b *Ring) int {
+		n := 0
+		for _, k := range keys {
+			if a.Primary(k) != b.Primary(k) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Leave: drop one node; only its keys may move.
+	smaller := NewRing(nodes[:9], DefVirtualNodes)
+	bound := 2 * numKeys / 10 // 2/N of the keys
+	if m := moved(base, smaller); m >= bound {
+		t.Errorf("leave moved %d/%d keys, want < %d (2/N)", m, numKeys, bound)
+	}
+	// Every key that moved off the removed node must still be owned.
+	for _, k := range keys {
+		if smaller.Primary(k) == nodes[9] {
+			t.Fatalf("key %q still assigned to removed node", k)
+		}
+	}
+
+	// Join: add an 11th node; it may only take ~1/(N+1) of the keys.
+	joined := NewRing(append(append([]string{}, nodes...), "node-10"), DefVirtualNodes)
+	bound = 2 * numKeys / 11
+	if m := moved(base, joined); m >= bound {
+		t.Errorf("join moved %d/%d keys, want < %d (2/N)", m, numKeys, bound)
+	}
+	// And every moved key moved TO the new node, not between old ones.
+	for _, k := range keys {
+		if p := joined.Primary(k); p != base.Primary(k) && p != "node-10" {
+			t.Fatalf("key %q moved between existing nodes: %s -> %s", k, base.Primary(k), p)
+		}
+	}
+}
+
+// TestRingReplicasShiftDown checks the failover contract: when a
+// domain's primary leaves, the old first replica becomes primary for
+// most keys (successor semantics), so replica warm-up from the same
+// snapshot means the data is already there.
+func TestRingReplicasShiftDown(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r := NewRing(nodes, DefVirtualNodes)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("dom-%d", i)
+		owners := r.Owners(key, 2)
+		// Remove the primary; the old replica must now be an owner.
+		var rest []string
+		for _, n := range nodes {
+			if n != owners[0] {
+				rest = append(rest, n)
+			}
+		}
+		after := NewRing(rest, DefVirtualNodes).Owners(key, 2)
+		if after[0] != owners[1] {
+			t.Fatalf("key %q: owners %v, after removing %s got %v — old replica must take over",
+				key, owners, owners[0], after)
+		}
+	}
+}

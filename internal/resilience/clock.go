@@ -79,7 +79,23 @@ func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
 	case <-w.ch:
 		return nil
 	case <-ctx.Done():
+		// Deregister, or the abandoned waiter would sit in c.waiters
+		// until an Advance passes its deadline — inflating Sleepers()
+		// and growing the slice for the clock's whole lifetime.
+		c.remove(w)
 		return ctx.Err()
+	}
+}
+
+// remove drops a canceled waiter; a no-op if Advance already woke it.
+func (c *FakeClock) remove(w *fakeWaiter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
 	}
 }
 

@@ -3,8 +3,11 @@ package resilience
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"webiq/internal/obs"
 )
 
 // TestBreakerTransitionHook pins the hook contract: every state change
@@ -71,6 +74,102 @@ func TestBreakerTransitionHook(t *testing.T) {
 		}
 	}
 }
+
+// TestBreakerTransitionHookConcurrentDispatch races hook installation
+// against a storm of state transitions and holds two contracts at
+// once: the hook never runs under the breaker lock (every hook calls
+// State(), which would deadlock an under-lock dispatch), and no
+// transition is dropped — the total hook dispatches must equal the
+// transition counter the breaker bumps under its own lock, even while
+// SetTransitionHook keeps swapping the installed function mid-storm.
+func TestBreakerTransitionHookConcurrentDispatch(t *testing.T) {
+	clock := NewFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Nanosecond, HalfOpenProbes: 1}, clock)
+
+	reg := obs.NewRegistry()
+	transitions := reg.CounterVec("webiq_breaker_transitions_total",
+		"Breaker state transitions, by new state.", "state")
+	b.instrument(reg.Gauge("webiq_breaker_state", "Breaker state."), curriedStates{transitions})
+
+	var fired atomic.Int64
+	makeHook := func() func(from, to BreakerState) {
+		return func(from, to BreakerState) {
+			// A hook dispatched under b.mu would deadlock here.
+			b.State()
+			fired.Add(1)
+		}
+	}
+	b.SetTransitionHook(makeHook())
+
+	stop := make(chan struct{})
+	var swappers sync.WaitGroup
+	swappers.Add(1)
+	go func() {
+		defer swappers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.SetTransitionHook(makeHook())
+			}
+		}
+	}()
+
+	fail := fmt.Errorf("boom: %w", ErrTransient)
+	var drivers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		drivers.Add(1)
+		go func(g int) {
+			defer drivers.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() != nil {
+					continue
+				}
+				// The cooldown is 1ns on a fake clock that never moves,
+				// so open->half-open needs a nudge now and then.
+				if i%3 == 0 {
+					clock.Advance(time.Microsecond)
+				}
+				if (g+i)%2 == 0 {
+					b.Record(fail)
+				} else {
+					b.Record(nil)
+				}
+			}
+		}(g)
+	}
+	drivers.Wait()
+	close(stop)
+	swappers.Wait()
+
+	counted := func() int64 {
+		var total float64
+		for _, s := range []BreakerState{BreakerClosed, BreakerHalfOpen, BreakerOpen} {
+			total += transitions.With(s.String()).Value()
+		}
+		return int64(total)
+	}
+	want := counted()
+	if want == 0 {
+		t.Fatal("the storm produced no transitions; the test drove nothing")
+	}
+	// Hook goroutines are asynchronous; give every dispatched one time
+	// to land before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("hook fired %d times, breaker counted %d transitions", fired.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// curriedStates adapts a CounterVec to the breaker's stateCounter the
+// same way the resilient clients do when currying their backend label.
+type curriedStates struct{ vec *obs.CounterVec }
+
+func (c curriedStates) With(state string) *obs.Counter { return c.vec.With(state) }
 
 func TestBreakerTransitionHookNilSafe(t *testing.T) {
 	var b *Breaker

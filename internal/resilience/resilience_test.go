@@ -229,6 +229,74 @@ func TestRetrierHonorsContext(t *testing.T) {
 	}
 }
 
+// TestRetrierCancelMidBackoffReturnsImmediately pins the cancellation
+// contract on the FakeClock: with the retrier parked in an hour-long
+// jittered backoff sleep, canceling the request context must return
+// context.Canceled without the clock ever advancing — no retry fires,
+// fn runs exactly once — and the canceled sleeper must deregister from
+// the clock instead of leaking in its waiter list.
+func TestRetrierCancelMidBackoffReturnsImmediately(t *testing.T) {
+	clock := NewFakeClock()
+	r := NewRetrier(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour}, clock, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(ctx, func(context.Context) error {
+			attempts++
+			return ErrTransient
+		})
+	}()
+
+	// Wait until the retrier is provably inside the backoff sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for clock.Sleepers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("retrier never entered the backoff sleep")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancellation mid-backoff did not return promptly")
+	}
+	if attempts != 1 {
+		t.Fatalf("fn ran %d times, want 1 (no retry after cancellation)", attempts)
+	}
+
+	// Leak regression: the canceled sleeper must leave the waiter list
+	// even though the clock never advanced past its wake time.
+	deadline = time.Now().Add(5 * time.Second)
+	for clock.Sleepers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled sleeper leaked: Sleepers() = %d, want 0", clock.Sleepers())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestRetrierPreCanceledContextSkipsCall: a context canceled before Do
+// is entered must short-circuit without invoking fn at all.
+func TestRetrierPreCanceledContextSkipsCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Nanosecond}, nil, 1)
+	attempts := 0
+	err := r.Do(ctx, func(context.Context) error {
+		attempts++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) || attempts != 0 {
+		t.Fatalf("pre-canceled Do: attempts=%d err=%v, want 0 attempts + context.Canceled", attempts, err)
+	}
+}
+
 func TestBreakerOpensAndHalfOpensOnCooldown(t *testing.T) {
 	clock := NewFakeClock()
 	cfg := BreakerConfig{FailureThreshold: 3, Cooldown: time.Second, HalfOpenProbes: 1}

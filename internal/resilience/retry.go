@@ -57,8 +57,15 @@ func (r *Retrier) setRetryCounter(c *obs.Counter) { r.retries = c }
 
 // Do runs fn until it succeeds, fails terminally (non-retryable error),
 // exhausts the attempt budget, or the context is done. The returned
-// error is fn's last error (or the context's).
+// error is fn's last error (or the context's). Cancellation is honored
+// at every boundary: before the first attempt, while parked in a
+// backoff sleep (both clocks select on ctx.Done, so the return is
+// immediate, not delayed until the jittered sleep would have ended),
+// and between fn's failure and the next sleep.
 func (r *Retrier) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
 	var err error
 	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
 		if attempt > 0 {

@@ -21,10 +21,16 @@ type AdmissionConfig struct {
 	// MaxQueued is how many requests may wait for a slot; <= 0 sheds
 	// as soon as every slot is busy.
 	MaxQueued int
-	// RetryAfter is the Retry-After hint attached to shed responses
-	// (default 1s).
+	// RetryAfter is the base Retry-After hint attached to shed
+	// responses (default 1s). The actual hint scales with the live
+	// queue depth — see retryAfterHint.
 	RetryAfter time.Duration
 }
+
+// retryAfterCapFactor bounds the derived Retry-After hint at this
+// multiple of the configured base, so a deep queue never tells clients
+// to disappear for minutes.
+const retryAfterCapFactor = 10
 
 // admission is the bounded admission queue. A nil *admission admits
 // everything.
@@ -82,13 +88,41 @@ func (a *admission) stats() (inFlight, queued, capacity, queueCap int, draining 
 	return len(a.slots), int(a.queued.Load()), a.cfg.MaxInFlight, a.cfg.MaxQueued, a.draining.Load()
 }
 
+// retryAfterHint derives the Retry-After seconds from the shed reason
+// and the live queue state, instead of handing every client the same
+// static hint (which synchronizes their retries into the next wave of
+// overload). Queue-full sheds scale with how much work already waits
+// ahead of the client — base × (1 + queued/maxInFlight), i.e. roughly
+// how many service generations must drain first — capped at
+// retryAfterCapFactor × base. A draining node will never admit again,
+// so it answers with the cap outright: come back late, and to a load
+// balancer that has moved on.
+func (a *admission) retryAfterHint(reason string) int {
+	base := int((a.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if base < 1 {
+		base = 1
+	}
+	switch reason {
+	case "draining":
+		return base * retryAfterCapFactor
+	case "queue-full":
+		hint := base * (1 + int(a.queued.Load())/a.cfg.MaxInFlight)
+		if limit := base * retryAfterCapFactor; hint > limit {
+			return limit
+		}
+		return hint
+	default:
+		return base
+	}
+}
+
 // shed writes the 503 + Retry-After rejection. X-Shed-Reason is how the
 // flight middleware (sitting outside this layer) learns the request was
 // shed rather than served slowly.
 func (a *admission) shed(w http.ResponseWriter, reason string) {
 	a.mShed.With(reason).Inc()
 	w.Header().Set("X-Shed-Reason", reason)
-	w.Header().Set("Retry-After", strconv.Itoa(int((a.cfg.RetryAfter+time.Second-1)/time.Second)))
+	w.Header().Set("Retry-After", strconv.Itoa(a.retryAfterHint(reason)))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)
 	w.Write([]byte(`{"error":"server overloaded, retry later","reason":"` + reason + `"}` + "\n"))

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // blockingHandler parks until released, so tests control exactly how
@@ -57,6 +58,87 @@ func TestAdmissionShedsWhenFull(t *testing.T) {
 
 	close(bh.release)
 	wg.Wait()
+}
+
+// TestAdmissionRetryAfterScalesWithQueue pins the derived Retry-After:
+// an empty queue sheds with the base hint, a deep queue tells clients
+// to back off proportionally longer, the cap bounds the hint no matter
+// how deep the queue gets, and a draining node answers with the cap
+// outright (it will never admit again).
+func TestAdmissionRetryAfterScalesWithQueue(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxInFlight: 2, MaxQueued: 100})
+
+	if got := a.retryAfterHint("queue-full"); got != 1 {
+		t.Fatalf("empty-queue hint = %d, want base 1", got)
+	}
+	a.queued.Store(6) // three service generations ahead of this client
+	if got := a.retryAfterHint("queue-full"); got != 4 {
+		t.Fatalf("queued=6 maxInFlight=2 hint = %d, want 1+6/2 = 4", got)
+	}
+	a.queued.Store(1000)
+	if got := a.retryAfterHint("queue-full"); got != retryAfterCapFactor {
+		t.Fatalf("deep-queue hint = %d, want cap %d", got, retryAfterCapFactor)
+	}
+	a.queued.Store(0)
+	if got := a.retryAfterHint("draining"); got != retryAfterCapFactor {
+		t.Fatalf("draining hint = %d, want cap %d", got, retryAfterCapFactor)
+	}
+	if got := a.retryAfterHint("canceled"); got != 1 {
+		t.Fatalf("canceled hint = %d, want base 1", got)
+	}
+}
+
+// TestAdmissionRetryAfterHeaderReflectsDepth drives the hint through
+// the HTTP surface: with the only slot held and the queue holding
+// waiters, a shed response's Retry-After must exceed the base hint.
+func TestAdmissionRetryAfterHeaderReflectsDepth(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueued: 2})
+	bh := newBlockingHandler()
+	h := a.wrap(bh)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	}()
+	<-bh.entered // slot held
+
+	// Fill the queue: two waiters, each one service generation.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		}()
+	}
+	waitFor(t, func() bool { return a.queued.Load() == 2 })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow request got %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q with 2 queued on 1 slot, want \"3\"", got)
+	}
+
+	close(bh.release)
+	wg.Wait()
+}
+
+// waitFor polls cond until true or the test deadline closes in.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {

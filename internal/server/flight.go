@@ -90,6 +90,15 @@ func (s *Server) setupFlight() {
 		s.engClient.OnBreakerTransition(hook("search"))
 		s.srcClient.OnBreakerTransition(hook("deep"))
 	}
+	// Per-peer forwarding breakers dump a bundle too: a peer going dark
+	// is the incident the cluster chaos harness exists to diagnose.
+	if s.flight.Triggers().OnBreakerOpen && s.cluster != nil {
+		s.cluster.Forwarder().OnBreakerTransition(func(peer string, _, to resilience.BreakerState) {
+			if to == resilience.BreakerOpen {
+				s.flight.Trigger("breaker-open-peer-"+peer, "")
+			}
+		})
+	}
 }
 
 // statusCapture records the status code written by the inner handler
@@ -252,8 +261,12 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // Close releases background resources: the flight recorder's runtime
-// sampler. Safe to call on a server without a recorder, and idempotent.
+// sampler and the cluster health prober. Safe to call on a server
+// without either, and idempotent.
 func (s *Server) Close() {
 	s.flight.Close()
 	s.sampler.Stop()
+	if s.cluster != nil {
+		s.cluster.Stop()
+	}
 }

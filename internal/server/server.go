@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webiq/internal/cluster"
 	"webiq/internal/dataset"
 	"webiq/internal/deepweb"
 	"webiq/internal/htmlform"
@@ -98,6 +99,12 @@ type Server struct {
 	flight    *obs.FlightRecorder
 	sampler   *obs.RuntimeSampler
 	snapInfo  *snapshotInfo
+
+	// Cluster membership (WithCluster); nil in single-node mode, which
+	// keeps every response and /stats byte-identical to a build without
+	// the cluster layer.
+	clusterCfg *cluster.Config
+	cluster    *cluster.Cluster
 
 	mu           sync.Mutex
 	datasets     map[string]*schema.Dataset
@@ -286,6 +293,7 @@ func (s *Server) finish() {
 		s.srcClient.Instrument(s.reg)
 	}
 	s.adm.instrument(s.reg)
+	s.setupCluster()
 	s.setupFlight()
 
 	s.httpm = obs.NewHTTPMetrics(s.reg)
@@ -300,12 +308,18 @@ func (s *Server) finish() {
 	}
 	s.mux.Handle("/", adm("index", s.httpm.WrapFunc("index", s.handleIndex)))
 	s.mux.Handle("/sources", adm("sources", s.httpm.WrapFunc("sources", s.handleSources)))
-	s.mux.Handle("/source/", adm("source", s.httpm.WrapFunc("source", s.handleSource)))
-	s.mux.Handle("/unified/", adm("unified", s.httpm.WrapFunc("unified", s.handleUnified)))
+	// The ownership check sits between admission and the local metrics
+	// middleware: a forwarded request holds a local admission slot
+	// (bounded fan-out) but is measured by the node that serves it.
+	s.mux.Handle("/source/", adm("source", s.clusterWrap(domainFromSourcePath, s.httpm.WrapFunc("source", s.handleSource))))
+	s.mux.Handle("/unified/", adm("unified", s.clusterWrap(domainFromUnifiedPath, s.httpm.WrapFunc("unified", s.handleUnified))))
 	s.mux.Handle("/trace/", adm("trace", s.httpm.WrapFunc("trace", s.handleTrace)))
 	s.mux.Handle("/healthz", s.httpm.WrapFunc("healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.httpm.WrapFunc("readyz", s.handleReadyz))
 	s.mux.Handle("/stats", s.httpm.WrapFunc("stats", s.handleStats))
+	// Like /stats, /cluster/stats bypasses admission: a cluster under
+	// load-shed is exactly when the aggregate view matters.
+	s.mux.Handle("/cluster/stats", s.httpm.WrapFunc("cluster-stats", s.handleClusterStats))
 	s.mux.Handle("/metrics", s.httpm.Wrap("metrics", s.reg.Handler()))
 	s.mux.Handle("/debug/flight", s.httpm.WrapFunc("debug-flight", s.handleFlight))
 	s.mux.Handle("/debug/flight/", s.httpm.WrapFunc("debug-flight", s.handleFlight))
@@ -720,6 +734,10 @@ type statsInfo struct {
 	Runtime obs.RuntimeSample `json:"runtime"`
 	// Snapshot identifies the snapshot world, when booted via -snapshot.
 	Snapshot *snapshotInfo `json:"snapshot,omitempty"`
+	// Cluster is this node's routing view (ring owners, peer health,
+	// per-peer breakers, forward counts) when cluster mode is on; absent
+	// in single-node mode so the JSON stays byte-identical.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // admissionInfo is the /stats view of the admission queue.
@@ -732,6 +750,12 @@ type admissionInfo struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.buildStats())
+}
+
+// buildStats assembles the /stats document (also embedded per node in
+// /cluster/stats).
+func (s *Server) buildStats() statsInfo {
 	info := statsInfo{
 		StartupSeconds:       time.Duration(s.startupNs.Load()).Seconds(),
 		CorpusPages:          s.engine.NumDocs(),
@@ -757,6 +781,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"deep":   s.srcClient.BreakerState().String(),
 		}
 	}
+	if s.cluster != nil {
+		cs := s.cluster.Stats(s.domainKeys())
+		info.Cluster = &cs
+	}
 	s.mu.Lock()
 	for k, p := range s.pools {
 		info.ProbesByPool[k] = p.QueryCount()
@@ -769,7 +797,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	writeJSON(w, info)
+	return info
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

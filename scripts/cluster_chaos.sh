@@ -1,0 +1,191 @@
+#!/usr/bin/env sh
+# Cluster chaos harness: boot a 3-node replicated webiq-serve cluster
+# from one snapshot, drive mixed load through two of the nodes, and
+# kill the third — the primary for at least one domain's shard — in the
+# middle of the run. The gate holds the fault-tolerance contract:
+#
+#   1. every domain stays servable through every surviving node
+#      (webiq-loadgen's final all-domains pass);
+#   2. the client-observed non-503 error rate stays within 1% — losing
+#      a shard's primary must degrade to failover, not to errors;
+#   3. at least one survivor dumps a breaker-open-peer-{victim} flight
+#      bundle, so the incident is diagnosable after the fact.
+#
+# Modes (first argument):
+#
+#   smoke   (default) 10s of load, kill the victim mid-run. Fast enough
+#           for CI; `make cluster-smoke`.
+#   chaos   30s of load; the victim is first partitioned (SIGSTOP, so
+#           its sockets hang instead of refusing — the nastier failure),
+#           healed (SIGCONT), then killed outright. `make cluster-chaos`.
+#
+# Set OUT=dir to keep the flight bundles and the loadgen summary (CI
+# uploads them as the incident artifact).
+set -eu
+
+GO=${GO:-go}
+MODE=${1:-smoke}
+HOST=127.0.0.1
+P1=${P1:-8181}
+P2=${P2:-8182}
+P3=${P3:-8183}
+OUT=${OUT:-}
+DIR=$(mktemp -d)
+PIDS=""
+
+case "$MODE" in
+smoke)
+	DURATION=10s
+	RPS=60
+	P99=3s
+	;;
+chaos)
+	DURATION=30s
+	RPS=60
+	P99=8s
+	;;
+*)
+	echo "usage: $0 [smoke|chaos]" >&2
+	exit 2
+	;;
+esac
+
+cleanup() {
+	for pid in $PIDS; do
+		kill -CONT "$pid" 2>/dev/null || true
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building webiq-serve, webiq-snapshot, webiq-loadgen"
+$GO build -o "$DIR/webiq-serve" ./cmd/webiq-serve
+$GO build -o "$DIR/webiq-snapshot" ./cmd/webiq-snapshot
+$GO build -o "$DIR/webiq-loadgen" ./cmd/webiq-loadgen
+
+echo "==> building the shared world snapshot"
+"$DIR/webiq-snapshot" build -o "$DIR/world.snap" >/dev/null
+
+PEERS="n1=http://$HOST:$P1,n2=http://$HOST:$P2,n3=http://$HOST:$P3"
+
+# boot_node id port -> appends the node's PID to PIDS and records it in
+# $DIR/pid.{id}. Every node boots from the same snapshot (instant
+# replica warm-up), probes peers every 250ms, and runs the flight
+# recorder with breaker triggers so a dead peer produces a bundle.
+boot_node() {
+	id=$1
+	port=$2
+	mkdir -p "$DIR/bundles-$id"
+	"$DIR/webiq-serve" -addr "$HOST:$port" \
+		-snapshot "$DIR/world.snap" \
+		-peers "$PEERS" -node-id "$id" -replication 2 \
+		-probe-interval 500ms -probe-timeout 250ms \
+		-forward-timeout 1s \
+		-flight-dir "$DIR/bundles-$id" -flight-triggers 'breaker,debounce=1s' \
+		>"$DIR/serve-$id.log" 2>&1 &
+	pid=$!
+	PIDS="$PIDS $pid"
+	echo "$pid" >"$DIR/pid.$id"
+}
+
+echo "==> booting 3-node cluster (replication 2)"
+boot_node n1 "$P1"
+boot_node n2 "$P2"
+boot_node n3 "$P3"
+
+for port in "$P1" "$P2" "$P3"; do
+	i=0
+	while ! curl -fsS "http://$HOST:$port/readyz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 150 ]; then
+			echo "FAIL: node on :$port not ready after 15s" >&2
+			cat "$DIR"/serve-*.log >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+done
+echo "all nodes ready"
+
+echo "==> picking the victim: the primary of the airfare shard"
+VICTIM=$(curl -fsS "http://$HOST:$P1/cluster/stats" | python3 -c '
+import json, sys
+print(json.load(sys.stdin)["cluster"]["owners"]["airfare"][0])
+')
+VICTIM_PID=$(cat "$DIR/pid.$VICTIM")
+TARGETS=""
+for pair in "n1=$P1" "n2=$P2" "n3=$P3"; do
+	id=${pair%%=*}
+	port=${pair#*=}
+	if [ "$id" = "$VICTIM" ]; then
+		VICTIM_PORT=$port
+	else
+		TARGETS="$TARGETS,http://$HOST:$port"
+	fi
+done
+TARGETS=${TARGETS#,}
+echo "victim: $VICTIM (pid $VICTIM_PID, :$VICTIM_PORT); load targets: $TARGETS"
+
+echo "==> starting $DURATION of mixed load at $RPS rps"
+"$DIR/webiq-loadgen" -targets "$TARGETS" \
+	-rps "$RPS" -duration "$DURATION" \
+	-p99 "$P99" -max-error-rate 0.01 \
+	-json "$DIR/loadgen.json" >"$DIR/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+
+sleep 2
+if [ "$MODE" = "chaos" ]; then
+	echo "==> partitioning $VICTIM (SIGSTOP: sockets hang, probes time out)"
+	kill -STOP "$VICTIM_PID"
+	sleep 4
+	echo "==> healing the partition (SIGCONT)"
+	kill -CONT "$VICTIM_PID"
+	sleep 3
+fi
+echo "==> killing $VICTIM outright (SIGKILL mid-load)"
+kill -KILL "$VICTIM_PID" 2>/dev/null || true
+
+if ! wait "$LOADGEN_PID"; then
+	echo "FAIL: loadgen objectives violated with $VICTIM down" >&2
+	cat "$DIR/loadgen.log" >&2
+	cat "$DIR/loadgen.json" >&2 || true
+	exit 1
+fi
+tail -n 1 "$DIR/loadgen.log"
+
+echo "==> checking a survivor dumped a breaker-open-peer-$VICTIM bundle"
+# The breaker trigger is debounced; give the recorder a beat to flush.
+found=""
+i=0
+while [ -z "$found" ] && [ "$i" -lt 30 ]; do
+	found=$(ls "$DIR"/bundles-*/flight-*breaker-open-peer-"$VICTIM"*.json 2>/dev/null | head -n 1 || true)
+	[ -n "$found" ] || sleep 0.2
+	i=$((i + 1))
+done
+if [ -z "$found" ]; then
+	echo "FAIL: no breaker-open-peer-$VICTIM flight bundle on any survivor" >&2
+	ls -l "$DIR"/bundles-*/ >&2 || true
+	cat "$DIR"/serve-*.log >&2
+	exit 1
+fi
+echo "bundle: $found"
+
+echo "==> final sweep: every domain servable on every survivor"
+for base in $(echo "$TARGETS" | tr ',' ' '); do
+	for d in airfare auto book job realestate; do
+		curl -fsS -o /dev/null "$base/unified/$d" || {
+			echo "FAIL: $d not servable via $base after the kill" >&2
+			exit 1
+		}
+	done
+done
+
+if [ -n "$OUT" ]; then
+	mkdir -p "$OUT"
+	cp "$DIR"/bundles-*/flight-*.json "$OUT/" 2>/dev/null || true
+	cp "$DIR/loadgen.json" "$OUT/"
+	echo "kept bundles + loadgen summary in $OUT"
+fi
+
+echo "PASS ($MODE): cluster survived losing $VICTIM — all domains servable, errors bounded, incident bundled"
